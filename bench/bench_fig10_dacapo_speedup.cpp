@@ -1,0 +1,36 @@
+// Reproduces Figure 10: DaCapo speedups vs CFS-schedutil on all four
+// machines. The paper's shape: single-task apps (batik, fop, jython, ...)
+// within +-5%; high-underload apps (h2, tradebeans, graphchi-eval,
+// tomcat-eval) gain substantially with Nest.
+
+#include "bench/bench_util.h"
+#include "src/workloads/dacapo.h"
+
+using namespace nestsim;
+
+int main() {
+  PrintHeader("Figure 10: DaCapo speedups vs CFS-schedutil",
+              "u/s column is the baseline underload per second (the paper's "
+              "'u:' annotation); high-underload apps are where Nest wins.");
+  const int reps = BenchRepetitions();
+  const auto variants = StandardVariants();
+
+  for (const std::string& machine : PaperMachineNames()) {
+    PrintMachineBanner(MachineByName(machine));
+    std::printf("%-16s %16s %7s %10s %10s %10s\n", "app", "CFS sched (s)", "u/s", "CFS perf",
+                "Nest sched", "Nest perf");
+    for (const std::string& app : DacapoWorkload::AppNames()) {
+      DacapoWorkload workload(app);
+      const RepeatedResult base = RunRepeated(ConfigFor(machine, variants[0]), workload, reps);
+      std::printf("%-16s %9.2fs %4.1f%% %7.1f", app.c_str(), base.mean_seconds,
+                  base.stddev_pct(), base.mean_underload_per_s);
+      for (size_t v = 1; v < variants.size(); ++v) {
+        const RepeatedResult rr = RunRepeated(ConfigFor(machine, variants[v]), workload, reps);
+        std::printf(" %10s",
+                    FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

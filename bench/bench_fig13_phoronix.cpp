@@ -1,0 +1,37 @@
+// Reproduces Figure 13: the highlighted Phoronix multicore tests — those
+// where CFS-performance or Nest-schedutil moved the needle by >=20% somewhere
+// in the paper. Values are speedups vs CFS-schedutil.
+
+#include "bench/bench_util.h"
+#include "src/workloads/phoronix.h"
+
+using namespace nestsim;
+
+int main() {
+  PrintHeader("Figure 13: Phoronix multicore highlight tests",
+              "Speedup vs CFS-schedutil for CFS-performance and Nest-schedutil "
+              "(the paper's two headline columns).");
+  const int reps = BenchRepetitions();
+  const Variant base_variant{"CFS sched", SchedulerKind::kCfs, "schedutil"};
+  const std::vector<Variant> variants = {
+      {"CFS perf", SchedulerKind::kCfs, "performance"},
+      {"Nest sched", SchedulerKind::kNest, "schedutil"},
+  };
+
+  for (const std::string& machine : PaperMachineNames()) {
+    PrintMachineBanner(MachineByName(machine));
+    std::printf("%-22s %16s %10s %10s\n", "test", "CFS sched (s)", "CFS perf", "Nest sched");
+    for (const std::string& test : PhoronixWorkload::Figure13TestNames()) {
+      PhoronixWorkload workload(test);
+      const RepeatedResult base = RunRepeated(ConfigFor(machine, base_variant), workload, reps);
+      std::printf("%-22s %9.2fs %4.1f%%", test.c_str(), base.mean_seconds, base.stddev_pct());
+      for (const Variant& variant : variants) {
+        const RepeatedResult rr = RunRepeated(ConfigFor(machine, variant), workload, reps);
+        std::printf(" %10s",
+                    FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 3: underload timeline for LLVM configuration (ninja) on
+// the Intel 5218 with the schedutil governor, CFS vs Nest. One 4 ms interval
+// per sample; with Nest the underload should almost disappear.
+
+#include "bench/bench_util.h"
+#include "src/workloads/configure.h"
+
+using namespace nestsim;
+
+namespace {
+
+std::vector<std::pair<double, double>> Series(SchedulerKind scheduler) {
+  ExperimentConfig config;
+  config.machine = "intel-5218-2s";
+  config.scheduler = scheduler;
+  config.governor = "schedutil";
+  config.record_underload_series = true;
+  config.seed = 7;
+  ConfigureWorkload workload("llvm_ninja");
+  return RunExperiment(config, workload).underload_series;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 3: Underload timeline, LLVM configure (Intel 5218, schedutil)",
+              "Per-4ms-interval underload over the first 300 ms; columns CFS / Nest.");
+  const auto cfs = Series(SchedulerKind::kCfs);
+  const auto nest = Series(SchedulerKind::kNest);
+
+  std::printf("%10s %6s %6s\n", "t (s)", "CFS", "Nest");
+  double cfs_total = 0.0;
+  double nest_total = 0.0;
+  const size_t n = std::min(cfs.size(), nest.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (cfs[i].first > 0.3) {
+      break;
+    }
+    std::printf("%10.3f %6.0f %6.0f\n", cfs[i].first, cfs[i].second, nest[i].second);
+    cfs_total += cfs[i].second;
+    nest_total += nest[i].second;
+  }
+  std::printf("\ntotal underload in window: CFS %.0f, Nest %.0f\n", cfs_total, nest_total);
+  return 0;
+}

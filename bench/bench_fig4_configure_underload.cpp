@@ -1,0 +1,34 @@
+// Reproduces Figure 4: underload per second for the configure workloads, on
+// all four paper machines, with CFS and Nest under both governors. As in the
+// paper, underload is based on a single run.
+
+#include "bench/bench_util.h"
+#include "src/workloads/configure.h"
+
+using namespace nestsim;
+
+int main() {
+  PrintHeader("Figure 4: Configure underload per second",
+              "Nest should almost eliminate the underload that CFS accumulates "
+              "by choosing long-idle cores. (Absolute scale exceeds the paper's "
+              "because the simulated scripts are fork-dense end to end; see "
+              "EXPERIMENTS.md.)");
+  const auto variants = StandardVariants();
+  for (const std::string& machine : PaperMachineNames()) {
+    PrintMachineBanner(MachineByName(machine));
+    std::printf("%-14s %12s %12s %12s %12s\n", "package", "CFS sched", "CFS perf", "Nest sched",
+                "Nest perf");
+    for (const std::string& package : ConfigureWorkload::PackageNames()) {
+      ConfigureWorkload workload(package);
+      std::printf("%-14s", package.c_str());
+      for (const Variant& variant : variants) {
+        ExperimentConfig config = ConfigFor(machine, variant);
+        config.seed = 11;
+        const ExperimentResult r = RunExperiment(config, workload);
+        std::printf(" %12.1f", r.underload_per_s);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 5: configure-workload speedups vs CFS-schedutil, on all
+// four machines, for CFS-performance, Nest-schedutil, Nest-performance, and
+// Smove-schedutil. The paper's headline: Nest gains 10%+ almost everywhere
+// (up to ~37% on the E7-8870 v4), Smove stays under ~5-9%, CFS-performance
+// helps little on the Speed Shift machines.
+
+#include "bench/bench_util.h"
+#include "src/workloads/configure.h"
+
+using namespace nestsim;
+
+int main() {
+  PrintHeader("Figure 5: Configure speedups vs CFS-schedutil",
+              "Rows: packages. Baseline column shows CFS-schedutil time +- stddev%. "
+              "'*' marks speedups above the paper's 5% band, '!' degradations.");
+  const int reps = BenchRepetitions();
+  const auto variants = StandardVariants(/*include_smove=*/true);
+
+  for (const std::string& machine : PaperMachineNames()) {
+    PrintMachineBanner(MachineByName(machine));
+    std::printf("%-14s %16s %10s %10s %10s %10s\n", "package", "CFS sched (s)", "CFS perf",
+                "Nest sched", "Nest perf", "Smove sch");
+    for (const std::string& package : ConfigureWorkload::PackageNames()) {
+      ConfigureWorkload workload(package);
+      const RepeatedResult base =
+          RunRepeated(ConfigFor(machine, variants[0]), workload, reps);
+      std::printf("%-14s %9.2fs %4.1f%%", package.c_str(), base.mean_seconds,
+                  base.stddev_pct());
+      for (size_t v = 1; v < variants.size(); ++v) {
+        const RepeatedResult rr = RunRepeated(ConfigFor(machine, variants[v]), workload, reps);
+        std::printf(" %10s",
+                    FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the scheduler hot paths (google-benchmark).
+//
+// Not a paper figure: §5.6 attributes the hackbench slowdown to Nest's extra
+// core-selection code; these micro-benchmarks quantify the per-operation
+// costs of CFS vs Nest selection and the simulator's own primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "src/nest/nest_policy.h"
+#include "src/sim/event_queue.h"
+
+using namespace nestsim;
+
+namespace {
+
+struct Fixture {
+  Engine engine;
+  HardwareModel hw;
+  SchedutilGovernor governor;
+  Kernel kernel;
+  Task task;
+
+  explicit Fixture(SchedulerPolicy* policy, const char* machine = "intel-5218-2s")
+      : hw(&engine, MachineByName(machine)), kernel(&engine, &hw, policy, &governor) {
+    kernel.Start();
+    task.tid = 1;
+    task.prev_cpu = 3;
+  }
+};
+
+void BM_CfsSelectWake(benchmark::State& state) {
+  CfsPolicy cfs;
+  Fixture fx(&cfs);
+  WakeContext ctx;
+  ctx.waker_cpu = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfs.SelectCpuWake(fx.task, ctx));
+  }
+}
+BENCHMARK(BM_CfsSelectWake);
+
+void BM_CfsSelectFork(benchmark::State& state) {
+  CfsPolicy cfs;
+  Fixture fx(&cfs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfs.SelectCpuFork(fx.task, 3));
+  }
+}
+BENCHMARK(BM_CfsSelectFork);
+
+void BM_NestSelectWake(benchmark::State& state) {
+  NestPolicy nest;
+  Fixture fx(&nest);
+  WakeContext ctx;
+  ctx.waker_cpu = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nest.SelectCpuWake(fx.task, ctx));
+    fx.task.impatience = 0;
+  }
+}
+BENCHMARK(BM_NestSelectWake);
+
+void BM_NestSelectFork(benchmark::State& state) {
+  NestPolicy nest;
+  Fixture fx(&nest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nest.SelectCpuFork(fx.task, 3));
+  }
+}
+BENCHMARK(BM_NestSelectFork);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue queue;
+  for (auto _ : state) {
+    queue.Push(1, [] {});
+    benchmark::DoNotOptimize(queue.Pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_HardwareFreqUpdate(benchmark::State& state) {
+  Engine engine;
+  HardwareModel hw(&engine, MachineByName("intel-e78870v4-4s"));
+  hw.Start();
+  hw.SetThreadBusy(0, true);
+  for (auto _ : state) {
+    hw.KickCpu(0);
+    benchmark::DoNotOptimize(hw.FreqGhz(0));
+  }
+}
+BENCHMARK(BM_HardwareFreqUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

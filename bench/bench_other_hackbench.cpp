@@ -1,0 +1,62 @@
+// Reproduces §5.6's hackbench and schbench observations.
+//
+// hackbench is dominated by scheduling itself; the paper reports a large
+// *slowdown* with Nest (its heavier core selection and concentration hurt
+// when everything is wakeups). schbench's 99th-percentile tail latency shows
+// no clear winner.
+
+#include "bench/bench_util.h"
+#include "src/workloads/micro.h"
+
+using namespace nestsim;
+
+int main() {
+  PrintHeader("§5.6: hackbench and schbench",
+              "hackbench: completion time (lower is better; the paper reports a "
+              "large Nest slowdown). schbench: p99 wakeup latency.");
+
+  const std::string machine = "intel-5218-2s";
+
+  {
+    HackbenchSpec spec;
+    HackbenchWorkload workload(spec);
+    std::printf("\nhackbench -g %d (fan %d, loops %d) on %s\n", spec.groups, spec.fan, spec.loops,
+                machine.c_str());
+    for (SchedulerKind scheduler : {SchedulerKind::kCfs, SchedulerKind::kNest}) {
+      ExperimentConfig config;
+      config.machine = machine;
+      config.scheduler = scheduler;
+      config.governor = "schedutil";
+      config.seed = 3;
+      const ExperimentResult r = RunExperiment(config, workload);
+      std::printf("  %-5s %8.3fs   ctx switches %llu  migrations %llu\n",
+                  SchedulerKindName(scheduler), r.seconds(),
+                  static_cast<unsigned long long>(r.context_switches),
+                  static_cast<unsigned long long>(r.migrations));
+    }
+  }
+
+  {
+    std::printf("\nschbench (p99 wakeup latency, us) on %s\n", machine.c_str());
+    std::printf("  %-22s %10s %10s\n", "messageXworkers", "CFS", "Nest");
+    for (const auto& [mt, wt] : std::vector<std::pair<int, int>>{{2, 8}, {4, 8}, {4, 16}, {8, 16}}) {
+      SchbenchSpec spec;
+      spec.message_threads = mt;
+      spec.workers_per_thread = wt;
+      SchbenchWorkload workload(spec);
+      std::printf("  %2dx%-19d", mt, wt);
+      for (SchedulerKind scheduler : {SchedulerKind::kCfs, SchedulerKind::kNest}) {
+        ExperimentConfig config;
+        config.machine = machine;
+        config.scheduler = scheduler;
+        config.governor = "schedutil";
+        config.record_latency = true;
+        config.seed = 3;
+        const ExperimentResult r = RunExperiment(config, workload);
+        std::printf(" %10.1f", r.p99_wakeup_latency_us);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Table 2: hardware characteristics of the evaluation machines.
+
+#include "bench/bench_util.h"
+
+using namespace nestsim;
+
+int main() {
+  PrintHeader("Table 2: Hardware characteristics",
+              "Machine models used for every experiment (paper Table 2 + the "
+              "mono-socket machines of §5.6).");
+  std::printf("%-18s %-26s %-13s %9s %8s %8s %10s %s\n", "name", "CPU", "uarch", "#cores",
+              "min", "max", "max turbo", "power management");
+  for (const MachineSpec& m : AllMachines()) {
+    const char* pm = m.power_management == PowerManagement::kSpeedShift ? "Intel Speed Shift"
+                     : m.power_management == PowerManagement::kSpeedStep
+                         ? "Enhanced Intel SpeedStep"
+                         : "AMD Turbo Core";
+    char cores[32];
+    std::snprintf(cores, sizeof(cores), "%dx%dx%d=%d", m.num_sockets,
+                  m.physical_cores_per_socket, m.threads_per_core,
+                  m.num_sockets * m.physical_cores_per_socket * m.threads_per_core);
+    std::printf("%-18s %-26s %-13s %9s %5.1fGHz %5.1fGHz %7.1fGHz %s\n", m.name.c_str(),
+                m.cpu_model.c_str(), m.microarch.c_str(), cores, m.min_freq_ghz,
+                m.nominal_freq_ghz, m.turbo.MaxTurboGhz(), pm);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 3: available turbo frequencies by active-core count, and
+// verifies the live hardware model respects the ladder: with N busy cores on
+// a socket, no core exceeds the ladder's cap for N.
+
+#include "bench/bench_util.h"
+#include "src/hw/hardware.h"
+
+using namespace nestsim;
+
+namespace {
+
+// Drives the hardware model directly: marks the first `busy` physical cores
+// of socket 0 busy, lets frequencies settle, and reports the hottest core.
+double SettledFreq(const MachineSpec& spec, int busy) {
+  Engine engine;
+  HardwareModel hw(&engine, spec);
+  hw.Start();
+  for (int i = 0; i < busy; ++i) {
+    hw.SetThreadBusy(hw.topology().FirstThreadsOnSocket(0)[i], true);
+  }
+  engine.RunUntil(200 * kMillisecond);
+  double hottest = 0.0;
+  for (int i = 0; i < busy; ++i) {
+    hottest = std::max(hottest, hw.FreqGhz(hw.topology().FirstThreadsOnSocket(0)[i]));
+  }
+  return hottest;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3: Available turbo frequencies",
+              "Ladder caps by number of active cores on a socket; 'model' is the "
+              "settled frequency the DVFS model actually reaches.");
+  for (const MachineSpec& m : AllMachines()) {
+    PrintMachineBanner(m);
+    std::printf("  active cores:");
+    const int n = m.physical_cores_per_socket;
+    for (int c = 1; c <= n; c = c < 4 ? c + 1 : c + 4) {
+      std::printf(" %5d", c);
+    }
+    std::printf("\n  ladder (GHz):");
+    for (int c = 1; c <= n; c = c < 4 ? c + 1 : c + 4) {
+      std::printf(" %5.1f", m.turbo.CapGhz(c));
+    }
+    std::printf("\n  model  (GHz):");
+    for (int c = 1; c <= n; c = c < 4 ? c + 1 : c + 4) {
+      std::printf(" %5.1f", SettledFreq(m, c));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

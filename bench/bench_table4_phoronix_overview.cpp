@@ -1,0 +1,82 @@
+// Reproduces Table 4: overview of the Phoronix multicore results — how many
+// of the ~222 tests fall into each speedup band (>20% slower, 5-20% slower,
+// within ±5%, 5-20% faster, >20% faster) for CFS-performance and
+// Nest-schedutil vs CFS-schedutil.
+//
+// The population is the 27 Figure 13 tests plus seeded synthetic tests of the
+// same styles (the real suite is a proprietary download; see DESIGN.md).
+
+#include "bench/bench_util.h"
+#include "src/workloads/phoronix.h"
+
+using namespace nestsim;
+
+namespace {
+
+struct Bands {
+  int much_slower = 0;  // < -20%
+  int slower = 0;       // [-20%, -5%)
+  int same = 0;         // [-5%, 5%]
+  int faster = 0;       // (5%, 20%]
+  int much_faster = 0;  // > 20%
+  int total = 0;
+
+  void Add(double pct) {
+    ++total;
+    if (pct < -20.0) {
+      ++much_slower;
+    } else if (pct < -5.0) {
+      ++slower;
+    } else if (pct <= 5.0) {
+      ++same;
+    } else if (pct <= 20.0) {
+      ++faster;
+    } else {
+      ++much_faster;
+    }
+  }
+
+  void Print(const char* label) const {
+    auto pct = [this](int n) { return total > 0 ? 100 * n / total : 0; };
+    std::printf("  %-12s %4d (%2d%%) %4d (%2d%%) %4d (%2d%%) %4d (%2d%%) %4d (%2d%%)\n", label,
+                much_slower, pct(much_slower), slower, pct(slower), same, pct(same), faster,
+                pct(faster), much_faster, pct(much_faster));
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int kTotalTests = 222;
+  PrintHeader("Table 4: Phoronix multicore overview",
+              "Counts of tests by speedup band vs CFS-schedutil. Columns: "
+              ">20% slower | 5-20% slower | same (+-5%) | 5-20% faster | >20% faster");
+
+  const auto named = PhoronixWorkload::Figure13TestNames();
+  for (const std::string& machine : PaperMachineNames()) {
+    PrintMachineBanner(MachineByName(machine));
+    Bands perf_bands;
+    Bands nest_bands;
+    for (int i = 0; i < kTotalTests; ++i) {
+      PhoronixSpec spec = i < static_cast<int>(named.size())
+                              ? PhoronixWorkload::TestSpec(named[i])
+                              : PhoronixWorkload::SyntheticSpec(i);
+      PhoronixWorkload workload(spec);
+
+      ExperimentConfig base = ConfigFor(machine, {"CFS sched", SchedulerKind::kCfs, "schedutil"});
+      base.seed = 17;
+      const double base_s = RunExperiment(base, workload).seconds();
+
+      ExperimentConfig perf = base;
+      perf.governor = "performance";
+      perf_bands.Add(SpeedupPercent(base_s, RunExperiment(perf, workload).seconds()));
+
+      ExperimentConfig nest = base;
+      nest.scheduler = SchedulerKind::kNest;
+      nest_bands.Add(SpeedupPercent(base_s, RunExperiment(nest, workload).seconds()));
+    }
+    perf_bands.Print("CFS-perf.");
+    nest_bands.Print("Nest-sched.");
+  }
+  return 0;
+}

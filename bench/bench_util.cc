@@ -1,0 +1,18 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+
+namespace nestsim {
+
+int BenchRepetitions() {
+  const char* env = std::getenv("NESTSIM_REPS");
+  if (env != nullptr) {
+    const int reps = std::atoi(env);
+    if (reps > 0) {
+      return reps;
+    }
+  }
+  return 2;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,75 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints a header naming the paper artefact it
+// regenerates, then rows in the paper's layout: the baseline is always
+// CFS-schedutil and speedups are relative to it (positive = better), with a
+// ±5% "noise" band as in the paper's plots.
+
+#ifndef NESTSIM_BENCH_BENCH_UTIL_H_
+#define NESTSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/metrics/stats.h"
+
+namespace nestsim {
+
+struct Variant {
+  std::string label;
+  SchedulerKind scheduler;
+  std::string governor;
+};
+
+// The paper's standard comparison set (Figure 5 adds Smove).
+inline std::vector<Variant> StandardVariants(bool include_smove = false) {
+  std::vector<Variant> variants = {
+      {"CFS sched", SchedulerKind::kCfs, "schedutil"},
+      {"CFS perf", SchedulerKind::kCfs, "performance"},
+      {"Nest sched", SchedulerKind::kNest, "schedutil"},
+      {"Nest perf", SchedulerKind::kNest, "performance"},
+  };
+  if (include_smove) {
+    variants.push_back({"Smove sched", SchedulerKind::kSmove, "schedutil"});
+  }
+  return variants;
+}
+
+inline ExperimentConfig ConfigFor(const std::string& machine, const Variant& variant) {
+  ExperimentConfig config;
+  config.machine = machine;
+  config.scheduler = variant.scheduler;
+  config.governor = variant.governor;
+  return config;
+}
+
+// How many seeded repetitions benches run. The paper uses 10 (30 for power);
+// 3 keeps the full suite fast while still exposing run-to-run variance. Can
+// be raised via the NESTSIM_REPS environment variable.
+int BenchRepetitions();
+
+// Pretty-printers ------------------------------------------------------------
+
+inline void PrintHeader(const std::string& what, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", what.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintMachineBanner(const MachineSpec& spec) {
+  std::printf("\n--- %s (%s, %dx%dx%d) ---\n", spec.name.c_str(), spec.cpu_model.c_str(),
+              spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
+}
+
+// "+12.3%" with a marker when outside the paper's ±5% noise band.
+inline std::string FormatSpeedup(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+6.1f%%%s", pct, pct > 5.0 ? " *" : (pct < -5.0 ? " !" : "  "));
+  return buf;
+}
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_BENCH_BENCH_UTIL_H_

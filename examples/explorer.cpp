@@ -1,0 +1,117 @@
+// explorer: command-line experiment runner over every built-in workload.
+//
+//   ./build/examples/explorer [--machine M] [--sched cfs|nest|smove]
+//                             [--governor schedutil|performance]
+//                             [--workload FAMILY:NAME] [--seed N] [--verbose]
+//
+// Workload families: configure:<package>, dacapo:<app>, nas:<kernel>,
+// phoronix:<test>, server:<test>, hackbench, schbench. Prints the full metric
+// run — handy for exploring scheduler behaviour beyond the paper's tables.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/metrics/stats.h"
+#include "src/sim/log.h"
+#include "src/workloads/configure.h"
+#include "src/workloads/dacapo.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/nas.h"
+#include "src/workloads/phoronix.h"
+#include "src/workloads/server.h"
+
+using namespace nestsim;
+
+namespace {
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  const std::string name = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (family == "configure") {
+    return std::make_unique<ConfigureWorkload>(name.empty() ? "llvm_ninja" : name);
+  }
+  if (family == "dacapo") {
+    return std::make_unique<DacapoWorkload>(name.empty() ? "h2" : name);
+  }
+  if (family == "nas") {
+    return std::make_unique<NasWorkload>(name.empty() ? "lu" : name);
+  }
+  if (family == "phoronix") {
+    return std::make_unique<PhoronixWorkload>(name.empty() ? "zstd compression 7" : name);
+  }
+  if (family == "server") {
+    return std::make_unique<ServerWorkload>(name.empty() ? "nginx" : name);
+  }
+  if (family == "hackbench") {
+    return std::make_unique<HackbenchWorkload>(HackbenchSpec{});
+  }
+  if (family == "schbench") {
+    return std::make_unique<SchbenchWorkload>(SchbenchSpec{});
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", spec.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  std::string workload_spec = "configure:llvm_ninja";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--machine") == 0) {
+      config.machine = next();
+    } else if (std::strcmp(argv[i], "--sched") == 0) {
+      const std::string s = next();
+      config.scheduler = s == "nest"    ? SchedulerKind::kNest
+                         : s == "smove" ? SchedulerKind::kSmove
+                                        : SchedulerKind::kCfs;
+    } else if (std::strcmp(argv[i], "--governor") == 0) {
+      config.governor = next();
+    } else if (std::strcmp(argv[i], "--workload") == 0) {
+      workload_spec = next();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      SetLogLevel(LogLevel::kDebug);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Workload> workload = MakeWorkload(workload_spec);
+  config.record_latency = true;
+  const ExperimentResult r = RunExperiment(config, *workload);
+  const MachineSpec& spec = MachineByName(config.machine);
+
+  std::printf("workload      %s on %s, %s + %s (seed %llu)\n", workload->name().c_str(),
+              config.machine.c_str(), SchedulerKindName(config.scheduler),
+              config.governor.c_str(), static_cast<unsigned long long>(config.seed));
+  std::printf("makespan      %.4f s%s\n", r.seconds(), r.hit_time_limit ? "  [TIME LIMIT HIT]" : "");
+  std::printf("energy        %.1f J (avg %.1f W)\n", r.energy_joules,
+              r.seconds() > 0 ? r.energy_joules / r.seconds() : 0.0);
+  std::printf("underload/s   %.2f\n", r.underload_per_s);
+  std::printf("tasks         %d created, %llu context switches, %llu migrations\n",
+              r.tasks_created, static_cast<unsigned long long>(r.context_switches),
+              static_cast<unsigned long long>(r.migrations));
+  std::printf("cores used    %zu\n", r.cpus_used.size());
+  std::printf("p50/p99 wake  %.1f / %.1f us\n", r.p50_wakeup_latency_us, r.p99_wakeup_latency_us);
+  if (config.scheduler == SchedulerKind::kSmove) {
+    std::printf("smove         %lld armed, %lld moved\n",
+                static_cast<long long>(r.smove_moves_armed),
+                static_cast<long long>(r.smove_moves_fired));
+  }
+  std::printf("freq residency:\n%s", r.freq_hist.Format(spec).c_str());
+  return 0;
+}

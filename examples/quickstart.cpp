@@ -1,0 +1,56 @@
+// Quickstart: run one workload under CFS and under Nest and compare.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart [machine] [package]
+//
+// This exercises the whole public API: pick a machine model, build an
+// ExperimentConfig per scheduler/governor, run a workload, and read the
+// metrics the paper reports (makespan, CPU energy, underload, frequency
+// residency).
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/metrics/stats.h"
+#include "src/workloads/configure.h"
+
+using namespace nestsim;
+
+int main(int argc, char** argv) {
+  const std::string machine = argc > 1 ? argv[1] : "intel-5218-2s";
+  const std::string package = argc > 2 ? argv[2] : "llvm_ninja";
+
+  ConfigureWorkload workload(package);
+  const MachineSpec& spec = MachineByName(machine);
+  std::printf("machine : %s (%s, %d sockets x %d cores x %d threads)\n", spec.name.c_str(),
+              spec.cpu_model.c_str(), spec.num_sockets, spec.physical_cores_per_socket,
+              spec.threads_per_core);
+  std::printf("workload: %s\n\n", workload.name().c_str());
+
+  ExperimentConfig base;
+  base.machine = machine;
+  base.governor = "schedutil";
+  base.seed = 42;
+
+  ExperimentConfig cfs = base;
+  cfs.scheduler = SchedulerKind::kCfs;
+  ExperimentConfig nest = base;
+  nest.scheduler = SchedulerKind::kNest;
+
+  const ExperimentResult r_cfs = RunExperiment(cfs, workload);
+  const ExperimentResult r_nest = RunExperiment(nest, workload);
+
+  auto report = [&](const char* label, const ExperimentResult& r) {
+    std::printf("%-14s time %7.3f s   energy %7.1f J   underload/s %5.2f   cores used %zu\n",
+                label, r.seconds(), r.energy_joules, r.underload_per_s, r.cpus_used.size());
+    std::printf("%s", r.freq_hist.Format(spec).c_str());
+  };
+  report("CFS-schedutil", r_cfs);
+  report("Nest-schedutil", r_nest);
+
+  std::printf("\nNest speedup vs CFS: %+.1f%%   energy saving: %+.1f%%\n",
+              SpeedupPercent(r_cfs.seconds(), r_nest.seconds()),
+              SpeedupPercent(r_cfs.energy_joules, r_nest.energy_joules));
+  return 0;
+}

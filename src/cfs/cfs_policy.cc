@@ -1,0 +1,218 @@
+#include "src/cfs/cfs_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace nestsim {
+
+int CfsPolicy::QuantisedLoad(int cpu) {
+  const double util = kernel_->CpuUtil(cpu);
+  const double placement = kernel_->rq(cpu).PlacementLoad(kernel_->engine().Now());
+  return static_cast<int>(std::lround((util + placement) * params_.load_resolution));
+}
+
+int CfsPolicy::GroupLoad(const SchedGroup& group) {
+  int load = 0;
+  for (int cpu : group.cpus) {
+    load += QuantisedLoad(cpu);
+    // Queued tasks contribute their full weight to group load, as runnable
+    // load does in Linux.
+    load += kernel_->rq(cpu).QueuedCount() * params_.load_resolution;
+  }
+  return load;
+}
+
+int CfsPolicy::GroupIdleCount(const SchedGroup& group) const {
+  int idle = 0;
+  for (int cpu : group.cpus) {
+    if (kernel_->CpuIdle(cpu)) {
+      ++idle;
+    }
+  }
+  return idle;
+}
+
+int CfsPolicy::FindIdlestCpu(const std::vector<int>& span, int origin) {
+  // Scan in numerical order, starting from `origin`'s position modulo the
+  // span size (§2.1). Lower (nr_running, quantised load) wins; strict
+  // inequality keeps the earliest candidate on ties.
+  const int n = static_cast<int>(span.size());
+  assert(n > 0);
+  int start = 0;
+  for (int i = 0; i < n; ++i) {
+    if (span[i] >= origin) {
+      start = i;
+      break;
+    }
+  }
+  int best_cpu = -1;
+  int best_nr = std::numeric_limits<int>::max();
+  int best_load = std::numeric_limits<int>::max();
+  for (int i = 0; i < n; ++i) {
+    const int cpu = span[(start + i) % n];
+    const int nr = kernel_->rq(cpu).NrRunning();
+    const int load = QuantisedLoad(cpu);
+    if (nr < best_nr || (nr == best_nr && load < best_load)) {
+      best_cpu = cpu;
+      best_nr = nr;
+      best_load = load;
+    }
+  }
+  return best_cpu;
+}
+
+int CfsPolicy::ForkPath(const Task& child, int parent_cpu) {
+  (void)child;
+  const DomainTree& tree = kernel_->domains();
+  const SchedDomain* domain = &tree.Top();
+  int cpu = parent_cpu;
+
+  while (domain != nullptr) {
+    // Find the local group (containing `cpu`) and the best remote group.
+    const SchedGroup* local = nullptr;
+    const SchedGroup* best = nullptr;
+    int best_idle = -1;
+    int best_load = std::numeric_limits<int>::max();
+    for (const SchedGroup& group : domain->groups) {
+      const bool is_local = std::find(group.cpus.begin(), group.cpus.end(), cpu) != group.cpus.end();
+      if (is_local) {
+        local = &group;
+        continue;
+      }
+      const int idle = GroupIdleCount(group);
+      const int load = GroupLoad(group);
+      if (idle > best_idle || (idle == best_idle && load < best_load)) {
+        best = &group;
+        best_idle = idle;
+        best_load = load;
+      }
+    }
+
+    const SchedGroup* chosen = local;
+    if (local == nullptr) {
+      chosen = best;
+    } else if (best != nullptr) {
+      // Leave the local group only when the remote one is substantially
+      // idler (find_idlest_group's stickiness).
+      const int local_idle = GroupIdleCount(*local);
+      const int local_load = GroupLoad(*local);
+      const int margin = std::max(
+          1, static_cast<int>(params_.group_imbalance_fraction * static_cast<double>(local->cpus.size())));
+      if (best_idle > local_idle + margin ||
+          (local_idle == 0 && best_idle > 0) ||
+          (best_idle == local_idle && best_load + margin * params_.load_resolution < local_load)) {
+        chosen = best;
+      }
+    }
+    assert(chosen != nullptr);
+
+    cpu = FindIdlestCpu(chosen->cpus, cpu);
+    domain = tree.ChildContaining(*domain, cpu);
+  }
+  return cpu;
+}
+
+int CfsPolicy::ScanDieForIdle(int die, int origin, bool require_idle_core) {
+  const Topology& topo = kernel_->topology();
+  const std::vector<int>& firsts = topo.FirstThreadsOnSocket(die);
+  const int n = static_cast<int>(firsts.size());
+  const int origin_phys = topo.PhysCoreOf(origin);
+  int start = 0;
+  for (int i = 0; i < n; ++i) {
+    if (topo.PhysCoreOf(firsts[i]) >= origin_phys) {
+      start = i;
+      break;
+    }
+  }
+  if (require_idle_core) {
+    // Pass 1: a physical core with every hardware thread idle.
+    for (int i = 0; i < n; ++i) {
+      const int first = firsts[(start + i) % n];
+      const int sibling = topo.SiblingOf(first);
+      if (kernel_->CpuIdle(first) && (sibling < 0 || kernel_->CpuIdle(sibling))) {
+        return first;
+      }
+    }
+    return -1;
+  }
+  // Pass 2: bounded scan for any idle CPU, in numerical order.
+  const std::vector<int>& cpus = topo.CpusOnSocket(die);
+  const int total = static_cast<int>(cpus.size());
+  int scan_start = 0;
+  for (int i = 0; i < total; ++i) {
+    if (cpus[i] >= origin) {
+      scan_start = i;
+      break;
+    }
+  }
+  const int limit = std::min(total, params_.wakeup_scan_limit);
+  for (int i = 0; i < limit; ++i) {
+    const int cpu = cpus[(scan_start + i) % total];
+    if (kernel_->CpuIdle(cpu)) {
+      return cpu;
+    }
+  }
+  return -1;
+}
+
+int CfsPolicy::WakePath(const Task& task, const WakeContext& ctx, bool work_conserving_ext) {
+  const Topology& topo = kernel_->topology();
+  const int prev = task.prev_cpu >= 0 ? task.prev_cpu : ctx.waker_cpu;
+  const int waker = ctx.waker_cpu >= 0 ? ctx.waker_cpu : prev;
+
+  // wake_affine: pick the target die/CPU. A sync wakeup whose waker is alone
+  // on its CPU targets the waker even when prev is idle (v5.9
+  // wake_affine_idle) — this is what pulls IPC-woken tasks toward the waker
+  // and scatters them over its die.
+  int target = prev;
+  if (ctx.sync && waker != prev && kernel_->rq(waker).NrRunning() <= 1) {
+    target = waker;
+  } else if (!kernel_->CpuIdle(prev)) {
+    if (kernel_->CpuUtil(waker) < kernel_->CpuUtil(prev)) {
+      target = waker;
+    }
+  }
+
+  // select_idle_sibling on the target's die.
+  const int die = topo.SocketOf(target);
+  if (kernel_->CpuIdle(target)) {
+    return target;
+  }
+  int found = ScanDieForIdle(die, target, /*require_idle_core=*/true);
+  if (found >= 0) {
+    return found;
+  }
+  found = ScanDieForIdle(die, target, /*require_idle_core=*/false);
+  if (found >= 0) {
+    return found;
+  }
+  const int sibling = topo.SiblingOf(target);
+  if (sibling >= 0 && kernel_->CpuIdle(sibling)) {
+    return sibling;
+  }
+
+  if (work_conserving_ext) {
+    // Nest's §3.4 extension: examine the other dies before giving up.
+    for (int offset = 1; offset < topo.num_sockets(); ++offset) {
+      const int other = (die + offset) % topo.num_sockets();
+      int cpu = ScanDieForIdle(other, topo.CpusOnSocket(other).front(), /*require_idle_core=*/true);
+      if (cpu < 0) {
+        cpu = ScanDieForIdle(other, topo.CpusOnSocket(other).front(), /*require_idle_core=*/false);
+      }
+      if (cpu >= 0) {
+        return cpu;
+      }
+    }
+  }
+  return target;
+}
+
+int CfsPolicy::SelectCpuFork(Task& child, int parent_cpu) { return ForkPath(child, parent_cpu); }
+
+int CfsPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
+  return WakePath(task, ctx, /*work_conserving_ext=*/false);
+}
+
+}  // namespace nestsim

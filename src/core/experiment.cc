@@ -1,0 +1,168 @@
+#include "src/core/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "src/metrics/latency.h"
+#include "src/metrics/stats.h"
+#include "src/metrics/underload.h"
+
+namespace nestsim {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kCfs:
+      return "CFS";
+    case SchedulerKind::kNest:
+      return "Nest";
+    case SchedulerKind::kSmove:
+      return "Smove";
+  }
+  return "?";
+}
+
+std::string ExperimentConfig::Label() const {
+  std::string label = SchedulerKindName(scheduler);
+  label += " ";
+  label += governor == "schedutil" ? "sched" : "perf";
+  return label;
+}
+
+namespace {
+
+// Observes task exits to record per-tag completion times.
+class CompletionObserver : public KernelObserver {
+ public:
+  void OnTaskExit(SimTime now, const Task& task) override {
+    last_exit_ = std::max(last_exit_, now);
+    auto [it, inserted] = tag_last_exit_.try_emplace(task.tag, now);
+    if (!inserted) {
+      it->second = std::max(it->second, now);
+    }
+  }
+
+  SimTime last_exit() const { return last_exit_; }
+  const std::map<int, SimTime>& tag_last_exit() const { return tag_last_exit_; }
+
+ private:
+  SimTime last_exit_ = 0;
+  std::map<int, SimTime> tag_last_exit_;
+};
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(const ExperimentConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::kCfs:
+      return std::make_unique<CfsPolicy>();
+    case SchedulerKind::kNest:
+      return std::make_unique<NestPolicy>(config.nest);
+    case SchedulerKind::kSmove:
+      return std::make_unique<SmovePolicy>(config.smove);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& workload) {
+  Engine engine;
+  const MachineSpec& spec = MachineByName(config.machine);
+  HardwareModel hw(&engine, spec);
+  std::unique_ptr<SchedulerPolicy> policy = MakePolicy(config);
+  std::unique_ptr<Governor> governor = MakeGovernor(config.governor);
+  Kernel kernel(&engine, &hw, policy.get(), governor.get(), config.kernel);
+
+  CompletionObserver completion;
+  UnderloadTracker underload(&kernel, config.record_underload_series);
+  FreqResidencyTracker freq(&kernel, FreqBucketEdgesFor(spec));
+  kernel.AddObserver(&completion);
+  kernel.AddObserver(&underload);
+  kernel.AddObserver(&freq);
+
+  std::unique_ptr<TraceRecorder> trace;
+  if (config.record_trace) {
+    trace = std::make_unique<TraceRecorder>(&kernel);
+    kernel.AddObserver(trace.get());
+  }
+  std::unique_ptr<WakeupLatencyTracker> latency;
+  if (config.record_latency) {
+    latency = std::make_unique<WakeupLatencyTracker>();
+    kernel.AddObserver(latency.get());
+  }
+
+  kernel.Start();
+  Rng rng(config.seed);
+  workload.Setup(kernel, rng);
+
+  ExperimentResult result;
+  // Pump events until every task exited. The hardware's periodic updates keep
+  // the queue non-empty forever, so the live-task count is the loop
+  // condition.
+  while (kernel.live_tasks() > 0 && engine.Now() < config.time_limit) {
+    if (!engine.Step()) {
+      break;
+    }
+  }
+  result.hit_time_limit = kernel.live_tasks() > 0;
+
+  const SimTime end = completion.last_exit() > 0 ? completion.last_exit() : engine.Now();
+  result.makespan = end;
+  result.energy_joules = hw.EnergyJoules();
+  result.underload_per_s = underload.UnderloadPerSecond(end);
+  result.freq_hist = freq.Snapshot(end);
+  result.cpus_used = underload.CpusEverUsed();
+  result.context_switches = kernel.context_switches();
+  result.migrations = kernel.total_migrations();
+  result.tasks_created = static_cast<int>(kernel.tasks().size());
+  for (const auto& [tag, t] : completion.tag_last_exit()) {
+    result.tag_makespan[tag] = t;
+  }
+  if (config.record_underload_series) {
+    result.underload_series = underload.series();
+  }
+  if (trace != nullptr) {
+    result.trace = trace->Finish(end);
+  }
+  if (config.scheduler == SchedulerKind::kSmove) {
+    const auto* smove = static_cast<const SmovePolicy*>(policy.get());
+    result.smove_moves_armed = smove->moves_armed();
+    result.smove_moves_fired = smove->moves_fired();
+  }
+  if (latency != nullptr) {
+    result.p99_wakeup_latency_us = latency->PercentileUs(99.0);
+    result.p50_wakeup_latency_us = latency->PercentileUs(50.0);
+  }
+  return result;
+}
+
+RepeatedResult RunRepeated(const ExperimentConfig& config, const Workload& workload,
+                           int repetitions, uint64_t base_seed) {
+  RepeatedResult out;
+  std::vector<double> seconds;
+  std::vector<double> energy;
+  std::vector<double> underload;
+  for (int i = 0; i < repetitions; ++i) {
+    ExperimentConfig c = config;
+    c.seed = base_seed + static_cast<uint64_t>(i);
+    ExperimentResult r = RunExperiment(c, workload);
+    seconds.push_back(r.seconds());
+    energy.push_back(r.energy_joules);
+    underload.push_back(r.underload_per_s);
+    if (out.mean_freq_hist.edges.empty()) {
+      out.mean_freq_hist = r.freq_hist;
+    } else {
+      for (size_t b = 0; b < out.mean_freq_hist.seconds.size(); ++b) {
+        out.mean_freq_hist.seconds[b] += r.freq_hist.seconds[b];
+      }
+    }
+    out.runs.push_back(std::move(r));
+  }
+  out.mean_seconds = Mean(seconds);
+  out.stddev_seconds = Stddev(seconds);
+  out.mean_energy_j = Mean(energy);
+  out.mean_underload_per_s = Mean(underload);
+  return out;
+}
+
+}  // namespace nestsim

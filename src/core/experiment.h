@@ -1,0 +1,102 @@
+// The experiment runner: the library's main entry point.
+//
+// An ExperimentConfig names a machine, a scheduler (+ parameters), and a
+// governor; RunExperiment builds the whole stack (engine → hardware → kernel
+// → policy), runs a Workload to completion, and returns the paper's metrics:
+// makespan, CPU energy, underload per second, frequency residency, and
+// optional traces. RunRepeated drives several seeds and aggregates.
+
+#ifndef NESTSIM_SRC_CORE_EXPERIMENT_H_
+#define NESTSIM_SRC_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+#include "src/kernel/kernel.h"
+#include "src/metrics/freq_hist.h"
+#include "src/metrics/trace.h"
+#include "src/nest/nest_policy.h"
+#include "src/smove/smove_policy.h"
+
+namespace nestsim {
+
+enum class SchedulerKind { kCfs, kNest, kSmove };
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+struct ExperimentConfig {
+  std::string machine = "intel-5218-2s";
+  SchedulerKind scheduler = SchedulerKind::kCfs;
+  std::string governor = "schedutil";
+
+  NestParams nest;          // used when scheduler == kNest
+  SmovePolicy::Params smove;  // used when scheduler == kSmove
+  Kernel::Params kernel;
+
+  uint64_t seed = 1;
+  // Hard wall for runaway workloads; the run normally ends when every task
+  // has exited.
+  SimDuration time_limit = 600 * kSecond;
+
+  bool record_trace = false;
+  bool record_underload_series = false;
+  bool record_latency = false;
+
+  // Convenience label, e.g. "Nest sched".
+  std::string Label() const;
+};
+
+struct ExperimentResult {
+  SimDuration makespan = 0;       // last task exit (all tags)
+  double energy_joules = 0.0;     // CPU energy over the run
+  double underload_per_s = 0.0;
+  FreqHistogram freq_hist;
+  std::vector<int> cpus_used;
+
+  uint64_t context_switches = 0;
+  uint64_t migrations = 0;
+  int tasks_created = 0;
+  bool hit_time_limit = false;
+
+  // Per-tag completion times (multi-application runs).
+  std::map<int, SimDuration> tag_makespan;
+
+  // Only populated when the corresponding record_* flag was set.
+  std::vector<std::pair<double, double>> underload_series;
+  std::vector<ExecSegment> trace;
+  double p99_wakeup_latency_us = 0.0;
+  double p50_wakeup_latency_us = 0.0;
+
+  // Smove-only: how often its parking heuristic armed / its fallback timer
+  // actually moved the task.
+  int64_t smove_moves_armed = 0;
+  int64_t smove_moves_fired = 0;
+
+  double seconds() const { return ToSeconds(makespan); }
+};
+
+// Runs one seeded simulation of `workload` under `config`.
+ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& workload);
+
+struct RepeatedResult {
+  std::vector<ExperimentResult> runs;
+  double mean_seconds = 0.0;
+  double stddev_seconds = 0.0;
+  double mean_energy_j = 0.0;
+  double mean_underload_per_s = 0.0;
+  FreqHistogram mean_freq_hist;  // seconds summed across runs
+
+  double stddev_pct() const {
+    return mean_seconds > 0 ? 100.0 * stddev_seconds / mean_seconds : 0.0;
+  }
+};
+
+// Runs `repetitions` seeds (base_seed, base_seed+1, ...) and aggregates.
+RepeatedResult RunRepeated(const ExperimentConfig& config, const Workload& workload,
+                           int repetitions, uint64_t base_seed = 1);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,40 @@
+// The workload interface: anything that can populate a simulation with tasks.
+
+#ifndef NESTSIM_SRC_CORE_WORKLOAD_H_
+#define NESTSIM_SRC_CORE_WORKLOAD_H_
+
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/random.h"
+
+namespace nestsim {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Creates barriers and spawns the workload's initial task(s). Called once,
+  // after Kernel::Start(). `rng` is the run's seeded generator; all workload
+  // randomness must come from it so runs are reproducible.
+  virtual void Setup(Kernel& kernel, Rng& rng) const = 0;
+
+  // Tags whose tasks this workload spawns. Single-application workloads use
+  // one tag (0); compositions report one tag per member so the experiment can
+  // record per-application completion times.
+  virtual std::vector<int> Tags() const { return {tag_}; }
+
+  // Workload compositions re-tag their members so per-application makespans
+  // can be separated. Implementations must pass tag() to SpawnInitial.
+  void set_tag(int tag) { tag_ = tag; }
+  int tag() const { return tag_; }
+
+ private:
+  int tag_ = 0;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_CORE_WORKLOAD_H_

@@ -1,0 +1,20 @@
+#include "src/governors/governors.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nestsim {
+
+std::unique_ptr<Governor> MakeGovernor(const std::string& name) {
+  if (name == "schedutil") {
+    return std::make_unique<SchedutilGovernor>();
+  }
+  if (name == "performance") {
+    return std::make_unique<PerformanceGovernor>();
+  }
+  std::fprintf(stderr, "nestsim: unknown governor '%s' (want schedutil|performance)\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace nestsim

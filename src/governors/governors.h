@@ -1,0 +1,50 @@
+// The two power governors evaluated by the paper (§2.3).
+//
+// `performance` requests at least the nominal frequency; the hardware still
+// chooses freely between nominal and the turbo ceiling. `schedutil` maps the
+// CPU's recent utilisation to a frequency with the kernel's 1.25 headroom
+// factor, allowing the full range down to the minimum.
+
+#ifndef NESTSIM_SRC_GOVERNORS_GOVERNORS_H_
+#define NESTSIM_SRC_GOVERNORS_GOVERNORS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/governor.h"
+
+namespace nestsim {
+
+class PerformanceGovernor : public Governor {
+ public:
+  const char* name() const override { return "performance"; }
+
+  double RequestGhz(const MachineSpec& spec, double cpu_util) const override {
+    (void)cpu_util;
+    return spec.nominal_freq_ghz;
+  }
+};
+
+class SchedutilGovernor : public Governor {
+ public:
+  // next_freq = margin * util * max_freq, clamped to [min, max-turbo].
+  static constexpr double kMargin = 1.25;
+
+  const char* name() const override { return "schedutil"; }
+
+  double RequestGhz(const MachineSpec& spec, double cpu_util) const override {
+    const double max_ghz = spec.turbo.MaxTurboGhz();
+    const double req = kMargin * cpu_util * max_ghz;
+    if (req < spec.min_freq_ghz) {
+      return spec.min_freq_ghz;
+    }
+    return req < max_ghz ? req : max_ghz;
+  }
+};
+
+// Factory by name ("schedutil" / "performance"); aborts on unknown names.
+std::unique_ptr<Governor> MakeGovernor(const std::string& name);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_GOVERNORS_GOVERNORS_H_

@@ -1,0 +1,282 @@
+#include "src/hw/hardware.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nestsim {
+
+namespace {
+// Frequency changes below this threshold do not trigger completion-time
+// recomputation; they are folded into the next update instead.
+constexpr double kSpeedChangeEpsilonGhz = 0.02;
+}  // namespace
+
+HardwareModel::HardwareModel(Engine* engine, const MachineSpec& spec)
+    : engine_(engine),
+      spec_(spec),
+      topology_(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core),
+      cores_(topology_.num_physical_cores()),
+      thread_busy_(topology_.num_cpus(), 0),
+      socket_active_(topology_.num_sockets(), 0) {
+  for (CoreState& core : cores_) {
+    core.freq_ghz = spec_.min_freq_ghz;
+    // Stale frequency observations start at nominal: the paper's runs follow
+    // warmups, so never-yet-sampled cores look "fine" to Smove.
+    core.freq_at_tick_ghz = spec_.nominal_freq_ghz;
+    core.idle_since = engine_->Now();
+    core.last_freq_update = engine_->Now();
+  }
+  last_energy_update_ = engine_->Now();
+}
+
+void HardwareModel::Start() {
+  assert(!started_);
+  started_ = true;
+  engine_->ScheduleAfter(spec_.freq_update_period, [this] { PeriodicUpdate(); });
+}
+
+void HardwareModel::PeriodicUpdate() {
+  AccumulateEnergy();
+  for (int phys = 0; phys < topology_.num_physical_cores(); ++phys) {
+    UpdateCoreFreq(phys);
+  }
+  engine_->ScheduleAfter(spec_.freq_update_period, [this] { PeriodicUpdate(); });
+}
+
+int HardwareModel::TurboLicensesOnSocket(int socket) const {
+  const SimTime now = engine_->Now();
+  const int base = socket * topology_.physical_cores_per_socket();
+  int licenses = 0;
+  for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
+    const CoreState& core = cores_[base + i];
+    if (core.busy_threads > 0 || now - core.idle_since < spec_.turbo_license_window) {
+      ++licenses;
+    }
+  }
+  return licenses;
+}
+
+double HardwareModel::TargetGhz(int phys) const {
+  const CoreState& core = cores_[phys];
+  const int socket = phys / topology_.physical_cores_per_socket();
+  // The ladder counts every core still holding a turbo license — this is how
+  // task dispersal lowers the ceiling for everyone even when only one or two
+  // tasks run at any instant.
+  const int licenses = std::max(1, TurboLicensesOnSocket(socket) + (core.busy_threads > 0 ? 0 : 1));
+  const double cap = spec_.turbo.CapGhz(licenses);
+
+  if (core.busy_threads == 0) {
+    const SimDuration idle_for = engine_->Now() - core.idle_since;
+    if (idle_for >= spec_.idle_decay_delay) {
+      return spec_.min_freq_ghz;  // reached via the slow idle drift below
+    }
+    // Recently idle: hold near the current frequency (but within the cap) so
+    // a task returning quickly finds the core still warm.
+    return std::clamp(core.freq_ghz, spec_.min_freq_ghz, cap);
+  }
+
+  double request = spec_.min_freq_ghz;
+  if (freq_request_fn_) {
+    const std::vector<int>& threads = topology_.CpusOfPhysCore(phys);
+    for (int cpu : threads) {
+      if (thread_busy_[cpu]) {
+        request = std::max(request, freq_request_fn_(cpu));
+      }
+    }
+  } else {
+    request = cap;  // no governor wired: hardware runs free
+  }
+  // Autonomous boost: sustained C0 activity pulls a busy core from the
+  // governor's request toward the turbo cap (the hardware alone decides the
+  // turbo range, paper §2.3). The arrival floor makes a newly busy core jump
+  // to roughly nominal right away; the climb to the cap follows the activity
+  // EMA, saturating at the knee. SpeedStep-era parts differ through their
+  // sluggish EMA and coarse update quantum, not a lower ceiling.
+  constexpr double kKnee = 0.75;
+  const double activity =
+      std::min(1.0, std::max(core.activity_ema, spec_.arrival_activity_floor) / kKnee);
+  const double base =
+      spec_.min_freq_ghz + spec_.autonomy_weight * activity * (cap - spec_.min_freq_ghz);
+  const double boosted = std::max(request, base) +
+                         activity * (cap - std::max(request, base)) * spec_.autonomy_weight;
+  return std::clamp(std::max(request, boosted), spec_.min_freq_ghz, cap);
+}
+
+void HardwareModel::UpdateCoreFreq(int phys) {
+  CoreState& core = cores_[phys];
+  const SimTime now = engine_->Now();
+  const double elapsed_ms = ToMilliseconds(now - core.last_freq_update);
+  core.last_freq_update = now;
+  if (elapsed_ms <= 0.0) {
+    return;
+  }
+  // Fold the elapsed interval into the C0-residency EMA before targeting.
+  {
+    const double dt = elapsed_ms * static_cast<double>(kMillisecond);
+    const double decay = std::exp2(-dt / static_cast<double>(spec_.activity_halflife));
+    const double busy_now = core.busy_threads > 0 ? 1.0 : 0.0;
+    core.activity_ema = core.activity_ema * decay + busy_now * (1.0 - decay);
+  }
+  const double target = TargetGhz(phys);
+  const double old = core.freq_ghz;
+  // Downward moves are asymmetric: busy cores barely downshift (the PCU holds
+  // a running core's P-state — what warm spinning exploits), recently idle
+  // cores drop at the fast rate, long-idle cores drift down gently.
+  double down_rate = spec_.ramp_down_ghz_per_ms;
+  if (core.busy_threads > 0) {
+    down_rate = spec_.busy_downshift_ghz_per_ms;
+  } else if (now - core.idle_since >= spec_.idle_decay_delay) {
+    down_rate = spec_.idle_drift_ghz_per_ms;
+  }
+  if (target > core.freq_ghz) {
+    core.freq_ghz = std::min(target, core.freq_ghz + spec_.ramp_up_ghz_per_ms * elapsed_ms);
+  } else if (target < core.freq_ghz) {
+    core.freq_ghz = std::max(target, core.freq_ghz - down_rate * elapsed_ms);
+  }
+  if (std::abs(core.freq_ghz - old) > kSpeedChangeEpsilonGhz) {
+    NotifySpeedChange(phys);
+  }
+}
+
+void HardwareModel::NotifySpeedChange(int phys) {
+  if (!speed_change_fn_) {
+    return;
+  }
+  for (int cpu : topology_.CpusOfPhysCore(phys)) {
+    if (thread_busy_[cpu]) {
+      speed_change_fn_(cpu);
+    }
+  }
+}
+
+void HardwareModel::SetThreadBusy(int cpu, bool busy) {
+  if (thread_busy_[cpu] == static_cast<char>(busy)) {
+    return;
+  }
+  AccumulateEnergy();
+  const int phys = topology_.PhysCoreOf(cpu);
+  const int socket = topology_.SocketOf(cpu);
+  CoreState& core = cores_[phys];
+
+  // Settle the core's frequency over the elapsed interval before the activity
+  // state changes; otherwise a long-idle core would ramp as if it had been
+  // busy the whole time.
+  UpdateCoreFreq(phys);
+
+  thread_busy_[cpu] = static_cast<char>(busy);
+  const int was_busy_threads = core.busy_threads;
+  core.busy_threads += busy ? 1 : -1;
+  assert(core.busy_threads >= 0 && core.busy_threads <= topology_.threads_per_core());
+
+  if (was_busy_threads == 0 && core.busy_threads == 1) {
+    ++socket_active_[socket];
+    // Instant P-state grant on wake: the PCU raises a newly busy core to the
+    // arrival floor — or the governor's standing request (the `performance`
+    // governor keeps even idle cores' requested P-state at nominal) — within
+    // tens of microseconds; the climb to the cap then follows the activity
+    // EMA at update granularity.
+    const double cap = spec_.turbo.CapGhz(std::max(1, TurboLicensesOnSocket(socket)));
+    double floor_ghz = spec_.min_freq_ghz + spec_.autonomy_weight *
+                                                spec_.arrival_activity_floor *
+                                                (cap - spec_.min_freq_ghz);
+    if (freq_request_fn_) {
+      floor_ghz = std::max(floor_ghz, freq_request_fn_(cpu));
+    }
+    const double instant = std::clamp(floor_ghz, spec_.min_freq_ghz, cap);
+    if (instant > core.freq_ghz) {
+      core.freq_ghz = instant;
+      NotifySpeedChange(phys);
+    }
+  } else if (was_busy_threads == 1 && core.busy_threads == 0) {
+    --socket_active_[socket];
+    core.idle_since = engine_->Now();
+  }
+
+  // The sibling's SMT factor changed; let the kernel recompute its span.
+  const int sibling = topology_.SiblingOf(cpu);
+  if (sibling >= 0 && thread_busy_[sibling] && speed_change_fn_) {
+    speed_change_fn_(sibling);
+  }
+}
+
+void HardwareModel::KickCpu(int cpu) {
+  AccumulateEnergy();
+  UpdateCoreFreq(topology_.PhysCoreOf(cpu));
+}
+
+void HardwareModel::SampleTick() {
+  // Frequency observation (aperf/mperf-style) only advances while a core
+  // executes instructions. An idle core therefore keeps showing the stale
+  // value from its last busy tick — the reason Smove's "is the chosen core
+  // slow?" test rarely fires on Speed Shift machines (paper Â§5.2).
+  for (CoreState& core : cores_) {
+    if (core.busy_threads > 0) {
+      core.freq_at_tick_ghz = core.freq_ghz;
+    }
+  }
+}
+
+double HardwareModel::EffectiveSpeedGhz(int cpu) const {
+  const int phys = topology_.PhysCoreOf(cpu);
+  const CoreState& core = cores_[phys];
+  double factor = 1.0;
+  const int sibling = topology_.SiblingOf(cpu);
+  if (sibling >= 0 && thread_busy_[cpu] && thread_busy_[sibling]) {
+    factor = spec_.smt_throughput;
+  }
+  return core.freq_ghz * factor;
+}
+
+double HardwareModel::SocketPowerWatts(int socket) const {
+  if (socket_active_[socket] == 0) {
+    return spec_.package_idle_watts;
+  }
+  // Shared voltage rail: the fastest active core on the socket sets V
+  // (paper §5.2: "the CPU energy consumption is determined by the consumption
+  // of the highest frequency core on the socket").
+  double hot_ghz = spec_.min_freq_ghz;
+  const int base_phys = socket * topology_.physical_cores_per_socket();
+  for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
+    const CoreState& core = cores_[base_phys + i];
+    if (core.busy_threads > 0) {
+      hot_ghz = std::max(hot_ghz, core.freq_ghz);
+    }
+  }
+  const double volts = spec_.volt_base + spec_.volt_per_ghz * hot_ghz;
+  const SimTime now = engine_->Now();
+  double watts = spec_.uncore_watts;
+  for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
+    const CoreState& core = cores_[base_phys + i];
+    if (core.busy_threads > 0) {
+      watts += spec_.core_dyn_coeff * core.freq_ghz * volts * volts;
+    } else if (now - core.idle_since < spec_.turbo_license_window) {
+      watts += spec_.shallow_idle_watts;  // shallow C-state
+    }
+  }
+  return watts;
+}
+
+double HardwareModel::TotalPowerWatts() const {
+  double watts = 0.0;
+  for (int s = 0; s < topology_.num_sockets(); ++s) {
+    watts += SocketPowerWatts(s);
+  }
+  return watts;
+}
+
+void HardwareModel::AccumulateEnergy() {
+  const SimTime now = engine_->Now();
+  if (now <= last_energy_update_) {
+    return;
+  }
+  energy_joules_ += TotalPowerWatts() * ToSeconds(now - last_energy_update_);
+  last_energy_update_ = now;
+}
+
+double HardwareModel::EnergyJoules() {
+  AccumulateEnergy();
+  return energy_joules_;
+}
+
+}  // namespace nestsim

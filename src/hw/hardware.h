@@ -1,0 +1,123 @@
+// The hardware model: per-core frequency selection, SMT throughput sharing,
+// and socket energy accounting.
+//
+// Responsibility split (paper §2.3): the OS governor *requests* a frequency
+// floor; the hardware chooses the actual frequency from the request, the
+// number of active physical cores on the socket (turbo ladder, paper
+// Table 3), and how long the core has been idle. The kernel informs this
+// model about thread activity and asks it for execution speeds; whenever a
+// running CPU's effective speed changes, the model fires a callback so the
+// kernel can recompute in-flight completion times.
+
+#ifndef NESTSIM_SRC_HW_HARDWARE_H_
+#define NESTSIM_SRC_HW_HARDWARE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/hw/machine_spec.h"
+#include "src/hw/topology.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+class HardwareModel {
+ public:
+  // Returns the governor's requested frequency floor (GHz) for a logical CPU.
+  using FreqRequestFn = std::function<double(int cpu)>;
+  // Invoked when the effective speed of a busy logical CPU changed.
+  using SpeedChangeFn = std::function<void(int cpu)>;
+
+  HardwareModel(Engine* engine, const MachineSpec& spec);
+  HardwareModel(const HardwareModel&) = delete;
+  HardwareModel& operator=(const HardwareModel&) = delete;
+
+  const Topology& topology() const { return topology_; }
+  const MachineSpec& spec() const { return spec_; }
+
+  void set_freq_request_fn(FreqRequestFn fn) { freq_request_fn_ = std::move(fn); }
+  void set_speed_change_fn(SpeedChangeFn fn) { speed_change_fn_ = std::move(fn); }
+
+  // Schedules the periodic frequency re-evaluation. Call once, after the
+  // callbacks are wired.
+  void Start();
+
+  // Marks a hardware thread busy (running a task, or spinning in the Nest
+  // idle loop) or idle. Updates the socket's active-core count, both
+  // siblings' effective speeds, and the energy meter.
+  void SetThreadBusy(int cpu, bool busy);
+
+  // Re-evaluates one physical core's frequency immediately (e.g. the kernel
+  // kicks the hardware on task placement, as schedutil does on enqueue).
+  void KickCpu(int cpu);
+
+  // Current frequency of the CPU's physical core, GHz.
+  double FreqGhz(int cpu) const { return cores_[topology_.PhysCoreOf(cpu)].freq_ghz; }
+
+  // Frequency observed at the most recent scheduler tick (what Smove's
+  // heuristic can see, paper §2.2/§5.2).
+  double FreqAtLastTickGhz(int cpu) const {
+    return cores_[topology_.PhysCoreOf(cpu)].freq_at_tick_ghz;
+  }
+
+  // The kernel calls this once per scheduler tick to latch per-core
+  // frequencies for FreqAtLastTickGhz.
+  void SampleTick();
+
+  // freq * SMT factor: the execution speed a task on `cpu` gets right now.
+  double EffectiveSpeedGhz(int cpu) const;
+
+  bool ThreadBusy(int cpu) const { return thread_busy_[cpu]; }
+  int ActivePhysCoresOnSocket(int socket) const { return socket_active_[socket]; }
+
+  // Physical cores on the socket holding a turbo license: busy, or idle for
+  // less than spec().turbo_license_window (still in a shallow C-state).
+  int TurboLicensesOnSocket(int socket) const;
+
+  // Total CPU energy consumed so far, accumulated to Now().
+  double EnergyJoules();
+
+  // Instantaneous power draw of one socket, watts.
+  double SocketPowerWatts(int socket) const;
+
+  // Instantaneous power of the whole package set.
+  double TotalPowerWatts() const;
+
+ private:
+  struct CoreState {
+    double freq_ghz = 0.0;
+    double freq_at_tick_ghz = 0.0;
+    int busy_threads = 0;
+    SimTime idle_since = 0;      // valid when busy_threads == 0
+    SimTime last_freq_update = 0;
+    // EMA of C0 residency; drives the hardware's autonomous frequency floor.
+    double activity_ema = 0.0;
+  };
+
+  // Moves one core's frequency toward its current target, given the elapsed
+  // time since its last update. Fires speed-change callbacks on change.
+  void UpdateCoreFreq(int phys);
+  double TargetGhz(int phys) const;
+  void PeriodicUpdate();
+  void AccumulateEnergy();
+  void NotifySpeedChange(int phys);
+
+  Engine* engine_;
+  MachineSpec spec_;
+  Topology topology_;
+  FreqRequestFn freq_request_fn_;
+  SpeedChangeFn speed_change_fn_;
+
+  std::vector<CoreState> cores_;      // indexed by physical core
+  std::vector<char> thread_busy_;     // indexed by logical cpu
+  std::vector<int> socket_active_;    // active physical cores per socket
+
+  SimTime last_energy_update_ = 0;
+  double energy_joules_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_HW_HARDWARE_H_

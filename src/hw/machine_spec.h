@@ -1,0 +1,137 @@
+// Machine descriptions: topology, frequency ladders, DVFS dynamics, power.
+//
+// The four server presets reproduce Tables 2 and 3 of the paper; the two
+// mono-socket presets cover §5.6. Frequencies are in GHz throughout.
+
+#ifndef NESTSIM_SRC_HW_MACHINE_SPEC_H_
+#define NESTSIM_SRC_HW_MACHINE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+// How the hardware walks a core's frequency toward its target (paper Table 2,
+// "Power management" column).
+enum class PowerManagement {
+  // Intel Speed Shift (HWP): fine-grained, fast autonomous ramping
+  // (Skylake / Cascade Lake).
+  kSpeedShift,
+  // Enhanced Intel SpeedStep: OS-paced, tick-quantised, sluggish ramping and
+  // quick decay on idle gaps (Broadwell E7-8870 v4).
+  kSpeedStep,
+  // AMD Turbo Core: fast ramp, aggressive idle decay (Ryzen 4650G).
+  kTurboCore,
+};
+
+// Per-active-core-count turbo ceilings for one socket (paper Table 3).
+// Entry i (0-based) is the ceiling when i+1 physical cores on the socket are
+// active. Counts beyond the table reuse the last entry.
+class TurboLadder {
+ public:
+  TurboLadder() = default;
+  explicit TurboLadder(std::vector<double> ghz_by_active_count);
+
+  // Ceiling for `active_physical_cores` (>= 0) active cores on the socket.
+  // Zero active cores reports the single-core ceiling (nothing constrains an
+  // about-to-wake core).
+  double CapGhz(int active_physical_cores) const;
+
+  int TableSize() const { return static_cast<int>(ghz_.size()); }
+  double MaxTurboGhz() const { return ghz_.empty() ? 0.0 : ghz_.front(); }
+  double AllCoresTurboGhz() const { return ghz_.empty() ? 0.0 : ghz_.back(); }
+
+ private:
+  std::vector<double> ghz_;
+};
+
+struct MachineSpec {
+  std::string name;         // e.g. "intel-5218-2s"
+  std::string cpu_model;    // e.g. "Intel Xeon Gold 5218"
+  std::string microarch;    // e.g. "Cascade Lake"
+  int num_sockets = 1;
+  int physical_cores_per_socket = 1;
+  int threads_per_core = 2;
+
+  double min_freq_ghz = 1.0;
+  double nominal_freq_ghz = 2.0;  // base frequency; the `performance` floor
+  TurboLadder turbo;
+
+  PowerManagement power_management = PowerManagement::kSpeedShift;
+
+  // DVFS dynamics.
+  double ramp_up_ghz_per_ms = 0.4;    // slew rate toward a higher target
+  double ramp_down_ghz_per_ms = 0.8;  // slew rate toward a lower target
+  SimDuration freq_update_period = 1 * kMillisecond;  // hardware re-evaluation
+  // How long a core must be idle before the hardware starts dropping its
+  // frequency toward min (models C-state demotion + utilisation decay).
+  SimDuration idle_decay_delay = 2 * kMillisecond;
+
+  // Turbo licensing: a core counts against the ladder while busy and for this
+  // long after it last went idle (shallow C-states still hold a license).
+  // This is why task dispersal lowers everyone's turbo ceiling even when only
+  // one or two tasks run at a time.
+  SimDuration turbo_license_window = 6 * kMillisecond;
+
+  // Hardware autonomy: how strongly the hardware raises a busy core's
+  // frequency from observed activity alone, independent of the governor's
+  // request. The activity signal is an EMA of C0 residency with this
+  // half-life; the autonomous floor is autonomy_weight * activity * cap.
+  // Speed Shift (HWP) hardware is fully autonomous; SpeedStep follows the
+  // OS's requests much more literally.
+  double autonomy_weight = 1.0;
+  SimDuration activity_halflife = 3 * kMillisecond;
+  // Instant activity credit when a task lands on a core (HWP's fast first
+  // ramp); the EMA takes over once it exceeds this floor.
+  double arrival_activity_floor = 0.3;
+  // Idle cores drift toward min at this gentle rate once past
+  // idle_decay_delay — the PCU demotes a parked core's P-state over tens of
+  // milliseconds, not instantly.
+  double idle_drift_ghz_per_ms = 0.06;
+  // Downshift rate for a core that is still busy (C0): hardware is reluctant
+  // to drop a running core's P-state, which is exactly what Nest's idle
+  // spinning exploits to keep nest cores warm (paper §3.2).
+  double busy_downshift_ghz_per_ms = 0.12;
+
+  // SMT: per-thread throughput multiplier when both hardware threads of a
+  // physical core are busy (1.0 when only one is busy).
+  double smt_throughput = 0.62;
+
+  // Energy model (per socket). Socket power =
+  //   uncore_watts
+  //   + sum over active cores of core_dyn_coeff * f * V(f_hot)^2
+  // where f_hot is the fastest active core on the socket and
+  // V(f) = volt_base + volt_per_ghz * f. Idle sockets draw package_idle_watts
+  // (they stay in a high-availability state for remote memory accesses —
+  // paper §5.2).
+  double uncore_watts = 15.0;
+  double package_idle_watts = 12.0;
+  double core_dyn_coeff = 1.9;  // watts per (GHz * V^2)
+  double volt_base = 0.55;
+  double volt_per_ghz = 0.12;
+  // Extra draw of a core idling in a shallow C-state (still licensed).
+  double shallow_idle_watts = 1.2;
+
+  // Latency to wake a core from a deep idle state (adds to the first
+  // execution span after long idleness; small but biases CFS's idlest-cpu
+  // choice in real kernels).
+  SimDuration idle_exit_latency = 30 * kMicrosecond;
+};
+
+// Returns every built-in machine, keyed by MachineSpec::name:
+//   intel-6130-2s, intel-6130-4s, intel-5218-2s, intel-e78870v4-4s  (Table 2)
+//   intel-5220-1s, amd-4650g-1s                                     (§5.6)
+const std::vector<MachineSpec>& AllMachines();
+
+// Looks up a preset by name; aborts with a clear message on unknown names.
+const MachineSpec& MachineByName(const std::string& name);
+
+// The paper's four evaluation machines, in Figure order (6130-2s, 6130-4s,
+// 5218-2s, E7-8870v4-4s).
+std::vector<std::string> PaperMachineNames();
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_HW_MACHINE_SPEC_H_

@@ -1,0 +1,38 @@
+#include "src/hw/topology.h"
+
+#include <cassert>
+
+namespace nestsim {
+
+Topology::Topology(int num_sockets, int physical_cores_per_socket, int threads_per_core)
+    : num_sockets_(num_sockets),
+      phys_per_socket_(physical_cores_per_socket),
+      smt_(threads_per_core),
+      num_physical_(num_sockets * physical_cores_per_socket),
+      num_cpus_(num_physical_ * threads_per_core) {
+  assert(num_sockets >= 1);
+  assert(physical_cores_per_socket >= 1);
+  assert(threads_per_core == 1 || threads_per_core == 2);
+
+  socket_cpus_.resize(num_sockets_);
+  phys_cpus_.resize(num_physical_);
+  socket_first_threads_.resize(num_sockets_);
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    const int phys = PhysCoreOf(cpu);
+    const int socket = phys / phys_per_socket_;
+    socket_cpus_[socket].push_back(cpu);
+    phys_cpus_[phys].push_back(cpu);
+    if (IsFirstThread(cpu)) {
+      socket_first_threads_[socket].push_back(cpu);
+    }
+  }
+}
+
+int Topology::SiblingOf(int cpu) const {
+  if (smt_ == 1) {
+    return -1;
+  }
+  return IsFirstThread(cpu) ? cpu + num_physical_ : cpu - num_physical_;
+}
+
+}  // namespace nestsim

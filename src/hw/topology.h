@@ -1,0 +1,74 @@
+// CPU topology: sockets, physical cores, and SMT hardware threads.
+//
+// Terminology follows the paper: a "core" (here: logical CPU) is a hardware
+// thread; two hardware threads sharing a physical core are "hyperthreads" of
+// each other; all cores on a socket share the last-level cache, so a die
+// coincides with a socket on every modelled machine.
+//
+// Numbering matches the paper's renumbered traces: CPUs on the same socket
+// are adjacent. First hardware threads come first, siblings in a second
+// block:
+//   cpu in [0, P*S)        : thread 0 of physical core (cpu)
+//   cpu in [P*S, 2*P*S)    : thread 1, sibling of (cpu - P*S)
+// where P = physical cores per socket, S = sockets. Physical core p lives on
+// socket p / P.
+
+#ifndef NESTSIM_SRC_HW_TOPOLOGY_H_
+#define NESTSIM_SRC_HW_TOPOLOGY_H_
+
+#include <vector>
+
+namespace nestsim {
+
+class Topology {
+ public:
+  Topology(int num_sockets, int physical_cores_per_socket, int threads_per_core);
+
+  int num_cpus() const { return num_cpus_; }
+  int num_sockets() const { return num_sockets_; }
+  int num_physical_cores() const { return num_physical_; }
+  int physical_cores_per_socket() const { return phys_per_socket_; }
+  int threads_per_core() const { return smt_; }
+
+  // Socket (== die == NUMA node) of a logical CPU.
+  int SocketOf(int cpu) const { return PhysCoreOf(cpu) / phys_per_socket_; }
+
+  // Global physical-core index of a logical CPU, in [0, num_physical_cores()).
+  int PhysCoreOf(int cpu) const { return cpu % num_physical_; }
+
+  // The other hardware thread on the same physical core, or -1 when SMT is
+  // off.
+  int SiblingOf(int cpu) const;
+
+  // True for the thread-0 CPU of each physical core.
+  bool IsFirstThread(int cpu) const { return cpu < num_physical_; }
+
+  // Logical CPUs of a socket, ascending.
+  const std::vector<int>& CpusOnSocket(int socket) const { return socket_cpus_[socket]; }
+
+  // Logical CPUs of a physical core, ascending ({thread0, thread1}).
+  const std::vector<int>& CpusOfPhysCore(int phys) const { return phys_cpus_[phys]; }
+
+  // First-thread CPUs of a socket, ascending; these enumerate the physical
+  // cores on the socket.
+  const std::vector<int>& FirstThreadsOnSocket(int socket) const {
+    return socket_first_threads_[socket];
+  }
+
+  bool SameSocket(int a, int b) const { return SocketOf(a) == SocketOf(b); }
+  bool SamePhysCore(int a, int b) const { return PhysCoreOf(a) == PhysCoreOf(b); }
+
+ private:
+  int num_sockets_;
+  int phys_per_socket_;
+  int smt_;
+  int num_physical_;
+  int num_cpus_;
+  std::vector<std::vector<int>> socket_cpus_;
+  std::vector<std::vector<int>> phys_cpus_;
+  std::vector<std::vector<int>> socket_first_threads_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_HW_TOPOLOGY_H_

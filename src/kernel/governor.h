@@ -1,0 +1,26 @@
+// The power-governor interface (paper §2.3).
+//
+// The governor suggests a frequency for a CPU from its utilisation; the
+// hardware model combines the suggestion with the turbo ladder and activity.
+
+#ifndef NESTSIM_SRC_KERNEL_GOVERNOR_H_
+#define NESTSIM_SRC_KERNEL_GOVERNOR_H_
+
+#include "src/hw/machine_spec.h"
+
+namespace nestsim {
+
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  virtual const char* name() const = 0;
+
+  // The frequency (GHz) this governor requests for a CPU whose current
+  // utilisation signal is `cpu_util` in [0, 1].
+  virtual double RequestGhz(const MachineSpec& spec, double cpu_util) const = 0;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_GOVERNOR_H_

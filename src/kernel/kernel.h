@@ -1,0 +1,210 @@
+// The kernel: scheduling mechanism, task lifecycle, and program execution.
+//
+// The kernel owns per-CPU run queues, the tick, context switching, the
+// task-program interpreter, sleeping/waking, channels and barriers, the idle
+// loop (including policy-driven warm spinning, §3.2), and load balancing.
+// Core *selection* on fork and wakeup is delegated to a SchedulerPolicy
+// (CFS / Nest / Smove); frequency requests are delegated to a Governor.
+//
+// Placement happens in two steps, as in Linux (§3.4): the policy selects a
+// CPU, then the enqueue lands `placement_latency` later. Policies that use
+// placement reservation claim the run queue in between; others can collide.
+
+#ifndef NESTSIM_SRC_KERNEL_KERNEL_H_
+#define NESTSIM_SRC_KERNEL_KERNEL_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/hw/hardware.h"
+#include "src/kernel/domains.h"
+#include "src/kernel/governor.h"
+#include "src/kernel/observer.h"
+#include "src/kernel/policy.h"
+#include "src/kernel/run_queue.h"
+#include "src/kernel/sync.h"
+#include "src/kernel/task.h"
+#include "src/sim/engine.h"
+
+namespace nestsim {
+
+class Kernel {
+ public:
+  struct Params {
+    // Select-to-enqueue latency; the §3.4 collision window.
+    SimDuration placement_latency = 2 * kMicrosecond;
+    // CFS preemption tunables (defaults mirror Linux, scaled for weight-1).
+    SimDuration min_granularity = 750 * kMicrosecond;
+    SimDuration wakeup_granularity = 1 * kMillisecond;
+    SimDuration sleeper_credit = 3 * kMillisecond;  // GENTLE_FAIR_SLEEPERS
+    // Implicit syscall costs, in GHz-ns.
+    double fork_cost_work = 15e3;  // ~15 us at 1 GHz
+    double send_cost_work = 2e3;
+    double recv_cost_work = 2e3;
+    // Load balancing.
+    bool enable_newidle_balance = true;
+    bool enable_periodic_balance = true;
+    // Only steal queued tasks that have waited at least this long (a crude
+    // cache-hotness guard).
+    SimDuration steal_min_wait = 100 * kMicrosecond;
+    // Cache-refill work (GHz-ns) charged when a task resumes on a different
+    // core than its last one; crossing sockets also refills the LLC. This is
+    // what makes placement cascades and nest-bouncing expensive (the paper
+    // correlates its hackbench slowdown with instruction-cache misses).
+    double migration_cost_work = 80e3;        // same die, ~25 us at 3 GHz        // same die, ~25 us at 3 GHz
+    double cross_die_migration_cost_work = 400e3;
+  };
+
+  Kernel(Engine* engine, HardwareModel* hw, SchedulerPolicy* policy, Governor* governor);
+  Kernel(Engine* engine, HardwareModel* hw, SchedulerPolicy* policy, Governor* governor,
+         Params params);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Wires hardware callbacks and starts the tick. Call once before spawning.
+  void Start();
+
+  // ---- Workload-facing API. ----
+
+  // Creates a root task and enqueues it on `cpu` immediately (no policy
+  // involvement — this is the process that "starts" the workload). The first
+  // SpawnInitial CPU becomes root_cpu(), which Nest uses as the fixed start
+  // for reserve-nest searches.
+  Task* SpawnInitial(ProgramPtr program, std::string name, int tag, int cpu = 0);
+
+  // Declares a reusable barrier with `parties` participants.
+  void CreateBarrier(int id, int parties) { sync_.CreateBarrier(id, parties); }
+
+  // ---- Introspection (policies, metrics, tests). ----
+
+  Engine& engine() { return *engine_; }
+  HardwareModel& hw() { return *hw_; }
+  const Topology& topology() const { return hw_->topology(); }
+  const DomainTree& domains() const { return domains_; }
+  const Params& params() const { return params_; }
+  SchedulerPolicy& policy() { return *policy_; }
+
+  RunQueue& rq(int cpu) { return cpus_[cpu].rq; }
+  const RunQueue& rq(int cpu) const { return cpus_[cpu].rq; }
+
+  // Idle from the scheduler's point of view: nothing running or queued.
+  bool CpuIdle(int cpu) const { return cpus_[cpu].rq.Idle(); }
+
+  // Idle and not claimed by an in-flight placement. What reservation-aware
+  // policies (Nest) check before selecting a CPU.
+  bool CpuIdleUnclaimed(int cpu) const {
+    return cpus_[cpu].rq.Idle() && !cpus_[cpu].rq.claimed();
+  }
+
+  // The CPU's decayed utilisation in [0, 1], updated to now. This is the
+  // "recent load" CFS consults and the signal schedutil sees.
+  double CpuUtil(int cpu);
+
+  // Claims `cpu` for an in-flight placement; false if already claimed.
+  bool TryClaimCpu(int cpu) { return cpus_[cpu].rq.TryClaim(engine_->Now()); }
+
+  int root_cpu() const { return root_cpu_; }
+  int live_tasks() const { return live_tasks_; }
+  int live_tasks_for_tag(int tag) const;
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t total_migrations() const { return migrations_; }
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+
+  void AddObserver(KernelObserver* observer) { observers_.push_back(observer); }
+
+  // Count of tasks in state kRunnable/kRunning/kPlacing, machine-wide.
+  // Maintained incrementally; used by the underload metric.
+  int runnable_tasks() const { return runnable_tasks_; }
+
+  // ---- Internal operations exposed for load-balancer reuse and tests. ----
+
+  // Migrates a *queued* task from its run queue to `dst_cpu` (load-balancer
+  // pull). The task must be kRunnable and queued. The caller must follow up
+  // with KickIfIdle(dst_cpu) unless it is already inside the destination's
+  // scheduling path.
+  void MigrateQueued(Task* task, int dst_cpu);
+
+  // Dispatches the destination CPU if it is idle with queued work (used after
+  // policy-driven migrations, e.g. Smove's fallback timer).
+  void KickIfIdle(int cpu);
+
+ private:
+  struct CpuState {
+    RunQueue rq;
+    bool spinning = false;          // Nest warm-spin in the idle loop
+    EventId spin_end = kInvalidEventId;
+    SimTime idle_since = 0;         // when the CPU last became idle
+    uint64_t dispatch_gen = 0;      // cancels stale delayed dispatches
+  };
+
+  // -- Task lifecycle --
+  Task* NewTask(ProgramPtr program, std::string name, int tag, Task* parent);
+  void ForkChild(Task& parent, ProgramPtr program);
+  void WakeTask(Task* task, int waker_cpu, bool sync);
+  void PlaceTask(Task* task, int cpu, bool is_fork);
+  void EnqueueTask(Task* task, int cpu, bool wakeup);
+  void BlockCurrent(int cpu, BlockReason reason);
+  void ExitCurrent(int cpu);
+
+  // -- CPU scheduling --
+  void ScheduleCpu(int cpu);           // pick next / go idle
+  void StartRunning(Task* task, int cpu);
+  void StopRunning(int cpu, bool requeue);  // preemption or yield
+  void MaybePreempt(int cpu, Task* enqueued);
+  void EnterIdle(int cpu);
+  void StopSpin(int cpu, bool because_busy);
+
+  // -- Execution engine --
+  void ExecuteTask(int cpu);           // interpret ops until block/run/exit
+  void BeginComputeSegment(int cpu);   // schedule completion of remaining_work
+  void OnComputeComplete(int cpu, Task* task);
+  void UpdateCurr(int cpu);            // account partial progress
+  void OnSpeedChange(int cpu);
+
+  // -- Program interpreter helpers --
+  // Advances past non-blocking ops; returns when the task has compute work
+  // (remaining_work > 0), blocked, or died.
+  void InterpretOps(int cpu, Task* task);
+  bool ArriveBarrier(Task* task, int id, int cpu);
+  bool RecvMessage(Task* task, int id, int cpu);
+  void SendMessage(Task* task, int id, int cpu);
+
+  // -- Tick & balancing --
+  void Tick();
+  void NewIdleBalance(int cpu);
+  void PeriodicBalance();
+  Task* FindStealableTask(int dst_cpu, bool same_die_only, bool ignore_hotness);
+
+  void SetRunnableDelta(int delta) { runnable_tasks_ += delta; }
+  double GovernorRequestGhz(int cpu);
+  void NotifyContextSwitch(int cpu, const Task* prev, const Task* next);
+
+  Engine* engine_;
+  HardwareModel* hw_;
+  SchedulerPolicy* policy_;
+  Governor* governor_;
+  Params params_;
+  DomainTree domains_;
+  SyncRegistry sync_;
+
+  std::vector<CpuState> cpus_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<KernelObserver*> observers_;
+  std::set<int> overloaded_cpus_;  // cpus with queued (waiting) tasks
+  std::vector<SimTime> task_enqueue_time_;  // by tid; for steal_min_wait
+
+  int next_tid_ = 1;
+  int root_cpu_ = -1;
+  int live_tasks_ = 0;
+  int runnable_tasks_ = 0;
+  uint64_t context_switches_ = 0;
+  uint64_t migrations_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,64 @@
+// Observation hooks for metrics and experiment drivers.
+//
+// Observers are notified synchronously from inside the kernel; they must not
+// mutate scheduler state. Everything the metrics module computes (underload,
+// frequency residency, traces, energy alignment) hangs off these callbacks.
+
+#ifndef NESTSIM_SRC_KERNEL_OBSERVER_H_
+#define NESTSIM_SRC_KERNEL_OBSERVER_H_
+
+#include "src/kernel/task.h"
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+
+  virtual void OnTaskCreated(SimTime now, const Task& task) {
+    (void)now;
+    (void)task;
+  }
+
+  // A task became runnable (enqueued) on `cpu`.
+  virtual void OnTaskEnqueued(SimTime now, const Task& task, int cpu) {
+    (void)now;
+    (void)task;
+    (void)cpu;
+  }
+
+  // `cpu` switched from `prev` (may be nullptr == idle) to `next` (may be
+  // nullptr == going idle).
+  virtual void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) {
+    (void)now;
+    (void)cpu;
+    (void)prev;
+    (void)next;
+  }
+
+  // A running CPU's effective speed changed (frequency ramp or SMT sibling).
+  virtual void OnCpuSpeedChange(SimTime now, int cpu) {
+    (void)now;
+    (void)cpu;
+  }
+
+  // A task blocked (left the CPU voluntarily).
+  virtual void OnTaskBlocked(SimTime now, const Task& task, int cpu) {
+    (void)now;
+    (void)task;
+    (void)cpu;
+  }
+
+  virtual void OnTaskExit(SimTime now, const Task& task) {
+    (void)now;
+    (void)task;
+  }
+
+  // Scheduler tick boundary (after per-CPU accounting ran).
+  virtual void OnTick(SimTime now) { (void)now; }
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_OBSERVER_H_

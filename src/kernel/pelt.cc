@@ -1,0 +1,28 @@
+#include "src/kernel/pelt.h"
+
+#include <cmath>
+
+namespace nestsim {
+
+double PeltSignal::DecayFactor(SimDuration dt) {
+  if (dt <= 0) {
+    return 1.0;
+  }
+  return std::exp2(-static_cast<double>(dt) / static_cast<double>(kHalfLife));
+}
+
+void PeltSignal::Update(SimTime now, double active_fraction) {
+  const SimDuration dt = now - last_update_;
+  if (dt > 0) {
+    const double d = DecayFactor(dt);
+    avg_ = avg_ * d + active_fraction * (1.0 - d);
+    last_update_ = now;
+  }
+}
+
+double PeltSignal::ValueAt(SimTime now) const {
+  const SimDuration dt = now - last_update_;
+  return avg_ * DecayFactor(dt);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,54 @@
+// PELT-style exponentially decaying utilisation/load signals.
+//
+// Linux's Per-Entity Load Tracking sums geometrically decayed 1 ms windows
+// with a ~32 ms half-life. We keep the same half-life but integrate in
+// continuous time: over an interval of length dt where the entity was active
+// a fraction r of the time,
+//   avg' = avg * d + r * (1 - d),   d = 2^(-dt / half_life).
+//
+// Two things matter for reproducing the paper:
+//  * a *recently* idle CPU still shows residual utilisation, so CFS's
+//    fork-time "idlest CPU" choice disfavours warm cores (paper §2.1);
+//  * schedutil's frequency request follows this signal (paper §2.3).
+
+#ifndef NESTSIM_SRC_KERNEL_PELT_H_
+#define NESTSIM_SRC_KERNEL_PELT_H_
+
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+class PeltSignal {
+ public:
+  PeltSignal() = default;
+
+  // Folds the interval [last_update, now) into the average. `active_fraction`
+  // is the fraction of that interval the entity was running (0..1).
+  void Update(SimTime now, double active_fraction);
+
+  // The signal decayed to `now`, assuming inactivity since the last Update.
+  // Does not modify state.
+  double ValueAt(SimTime now) const;
+
+  // The raw signal at the time of the last Update.
+  double raw() const { return avg_; }
+  SimTime last_update() const { return last_update_; }
+
+  // Forces the signal (used when migrating a task's utilisation).
+  void Set(SimTime now, double value) {
+    avg_ = value;
+    last_update_ = now;
+  }
+
+  static constexpr SimDuration kHalfLife = 32 * kMillisecond;
+
+ private:
+  static double DecayFactor(SimDuration dt);
+
+  double avg_ = 0.0;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_PELT_H_

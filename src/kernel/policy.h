@@ -1,0 +1,73 @@
+// The scheduler-policy interface: core selection plus the hooks Nest needs.
+//
+// The kernel owns the mechanism (run queues, ticks, context switches, load
+// balancing); a SchedulerPolicy owns the *core selection* decisions made on
+// fork and wakeup, which is where CFS, Nest, and Smove differ. The extra
+// hooks exist because Nest also reacts to task placement, task exit, idle
+// entry, and ticks (paper §3).
+
+#ifndef NESTSIM_SRC_KERNEL_POLICY_H_
+#define NESTSIM_SRC_KERNEL_POLICY_H_
+
+#include "src/kernel/task.h"
+
+namespace nestsim {
+
+class Kernel;
+
+// Context for a wakeup-time core selection.
+struct WakeContext {
+  int waker_cpu = -1;  // CPU performing the wakeup (timer, exiting child, sender)
+  bool sync = false;   // the waker is about to block (WF_SYNC-style hint)
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  // Called once, before the simulation starts.
+  virtual void Attach(Kernel* kernel) { kernel_ = kernel; }
+
+  virtual const char* name() const = 0;
+
+  // Chooses the CPU for a newly forked task. `parent_cpu` is where the parent
+  // is running.
+  virtual int SelectCpuFork(Task& child, int parent_cpu) = 0;
+
+  // Chooses the CPU for a waking task.
+  virtual int SelectCpuWake(Task& task, const WakeContext& ctx) = 0;
+
+  // The task landed on `cpu` (enqueue completed).
+  virtual void OnTaskEnqueued(Task& task, int cpu) {
+    (void)task;
+    (void)cpu;
+  }
+
+  // The task exited while running on `cpu`.
+  virtual void OnTaskExit(Task& task, int cpu) {
+    (void)task;
+    (void)cpu;
+  }
+
+  // `cpu` has no runnable task left and is entering the idle loop. Returns
+  // the number of ticks the idle loop should *spin* (keeping the core active
+  // for the hardware) before entering a sleep state; 0 disables spinning.
+  virtual int IdleSpinTicks(int cpu) {
+    (void)cpu;
+    return 0;
+  }
+
+  // Scheduler tick (once per kTickPeriod, machine-wide).
+  virtual void OnTick() {}
+
+  // Whether core selection claims the chosen run queue until the enqueue
+  // lands (the compare-and-swap placement flag of §3.4).
+  virtual bool UsesPlacementReservation() const { return false; }
+
+ protected:
+  Kernel* kernel_ = nullptr;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_POLICY_H_

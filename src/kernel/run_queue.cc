@@ -1,0 +1,71 @@
+#include "src/kernel/run_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nestsim {
+
+void RunQueue::Enqueue(Task* task) {
+  auto [it, inserted] = queue_.insert({task->vruntime, task});
+  (void)it;
+  assert(inserted && "task already queued");
+  UpdateMinVruntime();
+}
+
+void RunQueue::Dequeue(Task* task) {
+  const size_t erased = queue_.erase({task->vruntime, task});
+  assert(erased == 1 && "task not queued");
+  (void)erased;
+  UpdateMinVruntime();
+}
+
+bool RunQueue::Queued(const Task* task) const {
+  return queue_.count({task->vruntime, const_cast<Task*>(task)}) != 0;
+}
+
+Task* RunQueue::Leftmost() const { return queue_.empty() ? nullptr : queue_.begin()->second; }
+
+Task* RunQueue::Rightmost() const { return queue_.empty() ? nullptr : queue_.rbegin()->second; }
+
+std::vector<Task*> RunQueue::QueuedTasks() const {
+  std::vector<Task*> out;
+  out.reserve(queue_.size());
+  for (const auto& [v, task] : queue_) {
+    (void)v;
+    out.push_back(task);
+  }
+  return out;
+}
+
+void RunQueue::UpdateMinVruntime() {
+  double candidate = min_vruntime_;
+  if (curr_ != nullptr) {
+    candidate = std::max(candidate, curr_->vruntime);
+    if (!queue_.empty()) {
+      candidate = std::max(min_vruntime_, std::min(curr_->vruntime, queue_.begin()->first));
+    }
+  } else if (!queue_.empty()) {
+    candidate = std::max(min_vruntime_, queue_.begin()->first);
+  }
+  min_vruntime_ = candidate;
+}
+
+double RunQueue::PlacementLoad(SimTime now) const {
+  const SimDuration dt = now - placement_update_;
+  if (dt <= 0) {
+    return placement_load_;
+  }
+  return placement_load_ * std::exp2(-static_cast<double>(dt) / static_cast<double>(kPlacementHalfLife));
+}
+
+bool RunQueue::TryClaim(SimTime now) {
+  if (claimed_ && now - claim_time_ < kClaimTimeout) {
+    return false;
+  }
+  claimed_ = true;
+  claim_time_ = now;
+  return true;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,39 @@
+#include "src/kernel/sync.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nestsim {
+
+void SyncRegistry::CreateBarrier(int id, int parties) {
+  assert(parties > 0);
+  SyncBarrier& barrier = barriers_[id];
+  barrier.parties = parties;
+  barrier.waiting.clear();
+}
+
+SyncBarrier& SyncRegistry::GetBarrier(int id) {
+  auto it = barriers_.find(id);
+  if (it == barriers_.end()) {
+    std::fprintf(stderr, "nestsim: barrier %d used before CreateBarrier\n", id);
+    std::abort();
+  }
+  return it->second;
+}
+
+void SyncRegistry::ForgetTask(Task* task) {
+  for (auto& [id, channel] : channels_) {
+    (void)id;
+    auto& waiters = channel.waiting_receivers;
+    waiters.erase(std::remove(waiters.begin(), waiters.end(), task), waiters.end());
+  }
+  for (auto& [id, barrier] : barriers_) {
+    (void)id;
+    auto& waiting = barrier.waiting;
+    waiting.erase(std::remove(waiting.begin(), waiting.end(), task), waiting.end());
+  }
+}
+
+}  // namespace nestsim

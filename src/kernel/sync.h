@@ -1,0 +1,51 @@
+// Synchronisation objects connecting tasks: message channels and barriers.
+//
+// These generate the wakeup patterns the paper's workloads exhibit —
+// hackbench's message ping-pong, NAS's OpenMP barriers, DaCapo's worker
+// handoffs. The kernel owns one registry per simulation.
+
+#ifndef NESTSIM_SRC_KERNEL_SYNC_H_
+#define NESTSIM_SRC_KERNEL_SYNC_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace nestsim {
+
+struct Task;
+
+// An unbounded message queue. Senders never block; receivers block when no
+// message is pending. Receivers are woken FIFO.
+struct Channel {
+  int pending_messages = 0;
+  std::deque<Task*> waiting_receivers;
+};
+
+// A reusable (cyclic) barrier for a fixed number of parties.
+struct SyncBarrier {
+  int parties = 0;
+  std::vector<Task*> waiting;
+};
+
+class SyncRegistry {
+ public:
+  // Channels are created on first use.
+  Channel& GetChannel(int id) { return channels_[id]; }
+
+  // Barriers must be declared with their party count before use.
+  void CreateBarrier(int id, int parties);
+  SyncBarrier& GetBarrier(int id);
+
+  // Removes a dead task from every wait list (defensive; normally tasks
+  // cannot die while blocked).
+  void ForgetTask(Task* task);
+
+ private:
+  std::unordered_map<int, Channel> channels_;
+  std::unordered_map<int, SyncBarrier> barriers_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_SYNC_H_

@@ -1,0 +1,83 @@
+// The simulated task structure (a pared-down task_struct).
+
+#ifndef NESTSIM_SRC_KERNEL_TASK_H_
+#define NESTSIM_SRC_KERNEL_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/pelt.h"
+#include "src/kernel/program.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+enum class TaskState {
+  kRunnable,  // enqueued on a run queue, waiting for the CPU
+  kRunning,   // current task of some CPU
+  kBlocked,   // sleeping / waiting on a channel, barrier, or join
+  kPlacing,   // woken or forked, core selected, enqueue in flight (§3.4 window)
+  kDead,
+};
+
+enum class BlockReason { kNone, kSleep, kJoin, kBarrier, kRecv };
+
+struct Task {
+  int tid = -1;
+  std::string name;
+  int tag = 0;  // workload tag; metrics are segregated per tag
+
+  // Program interpreter state.
+  ProgramPtr program;
+  size_t pc = 0;
+  struct LoopFrame {
+    size_t begin_pc;  // pc of the op right after kLoopBegin
+    int remaining;
+  };
+  std::vector<LoopFrame> loop_stack;
+  double remaining_work = 0.0;  // GHz-ns left in the current compute op
+  // True while the implicit syscall cost of the op at `pc` (fork/send/recv)
+  // is being charged as compute.
+  bool op_cost_paid = false;
+
+  TaskState state = TaskState::kBlocked;
+  BlockReason block_reason = BlockReason::kNone;
+
+  int cpu = -1;            // run queue the task is on (valid unless kDead)
+  int prev_cpu = -1;       // CPU of the last execution
+  int prev_prev_cpu = -1;  // CPU of the execution before that (Nest §3.3)
+
+  double vruntime = 0.0;
+  PeltSignal util;
+
+  Task* parent = nullptr;
+  int live_children = 0;
+  int join_threshold = 0;  // wake from kJoin when live_children <= this
+
+  // Nest per-task state: consecutive wakeups that found prev_cpu busy.
+  int impatience = 0;
+
+  // Execution segment bookkeeping (valid while kRunning).
+  SimTime seg_start = 0;
+  double seg_speed_ghz = 0.0;
+  EventId completion_event = kInvalidEventId;
+  SimTime sched_in_time = 0;  // when this task last got the CPU
+
+  // Statistics.
+  SimTime created_at = 0;
+  SimTime exited_at = -1;
+  SimTime last_wakeup = 0;
+  SimDuration total_runtime = 0;
+  SimDuration total_wait = 0;  // runnable-but-not-running time
+  int migrations = 0;
+  int wakeups = 0;
+
+  bool IsQueuedOrRunning() const {
+    return state == TaskState::kRunnable || state == TaskState::kRunning;
+  }
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_TASK_H_

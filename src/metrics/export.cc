@@ -1,0 +1,95 @@
+#include "src/metrics/export.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nestsim {
+
+namespace {
+
+// RFC 4180 quoting: wrap in quotes when the field contains a comma, quote,
+// or newline; double any embedded quotes.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void AppendF(std::string& out, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ResultsToCsv(const std::vector<ResultRow>& rows) {
+  std::string out =
+      "workload,variant,seconds,energy_j,underload_per_s,cores_used,ctx_switches,"
+      "migrations,tasks\n";
+  for (const ResultRow& row : rows) {
+    out += CsvField(row.workload) + "," + CsvField(row.variant) + ",";
+    AppendF(out, "%.6f,%.3f,%.3f,%zu,%llu,%llu,%d\n", row.result.seconds(),
+            row.result.energy_joules, row.result.underload_per_s, row.result.cpus_used.size(),
+            static_cast<unsigned long long>(row.result.context_switches),
+            static_cast<unsigned long long>(row.result.migrations), row.result.tasks_created);
+  }
+  return out;
+}
+
+std::string TraceToCsv(const std::vector<ExecSegment>& segments) {
+  std::string out = "start_s,end_s,cpu,tid,freq_ghz\n";
+  for (const ExecSegment& seg : segments) {
+    AppendF(out, "%.9f,%.9f,%d,%d,%.3f\n", ToSeconds(seg.start), ToSeconds(seg.end), seg.cpu,
+            seg.tid, seg.freq_ghz);
+  }
+  return out;
+}
+
+std::string FreqHistToCsv(const FreqHistogram& hist) {
+  std::string out = "bucket_low_ghz,bucket_high_ghz,seconds,share\n";
+  for (size_t i = 0; i < hist.edges.size(); ++i) {
+    const double lo = i == 0 ? 0.0 : hist.edges[i - 1];
+    AppendF(out, "%.2f,%.2f,%.6f,%.6f\n", lo, hist.edges[i], hist.seconds[i], hist.Share(i));
+  }
+  return out;
+}
+
+std::string UnderloadSeriesToCsv(const std::vector<std::pair<double, double>>& series) {
+  std::string out = "t_s,underload\n";
+  for (const auto& [t, u] : series) {
+    AppendF(out, "%.6f,%.1f\n", t, u);
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == contents.size() && close_rc == 0;
+}
+
+}  // namespace nestsim

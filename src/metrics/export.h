@@ -1,0 +1,43 @@
+// Result and trace export: CSV for spreadsheets/gnuplot, the equivalent of
+// the paper artifact's read_csvs tooling.
+
+#ifndef NESTSIM_SRC_METRICS_EXPORT_H_
+#define NESTSIM_SRC_METRICS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace nestsim {
+
+// One labelled experiment outcome (e.g. "llvm_ninja" x "Nest sched").
+struct ResultRow {
+  std::string workload;
+  std::string variant;
+  ExperimentResult result;
+};
+
+// CSV with one line per row: workload, variant, seconds, energy_j,
+// underload_per_s, cores_used, ctx_switches, migrations, tasks.
+// Fields containing commas/quotes are quoted per RFC 4180.
+std::string ResultsToCsv(const std::vector<ResultRow>& rows);
+
+// CSV of an execution trace: start_s, end_s, cpu, tid, freq_ghz. Suitable for
+// a Figure 2 / Figure 8-style Gantt plot.
+std::string TraceToCsv(const std::vector<ExecSegment>& segments);
+
+// CSV of a frequency histogram: bucket_low_ghz, bucket_high_ghz, seconds,
+// share.
+std::string FreqHistToCsv(const FreqHistogram& hist);
+
+// CSV of an underload series: t_s, underload.
+std::string UnderloadSeriesToCsv(const std::vector<std::pair<double, double>>& series);
+
+// Writes `contents` to `path`; returns false (and leaves errno set) on
+// failure.
+bool WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_METRICS_EXPORT_H_

@@ -1,0 +1,128 @@
+#include "src/metrics/freq_hist.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nestsim {
+
+std::vector<double> FreqBucketEdgesFor(const MachineSpec& spec) {
+  // The paper's per-machine bucket edges.
+  if (spec.cpu_model.find("6130") != std::string::npos) {
+    return {1.0, 1.6, 2.1, 2.8, 3.1, 3.4, 3.7};
+  }
+  if (spec.cpu_model.find("5218") != std::string::npos ||
+      spec.cpu_model.find("5220") != std::string::npos) {
+    return {1.0, 1.6, 2.3, 2.8, 3.1, 3.6, 3.9};
+  }
+  if (spec.cpu_model.find("E7-8870") != std::string::npos) {
+    return {1.2, 1.7, 2.1, 2.6, 3.0};
+  }
+  // Generic machine: min, nominal, then an even split of the turbo range.
+  const double max = spec.turbo.MaxTurboGhz();
+  std::vector<double> edges = {spec.min_freq_ghz, spec.nominal_freq_ghz};
+  const double all_core = spec.turbo.AllCoresTurboGhz();
+  if (all_core > spec.nominal_freq_ghz) {
+    edges.push_back(all_core);
+  }
+  if (max > edges.back()) {
+    edges.push_back((edges.back() + max) / 2.0);
+    edges.push_back(max);
+  }
+  return edges;
+}
+
+double FreqHistogram::TotalSeconds() const {
+  double total = 0.0;
+  for (double s : seconds) {
+    total += s;
+  }
+  return total;
+}
+
+double FreqHistogram::Share(size_t i) const {
+  const double total = TotalSeconds();
+  if (total <= 0.0 || i >= seconds.size()) {
+    return 0.0;
+  }
+  return seconds[i] / total;
+}
+
+double FreqHistogram::TopShare(size_t n) const {
+  double share = 0.0;
+  for (size_t i = 0; i < n && i < seconds.size(); ++i) {
+    share += Share(seconds.size() - 1 - i);
+  }
+  return share;
+}
+
+std::string FreqHistogram::Format(const MachineSpec& spec) const {
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const double lo = i == 0 ? 0.0 : edges[i - 1];
+    std::snprintf(buf, sizeof(buf), "  (%.1f, %.1f] GHz: %5.2f%%\n", lo, edges[i],
+                  100.0 * Share(i));
+    out += buf;
+  }
+  (void)spec;
+  return out;
+}
+
+FreqResidencyTracker::FreqResidencyTracker(Kernel* kernel, std::vector<double> edges)
+    : kernel_(kernel),
+      seg_start_(kernel->topology().num_cpus(), -1),
+      seg_freq_(kernel->topology().num_cpus(), 0.0) {
+  hist_.edges = std::move(edges);
+  hist_.seconds.assign(hist_.edges.size(), 0.0);
+}
+
+size_t FreqResidencyTracker::BucketOf(double ghz) const {
+  for (size_t i = 0; i < hist_.edges.size(); ++i) {
+    if (ghz <= hist_.edges[i] + 1e-9) {
+      return i;
+    }
+  }
+  return hist_.edges.size() - 1;
+}
+
+void FreqResidencyTracker::FlushCpu(SimTime now, int cpu) {
+  if (seg_start_[cpu] < 0) {
+    return;
+  }
+  const double secs = ToSeconds(now - seg_start_[cpu]);
+  if (secs > 0.0) {
+    hist_.seconds[BucketOf(seg_freq_[cpu])] += secs;
+  }
+  seg_start_[cpu] = now;
+}
+
+void FreqResidencyTracker::OnContextSwitch(SimTime now, int cpu, const Task* prev,
+                                           const Task* next) {
+  (void)prev;
+  FlushCpu(now, cpu);
+  if (next != nullptr) {
+    seg_start_[cpu] = now;
+    seg_freq_[cpu] = kernel_->hw().FreqGhz(cpu);
+  } else {
+    seg_start_[cpu] = -1;
+  }
+}
+
+void FreqResidencyTracker::OnCpuSpeedChange(SimTime now, int cpu) {
+  if (seg_start_[cpu] >= 0) {
+    FlushCpu(now, cpu);
+    seg_freq_[cpu] = kernel_->hw().FreqGhz(cpu);
+  }
+}
+
+FreqHistogram FreqResidencyTracker::Snapshot(SimTime now) {
+  for (int cpu = 0; cpu < kernel_->topology().num_cpus(); ++cpu) {
+    if (seg_start_[cpu] >= 0) {
+      FlushCpu(now, cpu);
+      seg_freq_[cpu] = kernel_->hw().FreqGhz(cpu);
+    }
+  }
+  return hist_;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,59 @@
+// Frequency-residency histograms (paper Figures 2, 6, 8, 11).
+//
+// Accumulates, per frequency bucket, the CPU-time spent *executing workload
+// tasks* at that frequency. Bucket edges are the ones the paper uses for each
+// machine, derived from its min/nominal/turbo points.
+
+#ifndef NESTSIM_SRC_METRICS_FREQ_HIST_H_
+#define NESTSIM_SRC_METRICS_FREQ_HIST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/machine_spec.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+
+namespace nestsim {
+
+// Upper bucket edges (GHz), ascending; bucket i covers (edge[i-1], edge[i]].
+std::vector<double> FreqBucketEdgesFor(const MachineSpec& spec);
+
+struct FreqHistogram {
+  std::vector<double> edges;    // upper edges, ascending
+  std::vector<double> seconds;  // time per bucket
+
+  double TotalSeconds() const;
+  // Share of time in bucket i, in [0, 1].
+  double Share(size_t i) const;
+  // Share of time spent in the top `n` buckets.
+  double TopShare(size_t n) const;
+  // "(lo, hi] GHz: 12.3%" rows, highest bucket last.
+  std::string Format(const MachineSpec& spec) const;
+};
+
+class FreqResidencyTracker : public KernelObserver {
+ public:
+  FreqResidencyTracker(Kernel* kernel, std::vector<double> edges);
+
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
+  void OnCpuSpeedChange(SimTime now, int cpu) override;
+
+  // Flushes open segments up to `now` and returns the histogram.
+  FreqHistogram Snapshot(SimTime now);
+
+ private:
+  void FlushCpu(SimTime now, int cpu);
+  size_t BucketOf(double ghz) const;
+
+  Kernel* kernel_;
+  FreqHistogram hist_;
+  // Per CPU: segment start (or -1 when not executing) and the frequency that
+  // held during the open segment.
+  std::vector<SimTime> seg_start_;
+  std::vector<double> seg_freq_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_METRICS_FREQ_HIST_H_

@@ -1,0 +1,43 @@
+// Wakeup-latency sampling (schbench-style tail latencies, §5.6).
+
+#ifndef NESTSIM_SRC_METRICS_LATENCY_H_
+#define NESTSIM_SRC_METRICS_LATENCY_H_
+
+#include <vector>
+
+#include "src/kernel/observer.h"
+#include "src/metrics/stats.h"
+
+namespace nestsim {
+
+// Records, for every wakeup, the delay between the wakeup and the task first
+// getting a CPU.
+class WakeupLatencyTracker : public KernelObserver {
+ public:
+  WakeupLatencyTracker() = default;
+
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override {
+    (void)cpu;
+    (void)prev;
+    if (next != nullptr && next->last_wakeup > 0 && next->last_wakeup > last_seen_wakeup_of_
+        [static_cast<size_t>(next->tid) % kTrackSlots]) {
+      samples_us_.push_back(ToMicroseconds(now - next->last_wakeup));
+      last_seen_wakeup_of_[static_cast<size_t>(next->tid) % kTrackSlots] = next->last_wakeup;
+    }
+  }
+
+  double PercentileUs(double pct) const { return Percentile(samples_us_, pct); }
+  size_t sample_count() const { return samples_us_.size(); }
+
+ private:
+  // Deduplicates "first run after wakeup" per task with a small slot table;
+  // collisions only cause a few extra samples, which is harmless for
+  // percentile estimation.
+  static constexpr size_t kTrackSlots = 4096;
+  std::vector<double> samples_us_;
+  SimTime last_seen_wakeup_of_[kTrackSlots] = {};
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_METRICS_LATENCY_H_

@@ -1,0 +1,67 @@
+#include "src/metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nestsim {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - mean) * (x - mean);
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double Percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  if (pct <= 0.0) {
+    return xs.front();
+  }
+  if (pct >= 100.0) {
+    return xs.back();
+  }
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) {
+    return xs.back();
+  }
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double SpeedupPercent(double baseline, double variant) {
+  if (variant <= 0.0) {
+    return 0.0;
+  }
+  return (baseline / variant - 1.0) * 100.0;
+}
+
+double ImprovementPercent(double baseline, double variant) {
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  return (variant / baseline - 1.0) * 100.0;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,24 @@
+// Small statistics helpers used by experiments and benches.
+
+#ifndef NESTSIM_SRC_METRICS_STATS_H_
+#define NESTSIM_SRC_METRICS_STATS_H_
+
+#include <vector>
+
+namespace nestsim {
+
+double Mean(const std::vector<double>& xs);
+double Stddev(const std::vector<double>& xs);  // sample stddev (n-1); 0 for n<2
+double Median(std::vector<double> xs);
+// Percentile in [0,100] by linear interpolation; xs need not be sorted.
+double Percentile(std::vector<double> xs, double pct);
+
+// The paper's speedup convention: positive = variant is faster/better.
+// For time-like metrics (lower is better): (baseline/variant - 1) * 100.
+double SpeedupPercent(double baseline, double variant);
+// For rate-like metrics (higher is better): (variant/baseline - 1) * 100.
+double ImprovementPercent(double baseline, double variant);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_METRICS_STATS_H_

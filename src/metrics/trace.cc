@@ -1,0 +1,94 @@
+#include "src/metrics/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace nestsim {
+
+TraceRecorder::TraceRecorder(Kernel* kernel, size_t max_segments)
+    : kernel_(kernel), max_segments_(max_segments), open_(kernel->topology().num_cpus()) {
+  for (ExecSegment& seg : open_) {
+    seg.tid = -1;
+  }
+}
+
+void TraceRecorder::CloseSegment(SimTime now, int cpu) {
+  ExecSegment& seg = open_[cpu];
+  if (seg.tid < 0) {
+    return;
+  }
+  seg.end = now;
+  if (seg.end > seg.start && segments_.size() < max_segments_) {
+    segments_.push_back(seg);
+  }
+  seg.tid = -1;
+}
+
+void TraceRecorder::OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) {
+  (void)prev;
+  CloseSegment(now, cpu);
+  if (next != nullptr) {
+    ExecSegment& seg = open_[cpu];
+    seg.start = now;
+    seg.cpu = cpu;
+    seg.tid = next->tid;
+    seg.freq_ghz = kernel_->hw().FreqGhz(cpu);
+  }
+}
+
+void TraceRecorder::OnCpuSpeedChange(SimTime now, int cpu) {
+  // Split the segment so the frequency annotation stays piecewise exact.
+  ExecSegment& seg = open_[cpu];
+  if (seg.tid < 0) {
+    return;
+  }
+  const int tid = seg.tid;
+  CloseSegment(now, cpu);
+  ExecSegment& fresh = open_[cpu];
+  fresh.start = now;
+  fresh.cpu = cpu;
+  fresh.tid = tid;
+  fresh.freq_ghz = kernel_->hw().FreqGhz(cpu);
+}
+
+std::vector<ExecSegment> TraceRecorder::Finish(SimTime now) {
+  for (int cpu = 0; cpu < kernel_->topology().num_cpus(); ++cpu) {
+    CloseSegment(now, cpu);
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const ExecSegment& a, const ExecSegment& b) { return a.start < b.start; });
+  return segments_;
+}
+
+std::string TraceRecorder::Summarize(const std::vector<ExecSegment>& segments, SimTime t0,
+                                     SimTime t1) {
+  struct PerCpu {
+    double busy_s = 0.0;
+    double freq_weighted = 0.0;  // Σ freq * duration
+  };
+  std::map<int, PerCpu> per_cpu;
+  for (const ExecSegment& seg : segments) {
+    const SimTime s = std::max(seg.start, t0);
+    const SimTime e = std::min(seg.end, t1);
+    if (e <= s) {
+      continue;
+    }
+    PerCpu& row = per_cpu[seg.cpu];
+    const double d = ToSeconds(e - s);
+    row.busy_s += d;
+    row.freq_weighted += seg.freq_ghz * d;
+  }
+  const double window = ToSeconds(t1 - t0);
+  std::string out;
+  char buf[128];
+  for (const auto& [cpu, row] : per_cpu) {
+    std::snprintf(buf, sizeof(buf), "  core %3d: busy %5.1f%%  mean freq %.2f GHz\n", cpu,
+                  window > 0 ? 100.0 * row.busy_s / window : 0.0,
+                  row.busy_s > 0 ? row.freq_weighted / row.busy_s : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace nestsim

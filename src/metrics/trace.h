@@ -1,0 +1,51 @@
+// Execution-trace recording for the paper's case studies (Figures 2, 8, 9).
+//
+// Records one segment per (CPU, task) execution stint with the frequency at
+// segment start. The bench binaries render these as per-core activity
+// summaries; the raw segments can also be dumped for plotting.
+
+#ifndef NESTSIM_SRC_METRICS_TRACE_H_
+#define NESTSIM_SRC_METRICS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+
+namespace nestsim {
+
+struct ExecSegment {
+  SimTime start = 0;
+  SimTime end = 0;
+  int cpu = -1;
+  int tid = -1;
+  double freq_ghz = 0.0;  // frequency when the segment began
+};
+
+class TraceRecorder : public KernelObserver {
+ public:
+  explicit TraceRecorder(Kernel* kernel, size_t max_segments = 2'000'000);
+
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
+  void OnCpuSpeedChange(SimTime now, int cpu) override;
+
+  // Closes open segments at `now` and returns the trace (sorted by start).
+  std::vector<ExecSegment> Finish(SimTime now);
+
+  // Renders a compact per-core summary: for each used CPU, the busy share
+  // and mean frequency over [t0, t1].
+  static std::string Summarize(const std::vector<ExecSegment>& segments, SimTime t0, SimTime t1);
+
+ private:
+  void CloseSegment(SimTime now, int cpu);
+
+  Kernel* kernel_;
+  size_t max_segments_;
+  std::vector<ExecSegment> segments_;
+  std::vector<ExecSegment> open_;  // per cpu; tid < 0 when closed
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_METRICS_TRACE_H_

@@ -1,0 +1,92 @@
+#include "src/metrics/underload.h"
+
+#include <algorithm>
+
+namespace nestsim {
+
+UnderloadTracker::UnderloadTracker(Kernel* kernel, bool record_series)
+    : kernel_(kernel),
+      record_series_(record_series),
+      start_time_(kernel->engine().Now()),
+      interval_start_(start_time_),
+      used_in_interval_(kernel->topology().num_cpus(), 0),
+      ever_used_(kernel->topology().num_cpus(), 0) {}
+
+void UnderloadTracker::ObserveRunnable() {
+  max_runnable_ = std::max(max_runnable_, kernel_->runnable_tasks());
+}
+
+void UnderloadTracker::OnTaskCreated(SimTime now, const Task& task) {
+  (void)now;
+  (void)task;
+  // At creation the forking parent is still on its CPU, so this is the only
+  // instant where a fork-then-wait parent and its child are both runnable.
+  ObserveRunnable();
+}
+
+void UnderloadTracker::OnTaskEnqueued(SimTime now, const Task& task, int cpu) {
+  (void)now;
+  (void)task;
+  (void)cpu;
+  ObserveRunnable();
+}
+
+void UnderloadTracker::OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) {
+  (void)now;
+  (void)prev;
+  if (next != nullptr) {
+    used_in_interval_[cpu] = 1;
+    ever_used_[cpu] = 1;
+  }
+  ObserveRunnable();
+}
+
+void UnderloadTracker::OnTaskExit(SimTime now, const Task& task) {
+  (void)now;
+  (void)task;
+  ObserveRunnable();
+}
+
+void UnderloadTracker::CloseInterval(SimTime now) {
+  int used = 0;
+  for (char u : used_in_interval_) {
+    used += u;
+  }
+  const double underload = std::max(0, used - max_runnable_);
+  total_underload_ += underload;
+  if (record_series_) {
+    series_.push_back({ToSeconds(interval_start_ - start_time_), underload});
+  }
+
+  // Re-seed the next interval with the current instantaneous state.
+  std::fill(used_in_interval_.begin(), used_in_interval_.end(), 0);
+  for (int cpu = 0; cpu < kernel_->topology().num_cpus(); ++cpu) {
+    if (kernel_->rq(cpu).curr() != nullptr) {
+      used_in_interval_[cpu] = 1;
+    }
+  }
+  max_runnable_ = kernel_->runnable_tasks();
+  interval_start_ = now;
+}
+
+void UnderloadTracker::OnTick(SimTime now) { CloseInterval(now); }
+
+double UnderloadTracker::UnderloadPerSecond(SimTime end_time) const {
+  const double seconds = ToSeconds(end_time - start_time_);
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return total_underload_ / seconds;
+}
+
+std::vector<int> UnderloadTracker::CpusEverUsed() const {
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < static_cast<int>(ever_used_.size()); ++cpu) {
+    if (ever_used_[cpu]) {
+      cpus.push_back(cpu);
+    }
+  }
+  return cpus;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,62 @@
+// The paper's underload metric (§5.2).
+//
+// Underload in an interval is the number of cores used at any point in the
+// interval minus the maximum number of simultaneously runnable tasks in that
+// interval, when positive. It measures insufficient core reuse: a positive
+// value means a long-idle core was chosen where an already-warm core would
+// have sufficed. We use the paper's 4 ms (one tick) interval and report the
+// total per second of execution.
+
+#ifndef NESTSIM_SRC_METRICS_UNDERLOAD_H_
+#define NESTSIM_SRC_METRICS_UNDERLOAD_H_
+
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+
+namespace nestsim {
+
+class UnderloadTracker : public KernelObserver {
+ public:
+  // `record_series` keeps the per-interval values (Figure 3-style timeline).
+  explicit UnderloadTracker(Kernel* kernel, bool record_series = false);
+
+  void OnTaskCreated(SimTime now, const Task& task) override;
+  void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override;
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
+  void OnTaskExit(SimTime now, const Task& task) override;
+  void OnTick(SimTime now) override;
+
+  // Total positive underload accumulated so far.
+  double TotalUnderload() const { return total_underload_; }
+
+  // Total underload divided by elapsed seconds since tracking started.
+  double UnderloadPerSecond(SimTime end_time) const;
+
+  // Per-interval series: (interval start seconds, underload).
+  const std::vector<std::pair<double, double>>& series() const { return series_; }
+
+  // Every CPU that ran a task at least once over the whole run, sorted.
+  std::vector<int> CpusEverUsed() const;
+
+ private:
+  void CloseInterval(SimTime now);
+  void ObserveRunnable();
+
+  Kernel* kernel_;
+  bool record_series_;
+  SimTime start_time_ = 0;
+  SimTime interval_start_ = 0;
+
+  std::vector<char> used_in_interval_;  // per cpu
+  std::vector<char> ever_used_;         // per cpu
+  int max_runnable_ = 0;
+
+  double total_underload_ = 0.0;
+  std::vector<std::pair<double, double>> series_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_METRICS_UNDERLOAD_H_

@@ -1,0 +1,266 @@
+#include "src/nest/nest_policy.h"
+
+#include <cassert>
+
+namespace nestsim {
+
+void NestPolicy::Attach(Kernel* kernel) {
+  SchedulerPolicy::Attach(kernel);
+  cfs_.Attach(kernel);
+  cores_.assign(kernel->topology().num_cpus(), CoreInfo{});
+}
+
+int NestPolicy::PrimarySize() const {
+  int count = 0;
+  for (const CoreInfo& core : cores_) {
+    count += core.in_primary ? 1 : 0;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Nest membership management
+// ---------------------------------------------------------------------------
+
+void NestPolicy::AddToPrimary(int cpu) {
+  if (cores_[cpu].in_reserve) {
+    RemoveFromReserve(cpu);
+  }
+  cores_[cpu].in_primary = true;
+  cores_[cpu].compaction_eligible = false;
+}
+
+void NestPolicy::AddToReserve(int cpu) {
+  if (cores_[cpu].in_primary || cores_[cpu].in_reserve) {
+    return;
+  }
+  if (!params_.enable_reserve) {
+    return;
+  }
+  if (reserve_size_ >= params_.r_max) {
+    return;  // reserve full: the core joins no nest (§3.1)
+  }
+  cores_[cpu].in_reserve = true;
+  ++reserve_size_;
+}
+
+void NestPolicy::RemoveFromPrimary(int cpu) {
+  assert(cores_[cpu].in_primary);
+  cores_[cpu].in_primary = false;
+  cores_[cpu].compaction_eligible = false;
+}
+
+void NestPolicy::RemoveFromReserve(int cpu) {
+  assert(cores_[cpu].in_reserve);
+  cores_[cpu].in_reserve = false;
+  --reserve_size_;
+}
+
+void NestPolicy::DemoteFromPrimary(int cpu) {
+  RemoveFromPrimary(cpu);
+  AddToReserve(cpu);  // drops the core when the reserve is full or disabled
+}
+
+void NestPolicy::MarkUsed(int cpu) {
+  cores_[cpu].last_used = kernel_->engine().Now();
+  cores_[cpu].compaction_eligible = false;
+}
+
+void NestPolicy::OnTaskEnqueued(Task& task, int cpu) {
+  (void)task;
+  if (cores_[cpu].in_primary || cores_[cpu].in_reserve) {
+    MarkUsed(cpu);
+  }
+}
+
+void NestPolicy::OnTaskExit(Task& task, int cpu) {
+  (void)task;
+  // A task terminated and left the core idle: the core is no longer useful
+  // and is demoted immediately (§3.1).
+  if (cores_[cpu].in_primary && kernel_->CpuIdle(cpu)) {
+    DemoteFromPrimary(cpu);
+  }
+}
+
+int NestPolicy::IdleSpinTicks(int cpu) {
+  if (!params_.enable_spin || !cores_[cpu].in_primary) {
+    return 0;
+  }
+  return params_.s_max_ticks;
+}
+
+void NestPolicy::OnTick() {
+  if (!params_.enable_compaction) {
+    return;
+  }
+  const SimTime now = kernel_->engine().Now();
+  const SimDuration limit = params_.p_remove_ticks * kTickPeriod;
+  for (int cpu = 0; cpu < static_cast<int>(cores_.size()); ++cpu) {
+    CoreInfo& core = cores_[cpu];
+    if (core.in_primary && !core.compaction_eligible && kernel_->CpuIdle(cpu) &&
+        now - core.last_used >= limit) {
+      core.compaction_eligible = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nest searches
+// ---------------------------------------------------------------------------
+
+int NestPolicy::SearchPrimary(int anchor) {
+  const Topology& topo = kernel_->topology();
+  const int anchor_die = topo.SocketOf(anchor);
+  const int num_cpus = topo.num_cpus();
+
+  // Two passes: the anchor's die first, then everything else; each pass in
+  // numerical order starting from the anchor (§3.1).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < num_cpus; ++i) {
+      const int cpu = (anchor + i) % num_cpus;
+      const bool same_die = topo.SocketOf(cpu) == anchor_die;
+      if ((pass == 0) != same_die) {
+        continue;
+      }
+      CoreInfo& core = cores_[cpu];
+      if (!core.in_primary) {
+        continue;
+      }
+      if (core.compaction_eligible) {
+        // A task touched an expired core: compaction happens now (§3.1).
+        DemoteFromPrimary(cpu);
+        continue;
+      }
+      if (kernel_->CpuIdleUnclaimed(cpu)) {
+        return cpu;
+      }
+    }
+  }
+  return -1;
+}
+
+int NestPolicy::SearchReserve(int anchor) {
+  if (!params_.enable_reserve || reserve_size_ == 0) {
+    return -1;
+  }
+  const Topology& topo = kernel_->topology();
+  const int anchor_die = topo.SocketOf(anchor);
+  const int num_cpus = topo.num_cpus();
+  // The reserve search starts from a fixed core — the one where Nest was
+  // started — to limit dispersal (§3.1).
+  const int fixed = kernel_->root_cpu() >= 0 ? kernel_->root_cpu() : 0;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < num_cpus; ++i) {
+      const int cpu = (fixed + i) % num_cpus;
+      const bool same_die = topo.SocketOf(cpu) == anchor_die;
+      if ((pass == 0) != same_die) {
+        continue;
+      }
+      if (!cores_[cpu].in_reserve) {
+        continue;
+      }
+      if (kernel_->CpuIdleUnclaimed(cpu)) {
+        return cpu;
+      }
+    }
+  }
+  return -1;
+}
+
+int NestPolicy::CfsFallbackFork(Task& child, int parent_cpu) {
+  return cfs_.ForkPath(child, parent_cpu);
+}
+
+int NestPolicy::CfsFallbackWake(Task& task, const WakeContext& ctx) {
+  return cfs_.WakePath(task, ctx, params_.enable_wake_work_conservation);
+}
+
+// ---------------------------------------------------------------------------
+// Core selection
+// ---------------------------------------------------------------------------
+
+int NestPolicy::SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx) {
+  int chosen = SearchPrimary(anchor_cpu);
+  if (chosen >= 0) {
+    MarkUsed(chosen);
+    return chosen;
+  }
+  chosen = SearchReserve(anchor_cpu);
+  if (chosen >= 0) {
+    // Promotion: a reserve hit proves the nest needs to grow (§3.1).
+    RemoveFromReserve(chosen);
+    AddToPrimary(chosen);
+    MarkUsed(chosen);
+    return chosen;
+  }
+  chosen = is_fork ? CfsFallbackFork(task, anchor_cpu) : CfsFallbackWake(task, ctx);
+  if (params_.enable_reserve) {
+    AddToReserve(chosen);
+  } else {
+    // Ablation without a reserve: CFS-chosen cores must join the primary
+    // directly, or the nest could never grow.
+    AddToPrimary(chosen);
+  }
+  MarkUsed(chosen);
+  return chosen;
+}
+
+int NestPolicy::SelectCpuFork(Task& child, int parent_cpu) {
+  WakeContext unused;
+  return SelectCommon(child, parent_cpu, /*is_fork=*/true, unused);
+}
+
+int NestPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
+  const int anchor = task.prev_cpu >= 0 ? task.prev_cpu : ctx.waker_cpu;
+
+  // Impatience bookkeeping (§3.1): count consecutive wakeups that found the
+  // previous core occupied.
+  const bool prev_busy = task.prev_cpu >= 0 && !kernel_->CpuIdle(task.prev_cpu);
+  if (prev_busy) {
+    ++task.impatience;
+  } else {
+    task.impatience = 0;
+  }
+
+  if (params_.enable_impatience && task.impatience >= params_.r_impatient) {
+    // Skip the primary nest entirely; the chosen core goes straight into the
+    // primary nest to expand it, and the counter resets (§3.1).
+    task.impatience = 0;
+    int chosen = SearchReserve(anchor);
+    if (chosen >= 0) {
+      RemoveFromReserve(chosen);
+    } else {
+      chosen = CfsFallbackWake(task, ctx);
+    }
+    AddToPrimary(chosen);
+    MarkUsed(chosen);
+    return chosen;
+  }
+
+  // Attachment (§3.3): a task that ran twice in a row on the same core goes
+  // back there first, and may even reclaim a compaction-eligible core.
+  if (params_.enable_attach && task.prev_cpu >= 0 && task.prev_cpu == task.prev_prev_cpu) {
+    const int attached = task.prev_cpu;
+    if (cores_[attached].in_primary && kernel_->CpuIdleUnclaimed(attached)) {
+      MarkUsed(attached);
+      return attached;
+    }
+  }
+
+  // Favouring of the previously used core (§5.4): an idle previous core is
+  // taken even when it is outside the nests — this is what keeps
+  // one-task-per-core gangs (NAS) on their original cores instead of
+  // shuffling them through the primary nest. A core that keeps being used
+  // this way is, by definition, in use: it joins the primary nest, so other
+  // placements (and the warm spin) can benefit from it.
+  if (params_.enable_attach && task.prev_cpu >= 0 && kernel_->CpuIdleUnclaimed(task.prev_cpu)) {
+    AddToPrimary(task.prev_cpu);
+    MarkUsed(task.prev_cpu);
+    return task.prev_cpu;
+  }
+
+  return SelectCommon(task, anchor, /*is_fork=*/false, ctx);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,113 @@
+// The Nest scheduling policy (paper §3).
+//
+// Nest keeps two sets of cores. The *primary nest* holds cores in active use;
+// the *reserve nest* (bounded by R_max) holds cores that were recently useful
+// or were just handed over by CFS and have not yet proved themselves. Core
+// selection searches primary → reserve → CFS; management moves cores between
+// the nests:
+//   * reserve hit          → promote to primary
+//   * CFS fallback hit     → add to reserve (if it has room)
+//   * idle for P_remove    → eligible for compaction; demoted to reserve (or
+//                            dropped) when a task next touches it
+//   * task exits, core idle→ demote to reserve immediately
+//   * impatient task       → skip primary; the chosen core goes straight to
+//                            primary, growing the nest
+// Additional mechanisms: a 2-deep placement history attaches a task to a core
+// it used twice in a row (§3.3); the idle loop warm-spins on primary cores
+// for up to S_max ticks (§3.2); wakeups fall back to a fully work-conserving
+// CFS scan (§3.4); and placement reservations close the select/enqueue race
+// (§3.4). Every feature has a kill switch for the paper's ablations.
+
+#ifndef NESTSIM_SRC_NEST_NEST_POLICY_H_
+#define NESTSIM_SRC_NEST_NEST_POLICY_H_
+
+#include <vector>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/policy.h"
+
+namespace nestsim {
+
+// Paper Table 1 defaults; scaled variants drive the ablation study.
+struct NestParams {
+  int p_remove_ticks = 2;  // idle ticks before a primary core may be compacted
+  int r_max = 5;           // reserve-nest capacity
+  int r_impatient = 2;     // failed previous-core attempts before impatience
+  int s_max_ticks = 2;     // warm-spin duration in the idle loop
+
+  // Feature switches (ablation).
+  bool enable_reserve = true;
+  bool enable_compaction = true;
+  bool enable_spin = true;
+  bool enable_attach = true;
+  bool enable_impatience = true;
+  bool enable_wake_work_conservation = true;
+  bool enable_placement_reservation = true;
+};
+
+class NestPolicy : public SchedulerPolicy {
+ public:
+  NestPolicy() = default;
+  explicit NestPolicy(NestParams params) : params_(params) {}
+
+  void Attach(Kernel* kernel) override;
+  const char* name() const override { return "nest"; }
+
+  int SelectCpuFork(Task& child, int parent_cpu) override;
+  int SelectCpuWake(Task& task, const WakeContext& ctx) override;
+  void OnTaskEnqueued(Task& task, int cpu) override;
+  void OnTaskExit(Task& task, int cpu) override;
+  int IdleSpinTicks(int cpu) override;
+  void OnTick() override;
+  bool UsesPlacementReservation() const override {
+    return params_.enable_placement_reservation;
+  }
+
+  const NestParams& params() const { return params_; }
+
+  // Introspection for tests and metrics.
+  bool InPrimary(int cpu) const { return cores_[cpu].in_primary; }
+  bool InReserve(int cpu) const { return cores_[cpu].in_reserve; }
+  bool CompactionEligible(int cpu) const { return cores_[cpu].compaction_eligible; }
+  int PrimarySize() const;
+  int ReserveSize() const { return reserve_size_; }
+
+ private:
+  struct CoreInfo {
+    bool in_primary = false;
+    bool in_reserve = false;
+    bool compaction_eligible = false;
+    SimTime last_used = 0;
+  };
+
+  // Shared fork/wake selection once the per-path preliminaries are done.
+  int SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx);
+
+  // Searches the primary nest for an idle unclaimed core: same die as
+  // `anchor` first, then the other dies; numerical order from `anchor`.
+  // Demotes compaction-eligible cores it touches along the way.
+  int SearchPrimary(int anchor);
+  // Searches the reserve nest, starting from the fixed core (root_cpu),
+  // anchored die first.
+  int SearchReserve(int anchor);
+
+  int CfsFallbackFork(Task& child, int parent_cpu);
+  int CfsFallbackWake(Task& task, const WakeContext& ctx);
+
+  void AddToPrimary(int cpu);
+  void AddToReserve(int cpu);  // respects r_max; may drop the core instead
+  void RemoveFromPrimary(int cpu);
+  void RemoveFromReserve(int cpu);
+  void DemoteFromPrimary(int cpu);  // to reserve, or out entirely
+  void MarkUsed(int cpu);
+
+  NestParams params_;
+  CfsPolicy cfs_;
+  std::vector<CoreInfo> cores_;
+  int reserve_size_ = 0;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_NEST_NEST_POLICY_H_

@@ -1,0 +1,45 @@
+#include "src/sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nestsim {
+
+EventId Engine::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  return queue_.Push(t, std::move(fn));
+}
+
+bool Engine::Step() {
+  if (queue_.Empty()) {
+    return false;
+  }
+  EventQueue::Fired fired = queue_.Pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  ++events_fired_;
+  fired.fn();
+  return true;
+}
+
+uint64_t Engine::RunUntil(SimTime deadline) {
+  uint64_t fired = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    Step();
+    ++fired;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+uint64_t Engine::RunUntilIdle(uint64_t max_events) {
+  uint64_t fired = 0;
+  while (fired < max_events && Step()) {
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,64 @@
+// The simulation run loop.
+//
+// `Engine` owns the clock and the event queue. Components schedule callbacks
+// with `ScheduleAt`/`ScheduleAfter`; the experiment driver pumps events with
+// `Run*`. Time only advances when an event fires, so an empty queue means the
+// simulation is quiescent.
+
+#ifndef NESTSIM_SRC_SIM_ENGINE_H_
+#define NESTSIM_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t`. `t` must be >= Now().
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now. `delay` must be >= 0.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event; no-op (returning false) if it already fired.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Fires the next event, advancing the clock to its timestamp.
+  // Returns false (and does nothing) if the queue is empty.
+  bool Step();
+
+  // Pumps events until the queue is empty or the next event is after
+  // `deadline`; the clock is then advanced to `deadline` if it has not
+  // already passed it. Returns the number of events fired.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Pumps events until the queue is empty. Returns the number fired.
+  // `max_events` guards against runaway feedback loops.
+  uint64_t RunUntilIdle(uint64_t max_events = std::numeric_limits<uint64_t>::max());
+
+  bool Idle() const { return queue_.Empty(); }
+  uint64_t events_fired() const { return events_fired_; }
+  size_t pending_events() const { return queue_.Size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_fired_ = 0;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_SIM_ENGINE_H_

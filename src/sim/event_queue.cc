@@ -1,0 +1,53 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nestsim {
+
+EventId EventQueue::Push(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only ids currently in the heap can be cancelled; already-fired and
+  // already-cancelled ids are clean no-ops.
+  return pending_.erase(id) != 0;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() returns const&; move out via const_cast is the
+  // standard workaround for move-only payloads. The entry is popped
+  // immediately after, so the moved-from state is never observed.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  pending_.erase(fired.id);
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  pending_.clear();
+}
+
+}  // namespace nestsim

@@ -1,0 +1,86 @@
+// Cancellable discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order, so two events scheduled for
+// the same instant run in the order they were scheduled — this keeps runs
+// deterministic. Cancellation is O(1): the heap entry is tombstoned and
+// skipped when popped.
+
+#ifndef NESTSIM_SRC_SIM_EVENT_QUEUE_H_
+#define NESTSIM_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+// Opaque handle to a scheduled event; obtained from Push, usable with Cancel.
+// Handle 0 is never issued and may be used as "no event".
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run at absolute time `t`. `t` may be in the past
+  // relative to other queued events; ordering is by (t, insertion order).
+  EventId Push(SimTime t, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  // Cancelling an already-fired or already-cancelled id returns false.
+  bool Cancel(EventId id);
+
+  // True if no live (non-cancelled) events remain.
+  bool Empty() const { return pending_.empty(); }
+
+  // Number of live events.
+  size_t Size() const { return pending_.size(); }
+
+  // Time of the earliest live event. Precondition: !Empty().
+  SimTime NextTime();
+
+  // Removes and returns the earliest live event. Precondition: !Empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired Pop();
+
+  // Drops every pending event.
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // doubles as insertion sequence: ids are issued in order
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Pops tombstoned entries off the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids of events that are in the heap and not cancelled.
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,42 @@
+#include "src/sim/log.h"
+
+#include <cstdio>
+
+namespace nestsim {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogAt(LogLevel level, SimTime now, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %12s] ", LevelTag(level), FormatTime(now).c_str());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,38 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is off by default (level kNone) so experiment runs stay quiet and
+// fast; tests and debugging sessions raise the level. The simulated timestamp
+// must be passed in by the caller because the logger is a process-wide
+// singleton with no engine reference.
+
+#ifndef NESTSIM_SRC_SIM_LOG_H_
+#define NESTSIM_SRC_SIM_LOG_H_
+
+#include <cstdarg>
+
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+enum class LogLevel {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style; a newline is appended. No-op when `level` is above the
+// configured level.
+void LogAt(LogLevel level, SimTime now, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_SIM_LOG_H_

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be bit-reproducible given a seed, so we carry our own
+// generator (xoshiro256**, seeded via splitmix64) instead of relying on the
+// standard library's unspecified distributions. All distribution helpers here
+// are implemented from first principles and behave identically on every
+// platform.
+
+#ifndef NESTSIM_SRC_SIM_RANDOM_H_
+#define NESTSIM_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace nestsim {
+
+// splitmix64: used to stretch a single seed into xoshiro's 256-bit state and
+// to derive independent child seeds.
+uint64_t SplitMix64(uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform on [0, bound). bound must be > 0. Uses rejection sampling, so the
+  // result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform real on [0, 1).
+  double NextDouble();
+
+  // Uniform real on [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Normal via Box-Muller (polar form caches the spare value).
+  double NextNormal(double mean, double stddev);
+
+  // Log-normal such that the *median* of the distribution is `median` and the
+  // multiplicative spread is exp(sigma). Handy for task durations.
+  double NextLogNormal(double median, double sigma);
+
+  // Pareto (heavy tail) with minimum xm and shape alpha (> 0).
+  double NextPareto(double xm, double alpha);
+
+  // Derives an independent generator; deterministic in (seed, call index).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+  uint64_t fork_counter_ = 0;
+  uint64_t seed_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_SIM_RANDOM_H_

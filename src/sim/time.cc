@@ -1,0 +1,25 @@
+#include "src/sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nestsim {
+
+std::string FormatTime(SimDuration d) {
+  char buf[64];
+  const bool neg = d < 0;
+  const double ad = std::abs(static_cast<double>(d));
+  const char* sign = neg ? "-" : "";
+  if (ad >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, ad / static_cast<double>(kSecond));
+  } else if (ad >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, ad / static_cast<double>(kMillisecond));
+  } else if (ad >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign, ad / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldns", sign, static_cast<long>(std::llround(ad)));
+  }
+  return buf;
+}
+
+}  // namespace nestsim

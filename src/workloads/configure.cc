@@ -1,0 +1,114 @@
+#include "src/workloads/configure.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nestsim {
+
+namespace {
+
+ConfigureSpec Pkg(const std::string& name, int tests, double child_ms, double overhead_ms,
+                  double pipeline, double concurrent) {
+  ConfigureSpec s;
+  s.package = name;
+  s.num_tests = tests;
+  s.child_work_ms = child_ms;
+  s.parent_overhead_ms = overhead_ms;
+  s.pipeline_prob = pipeline;
+  s.concurrent_prob = concurrent;
+  return s;
+}
+
+}  // namespace
+
+ConfigureSpec ConfigureWorkload::PackageSpec(const std::string& package) {
+  // Test counts and sizes chosen so CFS-schedutil makespans land near 1/10 of
+  // the paper's Figure 5 numbers (Intel 5218 column).
+  if (package == "erlang") {
+    return Pkg("erlang", 420, 2.0, 0.4, 0.12, 0.06);
+  }
+  if (package == "ffmpeg") {
+    return Pkg("ffmpeg", 190, 1.8, 0.35, 0.12, 0.06);
+  }
+  if (package == "gcc") {
+    return Pkg("gcc", 48, 1.8, 0.3, 0.1, 0.05);
+  }
+  if (package == "gdb") {
+    return Pkg("gdb", 44, 1.8, 0.3, 0.1, 0.05);
+  }
+  if (package == "imagemagick") {
+    return Pkg("imagemagick", 470, 2.1, 0.4, 0.12, 0.06);
+  }
+  if (package == "linux") {
+    return Pkg("linux", 95, 1.7, 0.3, 0.1, 0.05);
+  }
+  if (package == "llvm_ninja") {
+    return Pkg("llvm_ninja", 340, 2.0, 0.35, 0.12, 0.06);
+  }
+  if (package == "llvm_unix") {
+    return Pkg("llvm_unix", 410, 2.0, 0.35, 0.12, 0.06);
+  }
+  if (package == "mplayer") {
+    return Pkg("mplayer", 330, 1.9, 0.35, 0.12, 0.06);
+  }
+  if (package == "nodejs") {
+    // The nodejs configure stage is "trivial" (paper §5.2): a handful of
+    // long python steps, so core placement barely matters.
+    ConfigureSpec s = Pkg("nodejs", 10, 11.0, 0.8, 0.0, 0.0);
+    s.child_sigma = 0.3;
+    s.long_test_prob = 0.0;
+    return s;
+  }
+  if (package == "php") {
+    return Pkg("php", 430, 2.0, 0.35, 0.12, 0.06);
+  }
+  std::fprintf(stderr, "nestsim: unknown configure package '%s'\n", package.c_str());
+  std::abort();
+}
+
+std::vector<std::string> ConfigureWorkload::PackageNames() {
+  return {"erlang", "ffmpeg",     "gcc",       "gdb",    "imagemagick", "linux",
+          "llvm_ninja", "llvm_unix", "mplayer", "nodejs", "php"};
+}
+
+void ConfigureWorkload::Setup(Kernel& kernel, Rng& rng) const {
+  Rng wl_rng = rng.Fork();
+  ProgramBuilder script("configure-" + spec_.package);
+
+  for (int test = 0; test < spec_.num_tests; ++test) {
+    // Shell interpretation between probes.
+    script.ComputeMs(wl_rng.NextLogNormal(spec_.parent_overhead_ms, 0.5));
+
+    double work_ms = wl_rng.NextLogNormal(spec_.child_work_ms, spec_.child_sigma);
+    if (wl_rng.NextBool(spec_.long_test_prob)) {
+      work_ms *= 5.0;  // a real compile test among the probes
+    }
+
+    ProgramPtr child;
+    if (wl_rng.NextBool(spec_.pipeline_prob)) {
+      // Probe runs a short pipeline: cc -E | grep style.
+      ProgramBuilder grandchild("probe-stage2");
+      grandchild.ComputeMs(work_ms * 0.4);
+      ProgramBuilder probe("probe-pipeline");
+      probe.ComputeMs(work_ms * 0.6).Fork(grandchild.Build()).JoinChildren();
+      child = probe.Build();
+    } else {
+      ProgramBuilder probe("probe");
+      probe.ComputeMs(work_ms);
+      child = probe.Build();
+    }
+
+    script.Fork(child);
+    if (wl_rng.NextBool(spec_.concurrent_prob)) {
+      ProgramBuilder extra("probe-extra");
+      extra.ComputeMs(wl_rng.NextLogNormal(spec_.child_work_ms, spec_.child_sigma));
+      script.Fork(extra.Build());
+    }
+    script.ComputeMs(wl_rng.NextLogNormal(spec_.post_fork_overhead_ms, 0.6));
+    script.JoinChildren();
+  }
+
+  kernel.SpawnInitial(script.Build(), "configure-" + spec_.package, tag(), /*cpu=*/0);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,60 @@
+// Software-configuration workloads (paper §5.2, Figures 2-7).
+//
+// Configure scripts fork hundreds of short, mostly sequential probe tasks:
+// the shell interprets a little script text, forks a compile/probe child,
+// waits for it, and moves on. Occasionally a probe runs a short pipeline
+// (child forks a grandchild) or the script launches a second concurrent
+// probe. This structure — frequent forks of short-lived, mostly-alone
+// tasks — is the paper's best case for Nest.
+//
+// The eleven package presets mirror the Phoronix Timed Code Compilation
+// configure stages in Figures 4-7, scaled to ~1/10 of the paper's absolute
+// running times to keep simulations fast (documented in EXPERIMENTS.md).
+
+#ifndef NESTSIM_SRC_WORKLOADS_CONFIGURE_H_
+#define NESTSIM_SRC_WORKLOADS_CONFIGURE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+struct ConfigureSpec {
+  std::string package;
+  int num_tests = 100;            // forked probe tasks
+  double parent_overhead_ms = 0.35;  // script interpretation per test (median)
+  // Script glue executed after the fork, before wait() — output parsing etc.
+  // Small, but it decides whether Smove's handoff timer wins or loses.
+  double post_fork_overhead_ms = 0.06;
+  double child_work_ms = 2.0;     // probe compute, lognormal median
+  double child_sigma = 0.8;       // lognormal spread
+  double pipeline_prob = 0.12;    // probe forks a sub-probe and waits
+  double concurrent_prob = 0.06;  // script runs two probes at once
+  double long_test_prob = 0.08;   // occasional 5x compile test
+};
+
+class ConfigureWorkload : public Workload {
+ public:
+  explicit ConfigureWorkload(ConfigureSpec spec) : spec_(std::move(spec)) {}
+  explicit ConfigureWorkload(const std::string& package)
+      : ConfigureWorkload(PackageSpec(package)) {}
+
+  std::string name() const override { return "configure-" + spec_.package; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const ConfigureSpec& spec() const { return spec_; }
+
+  // The 11 packages of Figures 4-7: erlang ffmpeg gcc gdb imagemagick linux
+  // llvm_ninja llvm_unix mplayer nodejs php.
+  static ConfigureSpec PackageSpec(const std::string& package);
+  static std::vector<std::string> PackageNames();
+
+ private:
+  ConfigureSpec spec_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_CONFIGURE_H_

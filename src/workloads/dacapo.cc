@@ -1,0 +1,217 @@
+#include "src/workloads/dacapo.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nestsim {
+
+namespace {
+
+DacapoSpec App(const std::string& name, int workers, double compute_ms, double sleep_ms,
+               int iterations) {
+  DacapoSpec s;
+  s.app = name;
+  s.workers = workers;
+  s.compute_ms = compute_ms;
+  s.sleep_ms = sleep_ms;
+  s.iterations = iterations;
+  return s;
+}
+
+DacapoSpec Churn(const std::string& name, int workers, double compute_ms, double sleep_ms,
+                 int batches, int churn_iterations) {
+  DacapoSpec s;
+  s.app = name;
+  s.workers = workers;
+  s.compute_ms = compute_ms;
+  s.sleep_ms = sleep_ms;
+  s.churn = true;
+  s.churn_batches = batches;
+  s.churn_iterations = churn_iterations;
+  return s;
+}
+
+}  // namespace
+
+DacapoSpec DacapoWorkload::AppSpec(const std::string& app) {
+  // Sizes target ~1/20 of the paper's Figure 10 running times (2-socket
+  // 6130); worker counts and block/wake cadence reproduce each app's
+  // underload class ("u:" annotations in Figure 10).
+  if (app == "avrora") {
+    DacapoSpec s = App("avrora", 7, 0.35, 0.25, 1800);
+    s.lock_fraction = 0.4;
+    return s;
+  }
+  if (app == "batik-eval") {
+    return App("batik-eval", 1, 8.0, 0.5, 650);
+  }
+  if (app == "biojava-eval") {
+    return App("biojava-eval", 1, 10.0, 0.2, 980);
+  }
+  if (app == "eclipse-eval") {
+    return App("eclipse-eval", 2, 5.0, 1.0, 1700);
+  }
+  if (app == "fop") {
+    DacapoSpec s = App("fop", 1, 1.2, 0.4, 110);
+    s.aux_threads = 3;
+    return s;
+  }
+  if (app == "jme-eval") {
+    return App("jme-eval", 4, 4.0, 2.0, 700);
+  }
+  if (app == "jython") {
+    return App("jython", 1, 3.0, 0.3, 340);
+  }
+  if (app == "kafka-eval") {
+    DacapoSpec s = App("kafka-eval", 6, 1.5, 3.0, 640);
+    s.lock_fraction = 0.3;
+    return s;
+  }
+  if (app == "luindex") {
+    return App("luindex", 2, 1.5, 0.4, 130);
+  }
+  if (app == "tradesoap-eval") {
+    DacapoSpec s = App("tradesoap-eval", 8, 1.2, 1.5, 1000);
+    s.lock_fraction = 0.3;
+    return s;
+  }
+  if (app == "cassandra-eval") {
+    DacapoSpec s = App("cassandra-eval", 8, 1.0, 2.0, 950);
+    s.lock_fraction = 0.3;
+    return s;
+  }
+  if (app == "graphchi-eval") {
+    DacapoSpec s = Churn("graphchi-eval", 8, 1.2, 0.3, 40, 4);
+    s.lock_fraction = 0.4;
+    return s;
+  }
+  if (app == "h2") {
+    // Transactions: short bursts separated by lock handoffs and brief waits;
+    // periodic JIT/GC helper batches perturb placement (§3.3).
+    DacapoSpec s = App("h2", 10, 2.5, 1.0, 620);
+    s.lock_fraction = 0.45;
+    s.lock_tokens = 5;
+    s.aux_threads = 2;
+    s.aux_period_ms = 16.0;
+    return s;
+  }
+  if (app == "lusearch") {
+    return App("lusearch", 0, 1.5, 0.1, 60);
+  }
+  if (app == "lusearch-fix") {
+    return App("lusearch-fix", 0, 1.5, 0.1, 60);
+  }
+  if (app == "pmd") {
+    DacapoSpec s = App("pmd", 16, 1.0, 0.5, 280);
+    s.lock_fraction = 0.4;
+    return s;
+  }
+  if (app == "sunflow") {
+    return App("sunflow", 0, 3.0, 0.05, 110);
+  }
+  if (app == "tomcat-eval") {
+    DacapoSpec s = Churn("tomcat-eval", 12, 0.8, 0.4, 120, 3);
+    s.lock_fraction = 0.4;
+    return s;
+  }
+  if (app == "tradebeans") {
+    DacapoSpec s = Churn("tradebeans", 12, 1.0, 0.6, 150, 4);
+    s.lock_fraction = 0.4;
+    return s;
+  }
+  if (app == "xalan") {
+    return App("xalan", 0, 0.8, 0.3, 190);
+  }
+  if (app == "zxing-eval") {
+    DacapoSpec s = App("zxing-eval", 12, 1.2, 0.5, 300);
+    s.lock_fraction = 0.4;
+    return s;
+  }
+  std::fprintf(stderr, "nestsim: unknown DaCapo app '%s'\n", app.c_str());
+  std::abort();
+}
+
+std::vector<std::string> DacapoWorkload::AppNames() {
+  return {"avrora",        "batik-eval",   "biojava-eval", "eclipse-eval",  "fop",
+          "jme-eval",      "jython",       "kafka-eval",   "luindex",       "tradesoap-eval",
+          "cassandra-eval", "graphchi-eval", "h2",          "lusearch",      "lusearch-fix",
+          "pmd",           "sunflow",      "tomcat-eval",  "tradebeans",    "xalan",
+          "zxing-eval"};
+}
+
+ProgramPtr DacapoWorkload::WorkerProgram(Rng& rng, int iterations) const {
+  const int lock_channel = 5100 + tag();
+  ProgramBuilder worker(spec_.app + "-worker");
+  // Loops cannot branch per iteration, so unroll: each iteration is a burst
+  // followed by either a lock handoff (sync wake of the next waiter) or a
+  // timer sleep.
+  for (int i = 0; i < iterations; ++i) {
+    worker.ComputeMs(rng.NextLogNormal(spec_.compute_ms, spec_.sigma));
+    if (rng.NextBool(spec_.lock_fraction)) {
+      worker.Send(lock_channel).Recv(lock_channel);
+    } else {
+      worker.Sleep(MillisecondsF(rng.NextExponential(spec_.sleep_ms)));
+    }
+  }
+  return worker.Build();
+}
+
+void DacapoWorkload::Setup(Kernel& kernel, Rng& rng) const {
+  Rng wl_rng = rng.Fork();
+  const int workers = spec_.workers > 0 ? spec_.workers : kernel.topology().num_cpus();
+
+  ProgramBuilder jvm(spec_.app + "-jvm");
+  jvm.ComputeMs(1.0);  // startup
+  if (spec_.lock_fraction > 0.0) {
+    // Seed the lock with its concurrency tokens.
+    const int tokens = spec_.lock_tokens > 0 ? spec_.lock_tokens : std::max(1, workers / 2);
+    for (int t = 0; t < tokens; ++t) {
+      jvm.Send(5100 + tag());
+    }
+  }
+
+  // Auxiliary JIT/GC activity: a coordinator wakes the gang simultaneously
+  // every aux_period_ms; each gang member computes a short burst. The
+  // synchronized wakeups are what perturb worker placement under CFS (§3.3).
+  const int total_bursts =
+      spec_.churn ? spec_.churn_batches * spec_.churn_iterations : spec_.iterations;
+  const double app_seconds =
+      total_bursts * (spec_.compute_ms + spec_.sleep_ms) / 1000.0;
+  const int gc_rounds =
+      std::max(1, static_cast<int>(app_seconds * 1000.0 / spec_.aux_period_ms));
+  if (spec_.aux_threads > 0) {
+    // Each round forks a batch of brief helper tasks (JIT compilations, GC
+    // workers). They are exactly the "brief daemon tasks" of paper §3.3:
+    // under CFS the fork path disperses them onto fresh cores; under Nest
+    // they reuse idle nest cores and vanish (exit demotes the core).
+    ProgramBuilder coordinator(spec_.app + "-gc-coordinator");
+    coordinator.Loop(gc_rounds).Sleep(MillisecondsF(spec_.aux_period_ms));
+    for (int a = 0; a < spec_.aux_threads; ++a) {
+      ProgramBuilder helper(spec_.app + "-gc-helper");
+      helper.ComputeMs(wl_rng.NextLogNormal(spec_.aux_compute_ms, 0.5));
+      coordinator.Fork(helper.Build());
+    }
+    coordinator.EndLoop().JoinChildren();
+    jvm.Fork(coordinator.Build());
+  }
+
+  if (spec_.churn) {
+    // Short-lived worker batches: constant thread creation and destruction.
+    for (int batch = 0; batch < spec_.churn_batches; ++batch) {
+      jvm.ComputeMs(wl_rng.NextLogNormal(0.3, 0.4));
+      for (int w = 0; w < workers; ++w) {
+        jvm.Fork(WorkerProgram(wl_rng, spec_.churn_iterations));
+      }
+      jvm.JoinChildren();
+    }
+  } else {
+    for (int w = 0; w < workers; ++w) {
+      jvm.Fork(WorkerProgram(wl_rng, spec_.iterations));
+    }
+    jvm.JoinChildren();
+  }
+
+  kernel.SpawnInitial(jvm.Build(), spec_.app, tag(), /*cpu=*/0);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,70 @@
+// DaCapo-style Java application workloads (paper §5.3, Figures 8-11).
+//
+// Each application is a root "JVM" task spawning application worker threads
+// plus JIT/GC-style auxiliary threads. Workers alternate compute bursts with
+// short blocking gaps (locks, I/O, queues); some applications also *churn* —
+// repeatedly spawning short-lived batches of threads — which is what drives
+// the high underload of tradebeans, tomcat, and graphchi in the paper.
+//
+// Presets mirror the 21 applications of Figure 10, scaled to ~1/10 of the
+// paper's running times.
+
+#ifndef NESTSIM_SRC_WORKLOADS_DACAPO_H_
+#define NESTSIM_SRC_WORKLOADS_DACAPO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+struct DacapoSpec {
+  std::string app;
+  int workers = 8;            // 0 = one per logical CPU
+  double compute_ms = 2.0;    // burst median
+  double sigma = 0.6;
+  double sleep_ms = 0.8;      // blocking-gap mean (exponential)
+  int iterations = 200;       // bursts per worker
+  // Lock contention: with this probability an iteration ends by releasing
+  // and re-acquiring a shared lock instead of sleeping on a timer. Lock
+  // handoffs are sync wakeups from the releasing worker's CPU — the source
+  // of CFS's task scattering on h2-like applications (§5.3).
+  double lock_fraction = 0.0;
+  int lock_tokens = 0;  // concurrent lock holders; 0 = workers / 2
+  // Churn: the root repeatedly forks short-lived worker batches instead of
+  // long-lived workers. batches * workers tasks overall.
+  bool churn = false;
+  int churn_batches = 0;
+  int churn_iterations = 8;   // bursts per short-lived worker
+  // JIT/GC auxiliary threads: a coordinator periodically wakes the whole
+  // gang at once (a GC pause). The simultaneous wakeups collide with
+  // sleeping workers' cores, triggering the migration cascades of paper
+  // §3.3 under CFS; Nest's reservations and attachment damp them.
+  int aux_threads = 2;
+  double aux_compute_ms = 0.6;
+  double aux_period_ms = 10.0;  // gang wake period
+};
+
+class DacapoWorkload : public Workload {
+ public:
+  explicit DacapoWorkload(DacapoSpec spec) : spec_(std::move(spec)) {}
+  explicit DacapoWorkload(const std::string& app) : DacapoWorkload(AppSpec(app)) {}
+
+  std::string name() const override { return "dacapo-" + spec_.app; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const DacapoSpec& spec() const { return spec_; }
+
+  static DacapoSpec AppSpec(const std::string& app);
+  static std::vector<std::string> AppNames();  // the 21 Figure-10 apps
+
+ private:
+  ProgramPtr WorkerProgram(Rng& rng, int iterations) const;
+
+  DacapoSpec spec_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_DACAPO_H_

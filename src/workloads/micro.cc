@@ -1,0 +1,64 @@
+#include "src/workloads/micro.h"
+
+namespace nestsim {
+
+void HackbenchWorkload::Setup(Kernel& kernel, Rng& rng) const {
+  (void)rng;
+  ProgramBuilder root("hackbench-main");
+  root.ComputeMs(0.2);
+  for (int g = 0; g < spec_.groups; ++g) {
+    const int data = 2000 + g;
+    const int credit = 2600 + g;
+    // Socket buffers are tiny: a sender needs a credit before each send, and
+    // receivers return credits — the constant block/wake ping-pong that makes
+    // hackbench ~96% system time.
+    for (int c = 0; c < spec_.fan; ++c) {
+      root.Send(credit);
+    }
+    for (int s = 0; s < spec_.fan; ++s) {
+      ProgramBuilder sender("hb-sender");
+      sender.Loop(spec_.loops).Recv(credit).Compute(2e3).Send(data).EndLoop();
+      root.Fork(sender.Build());
+    }
+    for (int r = 0; r < spec_.fan; ++r) {
+      ProgramBuilder receiver("hb-receiver");
+      receiver.Loop(spec_.loops).Recv(data).Compute(2e3).Send(credit).EndLoop();
+      root.Fork(receiver.Build());
+    }
+  }
+  root.JoinChildren();
+  kernel.SpawnInitial(root.Build(), "hackbench", tag(), /*cpu=*/0);
+}
+
+void SchbenchWorkload::Setup(Kernel& kernel, Rng& rng) const {
+  Rng wl_rng = rng.Fork();
+  ProgramBuilder root("schbench-main");
+  root.ComputeMs(0.2);
+  for (int m = 0; m < spec_.message_threads; ++m) {
+    const int dispatch = 3000 + m;
+    const int ack = 3500 + m;
+    for (int w = 0; w < spec_.workers_per_thread; ++w) {
+      ProgramBuilder worker("schbench-worker");
+      worker.Loop(spec_.rounds)
+          .Recv(dispatch)
+          .ComputeMs(wl_rng.NextLogNormal(spec_.work_ms, 0.3))
+          .Send(ack)
+          .EndLoop();
+      root.Fork(worker.Build());
+    }
+    ProgramBuilder messenger("schbench-msg");
+    messenger.Loop(spec_.rounds);
+    for (int w = 0; w < spec_.workers_per_thread; ++w) {
+      messenger.Send(dispatch);
+    }
+    for (int w = 0; w < spec_.workers_per_thread; ++w) {
+      messenger.Recv(ack);
+    }
+    messenger.EndLoop();
+    root.Fork(messenger.Build());
+  }
+  root.JoinChildren();
+  kernel.SpawnInitial(root.Build(), "schbench", tag(), /*cpu=*/0);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,59 @@
+// Scheduler micro/stress benchmarks (paper §5.6): hackbench and schbench.
+
+#ifndef NESTSIM_SRC_WORKLOADS_MICRO_H_
+#define NESTSIM_SRC_WORKLOADS_MICRO_H_
+
+#include <string>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+// hackbench -g <groups> -l <loops>: each group has `fan` senders and `fan`
+// receivers sharing a channel; senders blast `loops` messages each. Execution
+// is dominated by wakeups — the paper's pathological case for Nest.
+struct HackbenchSpec {
+  int groups = 10;
+  int fan = 10;    // senders (= receivers) per group
+  int loops = 100; // messages per sender
+};
+
+class HackbenchWorkload : public Workload {
+ public:
+  explicit HackbenchWorkload(HackbenchSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override { return "hackbench"; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const HackbenchSpec& spec() const { return spec_; }
+
+ private:
+  HackbenchSpec spec_;
+};
+
+// schbench: message threads dispatch work to workers and wait for replies;
+// the metric is tail wakeup latency (record_latency in the experiment
+// config).
+struct SchbenchSpec {
+  int message_threads = 4;
+  int workers_per_thread = 8;
+  int rounds = 150;
+  double work_ms = 1.0;
+};
+
+class SchbenchWorkload : public Workload {
+ public:
+  explicit SchbenchWorkload(SchbenchSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override { return "schbench"; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const SchbenchSpec& spec() const { return spec_; }
+
+ private:
+  SchbenchSpec spec_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_MICRO_H_

@@ -1,0 +1,36 @@
+#include "src/workloads/multi.h"
+
+namespace nestsim {
+
+void MultiAppWorkload::Add(std::unique_ptr<Workload> workload) {
+  workload->set_tag(static_cast<int>(members_.size()));
+  members_.push_back(std::move(workload));
+}
+
+std::string MultiAppWorkload::name() const {
+  std::string out = "multi(";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) {
+      out += "+";
+    }
+    out += members_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+void MultiAppWorkload::Setup(Kernel& kernel, Rng& rng) const {
+  for (const auto& member : members_) {
+    member->Setup(kernel, rng);
+  }
+}
+
+std::vector<int> MultiAppWorkload::Tags() const {
+  std::vector<int> tags;
+  for (const auto& member : members_) {
+    tags.push_back(member->tag());
+  }
+  return tags;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,37 @@
+// Multi-application composition (paper §5.6 "Multiple concurrent
+// applications"): runs several workloads simultaneously, each under its own
+// tag so per-application completion times can be compared against their
+// single-application runs.
+
+#ifndef NESTSIM_SRC_WORKLOADS_MULTI_H_
+#define NESTSIM_SRC_WORKLOADS_MULTI_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+class MultiAppWorkload : public Workload {
+ public:
+  MultiAppWorkload() = default;
+
+  // Adds a member; it is re-tagged with its index (0, 1, ...).
+  void Add(std::unique_ptr<Workload> workload);
+
+  std::string name() const override;
+  void Setup(Kernel& kernel, Rng& rng) const override;
+  std::vector<int> Tags() const override;
+
+  int size() const { return static_cast<int>(members_.size()); }
+  const Workload& member(int i) const { return *members_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Workload>> members_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_MULTI_H_

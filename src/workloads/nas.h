@@ -1,0 +1,50 @@
+// NAS Parallel Benchmarks-style HPC kernels (paper §5.4, Figure 12).
+//
+// One OpenMP-style task per logical CPU; workers iterate compute phases
+// separated by barriers. Per-iteration compute has a small jitter, so a
+// mis-placed (overloaded) worker desynchronises the whole gang — the paper's
+// challenge case: Nest must achieve the optimal one-task-per-core placement
+// without getting in the way.
+
+#ifndef NESTSIM_SRC_WORKLOADS_NAS_H_
+#define NESTSIM_SRC_WORKLOADS_NAS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+struct NasSpec {
+  std::string kernel_name;
+  double iter_compute_ms = 2.0;  // per worker per iteration
+  int iterations = 400;
+  double jitter = 0.02;          // relative compute imbalance across workers
+  int threads = 0;               // 0 = one per logical CPU
+  // Some kernels have a serial setup phase before the parallel region.
+  double serial_setup_ms = 5.0;
+};
+
+class NasWorkload : public Workload {
+ public:
+  explicit NasWorkload(NasSpec spec) : spec_(std::move(spec)) {}
+  explicit NasWorkload(const std::string& kernel_name)
+      : NasWorkload(KernelSpec(kernel_name)) {}
+
+  std::string name() const override { return "nas-" + spec_.kernel_name; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const NasSpec& spec() const { return spec_; }
+
+  // bt cg ep ft is lu mg sp ua (class C shapes, scaled).
+  static NasSpec KernelSpec(const std::string& kernel_name);
+  static std::vector<std::string> KernelNames();
+
+ private:
+  NasSpec spec_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_NAS_H_

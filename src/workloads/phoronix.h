@@ -1,0 +1,61 @@
+// Phoronix-multicore-style workloads (paper §5.5, Figure 13 and Table 4).
+//
+// The Phoronix multicore suite spans very different parallel structures; we
+// model the recurring shapes as styles and instantiate the Figure 13 tests
+// from them. Table 4's population of 222 tests is completed with seeded
+// synthetic instances of the same styles (the real suite is a proprietary
+// download; substitution documented in DESIGN.md).
+
+#ifndef NESTSIM_SRC_WORKLOADS_PHORONIX_H_
+#define NESTSIM_SRC_WORKLOADS_PHORONIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+enum class PhoronixStyle {
+  kPool,          // worker pool chewing many small items (zstd, graphics-magick)
+  kOpenMp,        // barriered data-parallel phases (rodinia, askap, oidn)
+  kPipeline,      // stages connected by channels (libgav1, ffmpeg)
+  kFullParallel,  // independent full-length workers, no sync (cpuminer)
+  kSerialBursts,  // mostly serial with parallel bursts (onednn RNN, cassandra)
+};
+
+struct PhoronixSpec {
+  std::string test;
+  PhoronixStyle style = PhoronixStyle::kPool;
+  int threads = 0;        // 0 = one per logical CPU
+  double item_ms = 0.5;   // work quantum (median)
+  double sigma = 0.4;
+  int items = 400;        // per worker: iterations / items / stage messages
+  double gap_ms = 0.2;    // blocking gap between items (pool/serial styles)
+};
+
+class PhoronixWorkload : public Workload {
+ public:
+  explicit PhoronixWorkload(PhoronixSpec spec) : spec_(std::move(spec)) {}
+  explicit PhoronixWorkload(const std::string& test) : PhoronixWorkload(TestSpec(test)) {}
+
+  std::string name() const override { return "phoronix-" + spec_.test; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const PhoronixSpec& spec() const { return spec_; }
+
+  // The 27 highlighted tests of Figure 13.
+  static PhoronixSpec TestSpec(const std::string& test);
+  static std::vector<std::string> Figure13TestNames();
+
+  // A deterministic synthetic population completing Table 4's ~222 tests;
+  // index 0..count-1.
+  static PhoronixSpec SyntheticSpec(int index);
+
+ private:
+  PhoronixSpec spec_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_PHORONIX_H_

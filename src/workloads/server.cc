@@ -1,0 +1,128 @@
+#include "src/workloads/server.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nestsim {
+
+namespace {
+
+ServerSpec Make(const std::string& name, ServerStyle style, int workers, int clients,
+                double service_ms, double io_pause_ms, double think_ms) {
+  ServerSpec s;
+  s.name = name;
+  s.style = style;
+  s.workers = workers;
+  s.clients = clients;
+  s.service_ms = service_ms;
+  s.io_pause_ms = io_pause_ms;
+  s.client_think_ms = think_ms;
+  return s;
+}
+
+}  // namespace
+
+ServerSpec ServerWorkload::TestSpec(const std::string& name) {
+  if (name == "apache-siege-64") {
+    return Make(name, ServerStyle::kThreadPerRequest, 0, 64, 0.35, 0.2, 0.2);
+  }
+  if (name == "apache-siege-256") {
+    ServerSpec s = Make(name, ServerStyle::kThreadPerRequest, 0, 256, 0.35, 0.2, 0.2);
+    s.requests_per_client = 40;
+    return s;
+  }
+  if (name == "nginx") {
+    return Make(name, ServerStyle::kEventLoop, 8, 64, 0.15, 0.0, 0.8);
+  }
+  if (name == "nodejs") {
+    return Make(name, ServerStyle::kEventLoop, 4, 32, 0.25, 0.0, 1.0);
+  }
+  if (name == "php") {
+    return Make(name, ServerStyle::kEventLoop, 8, 32, 0.4, 0.0, 0.8);
+  }
+  if (name == "leveldb") {
+    return Make(name, ServerStyle::kKeyValueStore, 4, 8, 1.2, 2.8, 1.2);
+  }
+  if (name == "redis") {
+    return Make(name, ServerStyle::kKeyValueStore, 2, 8, 0.6, 2.0, 1.0);
+  }
+  if (name == "rocksdb-read") {
+    return Make(name, ServerStyle::kKeyValueStore, 6, 12, 0.8, 1.5, 0.5);
+  }
+  std::fprintf(stderr, "nestsim: unknown server test '%s'\n", name.c_str());
+  std::abort();
+}
+
+std::vector<std::string> ServerWorkload::TestNames() {
+  return {"apache-siege-64", "apache-siege-256", "nginx",  "nodejs",
+          "php",             "leveldb",          "redis",  "rocksdb-read"};
+}
+
+void ServerWorkload::Setup(Kernel& kernel, Rng& rng) const {
+  Rng wl_rng = rng.Fork();
+  const int request_channel = 6000 + tag() * 2;
+  const int done_channel = 6001 + tag() * 2;
+  const int total_requests = spec_.clients * spec_.requests_per_client;
+
+  ProgramBuilder server(spec_.name + "-main");
+  server.ComputeMs(0.5);  // startup
+
+  auto service_body = [&](ProgramBuilder& b) {
+    b.ComputeMs(wl_rng.NextLogNormal(spec_.service_ms, spec_.service_sigma));
+    if (spec_.io_pause_ms > 0.0) {
+      b.Sleep(MillisecondsF(wl_rng.NextExponential(spec_.io_pause_ms)))
+          .ComputeMs(wl_rng.NextLogNormal(spec_.service_ms * 0.3, spec_.service_sigma));
+    }
+    b.Send(done_channel);
+  };
+
+  switch (spec_.style) {
+    case ServerStyle::kThreadPerRequest: {
+      // A listener forks a short-lived handler per accepted request.
+      ProgramBuilder listener(spec_.name + "-listener");
+      for (int r = 0; r < total_requests; ++r) {
+        listener.Recv(request_channel);
+        ProgramBuilder handler(spec_.name + "-handler");
+        service_body(handler);
+        listener.Fork(handler.Build());
+      }
+      listener.JoinChildren();
+      server.Fork(listener.Build());
+      break;
+    }
+    case ServerStyle::kEventLoop:
+    case ServerStyle::kKeyValueStore: {
+      // A fixed worker pool drains the shared request queue. Loop counts sum
+      // exactly to the request total; which worker takes which request is
+      // irrelevant to channel accounting.
+      for (int w = 0; w < spec_.workers; ++w) {
+        const int count = total_requests / spec_.workers +
+                          (w < total_requests % spec_.workers ? 1 : 0);
+        ProgramBuilder worker(spec_.name + "-worker");
+        for (int r = 0; r < count; ++r) {
+          worker.Recv(request_channel);
+          service_body(worker);
+        }
+        server.Fork(worker.Build());
+      }
+      break;
+    }
+  }
+
+  // Closed-loop clients: think, send, await a completion.
+  for (int c = 0; c < spec_.clients; ++c) {
+    ProgramBuilder client(spec_.name + "-client");
+    client.Loop(spec_.requests_per_client)
+        .ComputeMs(0.02)
+        .Sleep(MillisecondsF(wl_rng.NextExponential(spec_.client_think_ms)))
+        .Send(request_channel)
+        .Recv(done_channel)
+        .EndLoop();
+    server.Fork(client.Build());
+  }
+
+  server.JoinChildren();
+  kernel.SpawnInitial(server.Build(), spec_.name, tag(), /*cpu=*/0);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,67 @@
+// Server workloads (paper §5.6 "Server tests"): request/response services
+// under a synthetic client load.
+//
+// A listener thread accepts connections and dispatches requests to a worker
+// pool over a channel; workers process a request (compute, possibly an I/O
+// pause) and reply. Client threads drive a closed loop with a configurable
+// number of concurrent connections. The paper's observations to reproduce:
+// Nest loses on apache-siege-style tests as concurrency rises past the nest
+// size, is neutral for nginx/node/php-style event loops, and wins on
+// leveldb/redis-style stores whose few threads benefit from warm cores.
+
+#ifndef NESTSIM_SRC_WORKLOADS_SERVER_H_
+#define NESTSIM_SRC_WORKLOADS_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace nestsim {
+
+enum class ServerStyle {
+  // One worker per request from a large pool (apache prefork-ish): high
+  // concurrency scatters tasks far beyond any nest.
+  kThreadPerRequest,
+  // A few event-loop shards each serving many connections (nginx/node/php):
+  // a handful of long-lived, high-utilisation tasks.
+  kEventLoop,
+  // A store with a small worker set and compute-heavy requests punctuated by
+  // brief stalls (leveldb/redis): the warm-core sweet spot.
+  kKeyValueStore,
+};
+
+struct ServerSpec {
+  std::string name;
+  ServerStyle style = ServerStyle::kEventLoop;
+  int workers = 8;            // service threads (pool size or shards)
+  int clients = 16;           // concurrent client connections
+  int requests_per_client = 120;
+  double service_ms = 0.4;    // per-request compute (median, lognormal)
+  double service_sigma = 0.5;
+  double io_pause_ms = 0.0;   // mid-request stall (0 = none)
+  double client_think_ms = 0.3;
+};
+
+class ServerWorkload : public Workload {
+ public:
+  explicit ServerWorkload(ServerSpec spec) : spec_(std::move(spec)) {}
+  explicit ServerWorkload(const std::string& name) : ServerWorkload(TestSpec(name)) {}
+
+  std::string name() const override { return "server-" + spec_.name; }
+  void Setup(Kernel& kernel, Rng& rng) const override;
+
+  const ServerSpec& spec() const { return spec_; }
+
+  // The §5.6 server tests: apache-siege-64/256, nginx, nodejs, php,
+  // leveldb, redis, rocksdb-read.
+  static ServerSpec TestSpec(const std::string& name);
+  static std::vector<std::string> TestNames();
+
+ private:
+  ServerSpec spec_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_WORKLOADS_SERVER_H_

@@ -1,0 +1,190 @@
+#include "src/cfs/cfs_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/governors/governors.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+struct CfsRig {
+  explicit CfsRig(MachineSpec spec = FixedFreqMachine(2, 4, 2))
+      : hw(&engine, spec), kernel(&engine, &hw, &cfs, &governor) {
+    kernel.Start();
+  }
+
+  // Makes `cpu` busy by spawning an endless-ish compute task pinned there.
+  Task* Occupy(int cpu) {
+    ProgramBuilder b("hog");
+    b.Compute(1e12);
+    return kernel.SpawnInitial(b.Build(), "hog", 0, cpu);
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  CfsPolicy cfs;
+  PerformanceGovernor governor;
+  Kernel kernel;
+};
+
+TEST(CfsForkTest, IdleMachineKeepsChildNearParent) {
+  CfsRig rig;
+  Task child;
+  const int cpu = rig.cfs.SelectCpuFork(child, 2);
+  // Everything idle: the local group wins at every level, and the numerical
+  // scan starts at the parent.
+  EXPECT_EQ(rig.kernel.topology().SocketOf(cpu), rig.kernel.topology().SocketOf(2));
+}
+
+TEST(CfsForkTest, AvoidsBusyParentCpu) {
+  CfsRig rig;
+  rig.Occupy(2);
+  Task child;
+  const int cpu = rig.cfs.SelectCpuFork(child, 2);
+  EXPECT_NE(cpu, 2);
+  EXPECT_TRUE(rig.kernel.CpuIdle(cpu));
+}
+
+TEST(CfsForkTest, RecentlyUsedIdleCpuLosesToColdCpu) {
+  // The paper's dispersal bias (§2.1): a CPU that just hosted a task carries
+  // residual load and loses to a fully idle CPU.
+  CfsRig rig;
+  ProgramBuilder b("short");
+  b.Compute(3e6);
+  rig.kernel.SpawnInitial(b.Build(), "short", 0, 1);
+  rig.engine.RunUntil(5 * kMillisecond);  // task done; cpu 1 idle but warm
+  ASSERT_TRUE(rig.kernel.CpuIdle(1));
+  Task child;
+  const int cpu = rig.cfs.SelectCpuFork(child, 0);
+  EXPECT_NE(cpu, 1);
+}
+
+TEST(CfsForkTest, InfluenceOfRecentUseTimesOut) {
+  CfsRig rig;
+  ProgramBuilder b("short");
+  b.Compute(1e6);
+  rig.kernel.SpawnInitial(b.Build(), "short", 0, 1);
+  // After a long decay the recently-used CPU ties with cold ones and the
+  // numerical order from the forking CPU wins again (§5.2 case study).
+  rig.engine.RunUntil(300 * kMillisecond);
+  Task child;
+  const int cpu = rig.cfs.SelectCpuFork(child, 0);
+  EXPECT_TRUE(rig.kernel.CpuIdle(cpu));
+  EXPECT_LE(cpu, 1);  // back near the start of the socket
+}
+
+TEST(CfsForkTest, PrefersIdlerRemoteSocketWhenLocalLoaded) {
+  CfsRig rig;
+  // Load most of socket 0 (cpus 0..3 and 8..11 are socket 0 in the 2x4x2
+  // test topology).
+  for (int cpu : {0, 1, 2, 3, 8}) {
+    rig.Occupy(cpu);
+  }
+  Task child;
+  const int cpu = rig.cfs.SelectCpuFork(child, 0);
+  EXPECT_EQ(rig.kernel.topology().SocketOf(cpu), 1);
+}
+
+TEST(CfsWakeTest, IdlePrevCpuWins) {
+  CfsRig rig;
+  Task t;
+  t.prev_cpu = 3;
+  WakeContext ctx;
+  ctx.waker_cpu = 0;
+  EXPECT_EQ(rig.cfs.SelectCpuWake(t, ctx), 3);
+}
+
+TEST(CfsWakeTest, BusyPrevFallsBackToIdleCoreOnSameDie) {
+  CfsRig rig;
+  rig.Occupy(3);
+  Task t;
+  t.prev_cpu = 3;
+  WakeContext ctx;
+  ctx.waker_cpu = 3;
+  const int cpu = rig.cfs.SelectCpuWake(t, ctx);
+  EXPECT_NE(cpu, 3);
+  EXPECT_EQ(rig.kernel.topology().SocketOf(cpu), rig.kernel.topology().SocketOf(3));
+  EXPECT_TRUE(rig.kernel.CpuIdle(cpu));
+}
+
+TEST(CfsWakeTest, SyncWakeupPrefersWakerWhenItWillBlock) {
+  CfsRig rig;
+  rig.Occupy(3);  // prev busy
+  Task t;
+  t.prev_cpu = 3;
+  // Waker on the other socket, about to block, only itself running.
+  Task* waker = rig.Occupy(4);
+  (void)waker;
+  WakeContext ctx;
+  ctx.waker_cpu = 4;
+  ctx.sync = true;
+  const int cpu = rig.cfs.SelectCpuWake(t, ctx);
+  // Target becomes the waker; its die provides the idle CPU.
+  EXPECT_EQ(rig.kernel.topology().SocketOf(cpu), 1);
+}
+
+TEST(CfsWakeTest, NotWorkConservingAcrossDies) {
+  CfsRig rig;
+  // Fill the whole of socket 0.
+  for (int cpu : rig.kernel.topology().CpusOnSocket(0)) {
+    rig.Occupy(cpu);
+  }
+  Task t;
+  t.prev_cpu = 0;
+  WakeContext ctx;
+  ctx.waker_cpu = 0;
+  const int cpu = rig.cfs.WakePath(t, ctx, /*work_conserving_ext=*/false);
+  // Plain CFS stays on the full die even though socket 1 is idle (§2.1).
+  EXPECT_EQ(rig.kernel.topology().SocketOf(cpu), 0);
+}
+
+TEST(CfsWakeTest, WorkConservingExtensionFindsOtherDie) {
+  CfsRig rig;
+  for (int cpu : rig.kernel.topology().CpusOnSocket(0)) {
+    rig.Occupy(cpu);
+  }
+  Task t;
+  t.prev_cpu = 0;
+  WakeContext ctx;
+  ctx.waker_cpu = 0;
+  const int cpu = rig.cfs.WakePath(t, ctx, /*work_conserving_ext=*/true);
+  // Nest's §3.4 extension scans the other dies.
+  EXPECT_EQ(rig.kernel.topology().SocketOf(cpu), 1);
+  EXPECT_TRUE(rig.kernel.CpuIdle(cpu));
+}
+
+TEST(CfsWakeTest, PrefersFullyIdlePhysicalCore) {
+  CfsRig rig;
+  // Make cpu 1 busy so physical core 1 is half-busy; its sibling (9) is idle.
+  rig.Occupy(1);
+  rig.Occupy(2);  // prev will be busy
+  Task t;
+  t.prev_cpu = 2;
+  WakeContext ctx;
+  ctx.waker_cpu = 2;
+  const int cpu = rig.cfs.SelectCpuWake(t, ctx);
+  // Must pick a CPU whose sibling is idle too (cpu 3 or 0), not cpu 9 whose
+  // sibling is busy.
+  const int sibling = rig.kernel.topology().SiblingOf(cpu);
+  EXPECT_TRUE(rig.kernel.CpuIdle(cpu));
+  EXPECT_TRUE(rig.kernel.CpuIdle(sibling));
+}
+
+TEST(CfsWakeTest, FallsBackToTargetWhenDieFull) {
+  CfsRig rig;
+  for (int cpu : rig.kernel.topology().CpusOnSocket(0)) {
+    rig.Occupy(cpu);
+  }
+  Task t;
+  t.prev_cpu = 1;
+  WakeContext ctx;
+  ctx.waker_cpu = 1;
+  const int cpu = rig.cfs.WakePath(t, ctx, false);
+  EXPECT_EQ(cpu, 1);  // queues behind prev
+}
+
+}  // namespace
+}  // namespace nestsim

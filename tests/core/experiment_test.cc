@@ -1,0 +1,194 @@
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/program.h"
+#include "src/workloads/configure.h"
+#include "src/workloads/nas.h"
+
+namespace nestsim {
+namespace {
+
+// A trivial inline workload for focused experiment tests.
+class OneTaskWorkload : public Workload {
+ public:
+  explicit OneTaskWorkload(double work_ghz_ns) : work_(work_ghz_ns) {}
+  std::string name() const override { return "one-task"; }
+  void Setup(Kernel& kernel, Rng&) const override {
+    ProgramBuilder b("t");
+    b.Compute(work_);
+    kernel.SpawnInitial(b.Build(), "t", tag(), 0);
+  }
+
+ private:
+  double work_;
+};
+
+TEST(ExperimentTest, LabelsAreReadable) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kNest;
+  config.governor = "schedutil";
+  EXPECT_EQ(config.Label(), "Nest sched");
+  config.scheduler = SchedulerKind::kCfs;
+  config.governor = "performance";
+  EXPECT_EQ(config.Label(), "CFS perf");
+}
+
+TEST(ExperimentTest, SchedulerKindNames) {
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kCfs), "CFS");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kNest), "Nest");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kSmove), "Smove");
+}
+
+TEST(ExperimentTest, BasicMetricsPopulated) {
+  ExperimentConfig config;
+  config.machine = "intel-6130-2s";
+  const ExperimentResult r = RunExperiment(config, OneTaskWorkload(10e6));
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_GT(r.energy_joules, 0.0);
+  EXPECT_EQ(r.tasks_created, 1);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_FALSE(r.freq_hist.edges.empty());
+  EXPECT_EQ(r.cpus_used.size(), 1u);
+}
+
+TEST(ExperimentTest, MakespanRespectsComputeLowerBound) {
+  // 10e6 GHz-ns at the 6130's max turbo (3.7 GHz) takes at least 2.7 ms.
+  ExperimentConfig config;
+  config.machine = "intel-6130-2s";
+  const ExperimentResult r = RunExperiment(config, OneTaskWorkload(10e6));
+  EXPECT_GE(r.makespan, MillisecondsF(10.0 / 3.7));
+}
+
+TEST(ExperimentTest, SameSeedIsBitReproducible) {
+  ExperimentConfig config;
+  config.seed = 77;
+  ConfigureWorkload workload("gcc");
+  const ExperimentResult a = RunExperiment(config, workload);
+  const ExperimentResult b = RunExperiment(config, workload);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.cpus_used, b.cpus_used);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  ExperimentConfig a;
+  a.seed = 1;
+  ExperimentConfig b;
+  b.seed = 2;
+  ConfigureWorkload workload("gcc");
+  EXPECT_NE(RunExperiment(a, workload).makespan, RunExperiment(b, workload).makespan);
+}
+
+TEST(ExperimentTest, AllSchedulersRun) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  for (SchedulerKind kind : {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+    ExperimentConfig config;
+    config.scheduler = kind;
+    const ExperimentResult r = RunExperiment(config, workload);
+    EXPECT_FALSE(r.hit_time_limit) << SchedulerKindName(kind);
+    EXPECT_GT(r.makespan, 0) << SchedulerKindName(kind);
+  }
+}
+
+TEST(ExperimentTest, BothGovernorsRun) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  for (const char* gov : {"schedutil", "performance"}) {
+    ExperimentConfig config;
+    config.governor = gov;
+    const ExperimentResult r = RunExperiment(config, workload);
+    EXPECT_FALSE(r.hit_time_limit) << gov;
+  }
+}
+
+TEST(ExperimentTest, TimeLimitStopsRunaway) {
+  ExperimentConfig config;
+  config.time_limit = 10 * kMillisecond;
+  const ExperimentResult r = RunExperiment(config, OneTaskWorkload(1e12));  // ~5 min of work
+  EXPECT_TRUE(r.hit_time_limit);
+}
+
+TEST(ExperimentTest, TraceOnlyWhenRequested) {
+  ExperimentConfig config;
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 5;
+  ConfigureWorkload workload(spec);
+  EXPECT_TRUE(RunExperiment(config, workload).trace.empty());
+  config.record_trace = true;
+  EXPECT_FALSE(RunExperiment(config, workload).trace.empty());
+}
+
+TEST(ExperimentTest, UnderloadSeriesOnlyWhenRequested) {
+  ExperimentConfig config;
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 5;
+  ConfigureWorkload workload(spec);
+  EXPECT_TRUE(RunExperiment(config, workload).underload_series.empty());
+  config.record_underload_series = true;
+  EXPECT_FALSE(RunExperiment(config, workload).underload_series.empty());
+}
+
+TEST(RunRepeatedTest, AggregatesAcrossSeeds) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  ExperimentConfig config;
+  const RepeatedResult rr = RunRepeated(config, workload, 3, /*base_seed=*/10);
+  EXPECT_EQ(rr.runs.size(), 3u);
+  EXPECT_GT(rr.mean_seconds, 0.0);
+  EXPECT_GE(rr.stddev_seconds, 0.0);
+  EXPECT_GT(rr.mean_energy_j, 0.0);
+  // Mean matches the runs.
+  double sum = 0;
+  for (const auto& run : rr.runs) {
+    sum += run.seconds();
+  }
+  EXPECT_NEAR(rr.mean_seconds, sum / 3.0, 1e-12);
+  EXPECT_FALSE(rr.mean_freq_hist.edges.empty());
+}
+
+TEST(RunRepeatedTest, DistinctSeedsUsed) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  ExperimentConfig config;
+  const RepeatedResult rr = RunRepeated(config, workload, 3);
+  EXPECT_GT(rr.stddev_seconds, 0.0);  // seeds produced different runs
+}
+
+TEST(ExperimentTest, NestParamsReachThePolicy) {
+  // An extreme Nest configuration must change behaviour: disabling every
+  // feature plus a tiny reserve degenerates toward CFS-like dispersal.
+  ConfigureWorkload workload("gcc");
+  ExperimentConfig nest;
+  nest.scheduler = SchedulerKind::kNest;
+  const ExperimentResult full = RunExperiment(nest, workload);
+
+  ExperimentConfig crippled = nest;
+  crippled.nest.enable_spin = false;
+  crippled.nest.enable_reserve = false;
+  crippled.nest.enable_attach = false;
+  crippled.nest.enable_compaction = false;
+  const ExperimentResult stripped = RunExperiment(crippled, workload);
+  EXPECT_NE(full.makespan, stripped.makespan);
+}
+
+TEST(ExperimentTest, EnergyScalesWithMachineSize) {
+  OneTaskWorkload workload(50e6);
+  ExperimentConfig small;
+  small.machine = "intel-6130-2s";
+  ExperimentConfig big;
+  big.machine = "intel-6130-4s";
+  // Same work, twice the sockets idling: more total energy.
+  EXPECT_GT(RunExperiment(big, workload).energy_joules,
+            RunExperiment(small, workload).energy_joules);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,58 @@
+#include "src/governors/governors.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+TEST(PerformanceGovernorTest, AlwaysRequestsNominal) {
+  PerformanceGovernor gov;
+  const MachineSpec& spec = MachineByName("intel-5218-2s");
+  EXPECT_DOUBLE_EQ(gov.RequestGhz(spec, 0.0), 2.3);
+  EXPECT_DOUBLE_EQ(gov.RequestGhz(spec, 0.5), 2.3);
+  EXPECT_DOUBLE_EQ(gov.RequestGhz(spec, 1.0), 2.3);
+}
+
+TEST(SchedutilGovernorTest, ZeroUtilRequestsMin) {
+  SchedutilGovernor gov;
+  const MachineSpec& spec = MachineByName("intel-5218-2s");
+  EXPECT_DOUBLE_EQ(gov.RequestGhz(spec, 0.0), spec.min_freq_ghz);
+}
+
+TEST(SchedutilGovernorTest, FullUtilRequestsMaxTurbo) {
+  SchedutilGovernor gov;
+  const MachineSpec& spec = MachineByName("intel-5218-2s");
+  EXPECT_DOUBLE_EQ(gov.RequestGhz(spec, 1.0), spec.turbo.MaxTurboGhz());
+}
+
+TEST(SchedutilGovernorTest, HeadroomFactorApplied) {
+  SchedutilGovernor gov;
+  const MachineSpec& spec = MachineByName("intel-5218-2s");
+  // 1.25 * 0.5 * 3.9 = 2.4375
+  EXPECT_NEAR(gov.RequestGhz(spec, 0.5), 1.25 * 0.5 * 3.9, 1e-9);
+}
+
+TEST(SchedutilGovernorTest, RequestIsMonotoneInUtil) {
+  SchedutilGovernor gov;
+  const MachineSpec& spec = MachineByName("intel-6130-2s");
+  double last = 0.0;
+  for (double util = 0.0; util <= 1.0; util += 0.05) {
+    const double req = gov.RequestGhz(spec, util);
+    EXPECT_GE(req, last);
+    EXPECT_GE(req, spec.min_freq_ghz);
+    EXPECT_LE(req, spec.turbo.MaxTurboGhz());
+    last = req;
+  }
+}
+
+TEST(MakeGovernorTest, ByName) {
+  EXPECT_STREQ(MakeGovernor("schedutil")->name(), "schedutil");
+  EXPECT_STREQ(MakeGovernor("performance")->name(), "performance");
+}
+
+TEST(MakeGovernorDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH((void)MakeGovernor("ondemand"), "unknown governor");
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,170 @@
+#include "src/hw/machine_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+TEST(TurboLadderTest, LookupMatchesTable) {
+  TurboLadder ladder({3.7, 3.7, 3.5, 3.5, 3.4});
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(1), 3.7);
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(2), 3.7);
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(3), 3.5);
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(5), 3.4);
+}
+
+TEST(TurboLadderTest, BeyondTableUsesLastEntry) {
+  TurboLadder ladder({3.0, 2.8});
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(10), 2.8);
+}
+
+TEST(TurboLadderTest, ZeroActiveReportsSingleCoreCap) {
+  TurboLadder ladder({3.9, 3.7});
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(0), 3.9);
+}
+
+TEST(TurboLadderTest, EmptyLadderIsZero) {
+  TurboLadder ladder;
+  EXPECT_DOUBLE_EQ(ladder.CapGhz(1), 0.0);
+  EXPECT_DOUBLE_EQ(ladder.MaxTurboGhz(), 0.0);
+}
+
+// --- Paper Table 2 values ---
+
+TEST(MachineSpecTest, Xeon6130MatchesTable2) {
+  const MachineSpec& m = MachineByName("intel-6130-2s");
+  EXPECT_EQ(m.num_sockets, 2);
+  EXPECT_EQ(m.physical_cores_per_socket, 16);
+  EXPECT_EQ(m.threads_per_core, 2);
+  EXPECT_DOUBLE_EQ(m.min_freq_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(m.nominal_freq_ghz, 2.1);
+  EXPECT_DOUBLE_EQ(m.turbo.MaxTurboGhz(), 3.7);
+  EXPECT_EQ(m.power_management, PowerManagement::kSpeedShift);
+}
+
+TEST(MachineSpecTest, Xeon6130FourSocket) {
+  const MachineSpec& m = MachineByName("intel-6130-4s");
+  EXPECT_EQ(m.num_sockets, 4);
+  EXPECT_EQ(m.num_sockets * m.physical_cores_per_socket * m.threads_per_core, 128);
+}
+
+TEST(MachineSpecTest, Xeon5218MatchesTable2) {
+  const MachineSpec& m = MachineByName("intel-5218-2s");
+  EXPECT_DOUBLE_EQ(m.nominal_freq_ghz, 2.3);
+  EXPECT_DOUBLE_EQ(m.turbo.MaxTurboGhz(), 3.9);
+  EXPECT_EQ(m.microarch, "Cascade Lake");
+}
+
+TEST(MachineSpecTest, E78870v4MatchesTable2) {
+  const MachineSpec& m = MachineByName("intel-e78870v4-4s");
+  EXPECT_EQ(m.num_sockets * m.physical_cores_per_socket * m.threads_per_core, 160);
+  EXPECT_DOUBLE_EQ(m.min_freq_ghz, 1.2);
+  EXPECT_DOUBLE_EQ(m.nominal_freq_ghz, 2.1);
+  EXPECT_DOUBLE_EQ(m.turbo.MaxTurboGhz(), 3.0);
+  EXPECT_EQ(m.power_management, PowerManagement::kSpeedStep);
+}
+
+// --- Paper Table 3 ladders ---
+
+TEST(MachineSpecTest, Xeon6130LadderMatchesTable3) {
+  const TurboLadder& t = MachineByName("intel-6130-2s").turbo;
+  EXPECT_DOUBLE_EQ(t.CapGhz(1), 3.7);
+  EXPECT_DOUBLE_EQ(t.CapGhz(2), 3.7);
+  EXPECT_DOUBLE_EQ(t.CapGhz(3), 3.5);
+  EXPECT_DOUBLE_EQ(t.CapGhz(4), 3.5);
+  EXPECT_DOUBLE_EQ(t.CapGhz(5), 3.4);
+  EXPECT_DOUBLE_EQ(t.CapGhz(8), 3.4);
+  EXPECT_DOUBLE_EQ(t.CapGhz(9), 3.1);
+  EXPECT_DOUBLE_EQ(t.CapGhz(12), 3.1);
+  EXPECT_DOUBLE_EQ(t.CapGhz(13), 2.8);
+  EXPECT_DOUBLE_EQ(t.CapGhz(16), 2.8);
+}
+
+TEST(MachineSpecTest, Xeon5218LadderMatchesTable3) {
+  const TurboLadder& t = MachineByName("intel-5218-2s").turbo;
+  EXPECT_DOUBLE_EQ(t.CapGhz(1), 3.9);
+  EXPECT_DOUBLE_EQ(t.CapGhz(3), 3.7);
+  EXPECT_DOUBLE_EQ(t.CapGhz(5), 3.6);
+  EXPECT_DOUBLE_EQ(t.CapGhz(9), 3.1);
+  EXPECT_DOUBLE_EQ(t.CapGhz(13), 2.8);
+}
+
+TEST(MachineSpecTest, E78870v4LadderMatchesTable3) {
+  const TurboLadder& t = MachineByName("intel-e78870v4-4s").turbo;
+  EXPECT_DOUBLE_EQ(t.CapGhz(1), 3.0);
+  EXPECT_DOUBLE_EQ(t.CapGhz(2), 3.0);
+  EXPECT_DOUBLE_EQ(t.CapGhz(3), 2.8);
+  EXPECT_DOUBLE_EQ(t.CapGhz(4), 2.7);
+  EXPECT_DOUBLE_EQ(t.CapGhz(5), 2.6);
+  EXPECT_DOUBLE_EQ(t.CapGhz(20), 2.6);
+}
+
+// --- Properties across all machines ---
+
+class MachinePropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MachinePropertyTest, LadderIsMonotoneNonIncreasing) {
+  const MachineSpec& m = MachineByName(GetParam());
+  for (int c = 1; c < m.physical_cores_per_socket; ++c) {
+    EXPECT_GE(m.turbo.CapGhz(c), m.turbo.CapGhz(c + 1)) << "active=" << c;
+  }
+}
+
+TEST_P(MachinePropertyTest, FrequencyOrdering) {
+  const MachineSpec& m = MachineByName(GetParam());
+  EXPECT_LT(m.min_freq_ghz, m.nominal_freq_ghz);
+  EXPECT_LE(m.nominal_freq_ghz, m.turbo.MaxTurboGhz());
+  EXPECT_GE(m.turbo.AllCoresTurboGhz(), m.min_freq_ghz);
+}
+
+TEST_P(MachinePropertyTest, DvfsParametersSane) {
+  const MachineSpec& m = MachineByName(GetParam());
+  EXPECT_GT(m.ramp_up_ghz_per_ms, 0.0);
+  EXPECT_GT(m.ramp_down_ghz_per_ms, 0.0);
+  EXPECT_GT(m.freq_update_period, 0);
+  EXPECT_GE(m.autonomy_weight, 0.0);
+  EXPECT_LE(m.autonomy_weight, 1.0);
+  EXPECT_GE(m.arrival_activity_floor, 0.0);
+  EXPECT_LE(m.arrival_activity_floor, 1.0);
+  EXPECT_GT(m.smt_throughput, 0.5);
+  EXPECT_LE(m.smt_throughput, 1.0);
+}
+
+TEST_P(MachinePropertyTest, PowerParametersSane) {
+  const MachineSpec& m = MachineByName(GetParam());
+  EXPECT_GT(m.uncore_watts, 0.0);
+  EXPECT_GT(m.package_idle_watts, 0.0);
+  EXPECT_GT(m.core_dyn_coeff, 0.0);
+  EXPECT_GT(m.volt_base, 0.0);
+}
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const MachineSpec& m : AllMachines()) {
+    names.push_back(m.name);
+  }
+  return names;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachinePropertyTest, ::testing::ValuesIn(AllNames()),
+                         ParamName);
+
+TEST(MachineSpecTest, PaperMachineNamesResolve) {
+  for (const std::string& name : PaperMachineNames()) {
+    EXPECT_NO_FATAL_FAILURE(MachineByName(name));
+  }
+  EXPECT_EQ(PaperMachineNames().size(), 4u);
+}
+
+}  // namespace
+}  // namespace nestsim

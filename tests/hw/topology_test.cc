@@ -1,0 +1,139 @@
+#include "src/hw/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hw/machine_spec.h"
+
+namespace nestsim {
+namespace {
+
+TEST(TopologyTest, CountsSmall) {
+  Topology topo(2, 4, 2);
+  EXPECT_EQ(topo.num_cpus(), 16);
+  EXPECT_EQ(topo.num_physical_cores(), 8);
+  EXPECT_EQ(topo.num_sockets(), 2);
+  EXPECT_EQ(topo.threads_per_core(), 2);
+}
+
+TEST(TopologyTest, FirstThreadsComeFirst) {
+  Topology topo(2, 4, 2);
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    EXPECT_TRUE(topo.IsFirstThread(cpu));
+  }
+  for (int cpu = 8; cpu < 16; ++cpu) {
+    EXPECT_FALSE(topo.IsFirstThread(cpu));
+  }
+}
+
+TEST(TopologyTest, SiblingPairsAreSymmetric) {
+  Topology topo(2, 4, 2);
+  for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+    const int sibling = topo.SiblingOf(cpu);
+    ASSERT_GE(sibling, 0);
+    EXPECT_NE(sibling, cpu);
+    EXPECT_EQ(topo.SiblingOf(sibling), cpu);
+    EXPECT_EQ(topo.PhysCoreOf(sibling), topo.PhysCoreOf(cpu));
+  }
+}
+
+TEST(TopologyTest, SmtOffHasNoSiblings) {
+  Topology topo(1, 4, 1);
+  for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+    EXPECT_EQ(topo.SiblingOf(cpu), -1);
+  }
+}
+
+TEST(TopologyTest, SocketsAreBlocked) {
+  // CPUs on the same socket are adjacent (paper's renumbering).
+  Topology topo(2, 4, 2);
+  EXPECT_EQ(topo.SocketOf(0), 0);
+  EXPECT_EQ(topo.SocketOf(3), 0);
+  EXPECT_EQ(topo.SocketOf(4), 1);
+  EXPECT_EQ(topo.SocketOf(7), 1);
+  // Sibling block mirrors the socket layout.
+  EXPECT_EQ(topo.SocketOf(8), 0);
+  EXPECT_EQ(topo.SocketOf(12), 1);
+}
+
+class TopologyMachineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TopologyMachineTest, CpusPartitionAcrossSockets) {
+  const MachineSpec& spec = MachineByName(GetParam());
+  Topology topo(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
+  std::set<int> seen;
+  for (int s = 0; s < topo.num_sockets(); ++s) {
+    for (int cpu : topo.CpusOnSocket(s)) {
+      EXPECT_EQ(topo.SocketOf(cpu), s);
+      EXPECT_TRUE(seen.insert(cpu).second) << "cpu in two sockets";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), topo.num_cpus());
+}
+
+TEST_P(TopologyMachineTest, PhysCoresPartitionCpus) {
+  const MachineSpec& spec = MachineByName(GetParam());
+  Topology topo(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
+  std::set<int> seen;
+  for (int phys = 0; phys < topo.num_physical_cores(); ++phys) {
+    const auto& cpus = topo.CpusOfPhysCore(phys);
+    EXPECT_EQ(static_cast<int>(cpus.size()), topo.threads_per_core());
+    for (int cpu : cpus) {
+      EXPECT_EQ(topo.PhysCoreOf(cpu), phys);
+      EXPECT_TRUE(seen.insert(cpu).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), topo.num_cpus());
+}
+
+TEST_P(TopologyMachineTest, FirstThreadsEnumeratePhysicalCores) {
+  const MachineSpec& spec = MachineByName(GetParam());
+  Topology topo(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
+  for (int s = 0; s < topo.num_sockets(); ++s) {
+    const auto& firsts = topo.FirstThreadsOnSocket(s);
+    EXPECT_EQ(static_cast<int>(firsts.size()), spec.physical_cores_per_socket);
+    std::set<int> phys;
+    for (int cpu : firsts) {
+      EXPECT_TRUE(topo.IsFirstThread(cpu));
+      EXPECT_EQ(topo.SocketOf(cpu), s);
+      EXPECT_TRUE(phys.insert(topo.PhysCoreOf(cpu)).second);
+    }
+  }
+}
+
+TEST_P(TopologyMachineTest, SameSocketSamePhysCoreRelations) {
+  const MachineSpec& spec = MachineByName(GetParam());
+  Topology topo(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
+  if (topo.threads_per_core() == 2) {
+    for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+      const int sib = topo.SiblingOf(cpu);
+      EXPECT_TRUE(topo.SamePhysCore(cpu, sib));
+      EXPECT_TRUE(topo.SameSocket(cpu, sib));
+    }
+  }
+}
+
+std::vector<std::string> AllMachineNames() {
+  std::vector<std::string> names;
+  for (const MachineSpec& m : AllMachines()) {
+    names.push_back(m.name);
+  }
+  return names;
+}
+
+std::string MachineTestName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, TopologyMachineTest, ::testing::ValuesIn(AllMachineNames()),
+                         MachineTestName);
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,215 @@
+// Integration tests asserting the paper's headline claims hold in the
+// simulation (shapes, not absolute numbers — see EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/experiment.h"
+#include "src/metrics/stats.h"
+#include "src/workloads/configure.h"
+#include "src/workloads/dacapo.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/nas.h"
+
+namespace nestsim {
+namespace {
+
+double MeanSeconds(const ExperimentConfig& config, const Workload& workload, int reps = 2) {
+  return RunRepeated(config, workload, reps).mean_seconds;
+}
+
+ExperimentConfig Cfg(const std::string& machine, SchedulerKind sched,
+                     const std::string& governor = "schedutil") {
+  ExperimentConfig config;
+  config.machine = machine;
+  config.scheduler = sched;
+  config.governor = governor;
+  return config;
+}
+
+TEST(PaperShapeTest, NestSpeedsUpConfigureOn5218) {
+  // §5.2 / Figure 5: configure workloads gain well over 5% with Nest.
+  ConfigureWorkload workload("llvm_ninja");
+  const double cfs = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kCfs), workload);
+  const double nest = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kNest), workload);
+  EXPECT_GT(SpeedupPercent(cfs, nest), 8.0);
+}
+
+TEST(PaperShapeTest, NestSpeedsUpConfigureOnE7) {
+  ConfigureWorkload workload("mplayer");
+  const double cfs = MeanSeconds(Cfg("intel-e78870v4-4s", SchedulerKind::kCfs), workload);
+  const double nest = MeanSeconds(Cfg("intel-e78870v4-4s", SchedulerKind::kNest), workload);
+  EXPECT_GT(SpeedupPercent(cfs, nest), 10.0);
+}
+
+TEST(PaperShapeTest, NestAlmostEliminatesConfigureUnderload) {
+  // §5.2 / Figures 3-4.
+  ConfigureWorkload workload("llvm_ninja");
+  const ExperimentResult cfs =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kCfs), workload);
+  const ExperimentResult nest =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kNest), workload);
+  EXPECT_GT(cfs.underload_per_s, 10.0 * std::max(1.0, nest.underload_per_s));
+}
+
+TEST(PaperShapeTest, NestUsesFarFewerCores) {
+  // Figure 2: CFS disperses configure probes; Nest stays on a couple of
+  // cores.
+  ConfigureWorkload workload("llvm_ninja");
+  const ExperimentResult cfs =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kCfs), workload);
+  const ExperimentResult nest =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kNest), workload);
+  EXPECT_LE(nest.cpus_used.size(), 6u);
+  EXPECT_GE(cfs.cpus_used.size(), 3 * nest.cpus_used.size());
+}
+
+TEST(PaperShapeTest, NestLiftsFrequenciesToTopBuckets) {
+  // Figure 2/6: Nest spends the bulk of execution in the top two frequency
+  // buckets; CFS does not.
+  ConfigureWorkload workload("llvm_ninja");
+  const ExperimentResult cfs =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kCfs), workload);
+  const ExperimentResult nest =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kNest), workload);
+  EXPECT_GT(nest.freq_hist.TopShare(2), 0.55);
+  EXPECT_GT(nest.freq_hist.TopShare(2), cfs.freq_hist.TopShare(2) + 0.15);
+}
+
+TEST(PaperShapeTest, NestSavesEnergyOnConfigure) {
+  // §5.2 / Figure 7: faster completion also reduces CPU energy.
+  ConfigureWorkload workload("llvm_ninja");
+  const ExperimentResult cfs =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kCfs), workload);
+  const ExperimentResult nest =
+      RunExperiment(Cfg("intel-5218-2s", SchedulerKind::kNest), workload);
+  EXPECT_LT(nest.energy_joules, cfs.energy_joules);
+}
+
+TEST(PaperShapeTest, CfsPerformanceGovernorBarelyHelpsOnSpeedShift) {
+  // §5.2: CFS-schedutil already reaches turbo on the 6130/5218, so the
+  // performance governor gives < ~8%.
+  ConfigureWorkload workload("llvm_ninja");
+  const double sched = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kCfs, "schedutil"), workload);
+  const double perf =
+      MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kCfs, "performance"), workload);
+  EXPECT_LT(SpeedupPercent(sched, perf), 8.0);
+}
+
+TEST(PaperShapeTest, CfsPerformanceGovernorHelpsOnE7) {
+  // §5.2: the E7 is prone to subturbo under schedutil; performance helps.
+  ConfigureWorkload workload("llvm_ninja");
+  const double sched =
+      MeanSeconds(Cfg("intel-e78870v4-4s", SchedulerKind::kCfs, "schedutil"), workload);
+  const double perf =
+      MeanSeconds(Cfg("intel-e78870v4-4s", SchedulerKind::kCfs, "performance"), workload);
+  EXPECT_GT(SpeedupPercent(sched, perf), 5.0);
+}
+
+TEST(PaperShapeTest, SmoveIsNearCfsOnSpeedShiftMachines) {
+  // §5.2: Smove's heuristic rarely fires on the 6130/5218 because stale tick
+  // samples look high.
+  ConfigureWorkload workload("llvm_ninja");
+  const double cfs = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kCfs), workload);
+  const double smove = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kSmove), workload);
+  EXPECT_LT(std::abs(SpeedupPercent(cfs, smove)), 5.0);
+}
+
+TEST(PaperShapeTest, SmoveStaysFarBelowNest) {
+  ConfigureWorkload workload("llvm_ninja");
+  for (const char* machine : {"intel-5218-2s", "intel-e78870v4-4s"}) {
+    const double cfs = MeanSeconds(Cfg(machine, SchedulerKind::kCfs), workload);
+    const double nest = MeanSeconds(Cfg(machine, SchedulerKind::kNest), workload);
+    const double smove = MeanSeconds(Cfg(machine, SchedulerKind::kSmove), workload);
+    EXPECT_GT(SpeedupPercent(cfs, nest), SpeedupPercent(cfs, smove) + 5.0) << machine;
+  }
+}
+
+TEST(PaperShapeTest, NasIsNeutralOnTwoSocketMachines) {
+  // §5.4 / Figure 12: one task per core; Nest must not get in the way. The
+  // run must be long enough to amortise the nest's absorption of all cores
+  // (startup churn), as the paper's multi-second runs are.
+  NasSpec spec = NasWorkload::KernelSpec("is");
+  spec.iterations = 600;
+  NasWorkload workload(spec);
+  const double cfs = MeanSeconds(Cfg("intel-6130-2s", SchedulerKind::kCfs), workload, 1);
+  const double nest = MeanSeconds(Cfg("intel-6130-2s", SchedulerKind::kNest), workload, 1);
+  EXPECT_LT(std::abs(SpeedupPercent(cfs, nest)), 10.0);
+}
+
+TEST(PaperShapeTest, DacapoSingleTaskAppsAreNeutral) {
+  // Figure 10, blue apps: one task — nothing for Nest to improve or hurt.
+  DacapoSpec spec = DacapoWorkload::AppSpec("jython");
+  spec.iterations = 60;
+  DacapoWorkload workload(spec);
+  const double cfs = MeanSeconds(Cfg("intel-6130-2s", SchedulerKind::kCfs), workload);
+  const double nest = MeanSeconds(Cfg("intel-6130-2s", SchedulerKind::kNest), workload);
+  EXPECT_LT(std::abs(SpeedupPercent(cfs, nest)), 8.0);
+}
+
+TEST(PaperShapeTest, H2DoesNotRegressAndConcentrates) {
+  // §5.3 / Figures 8-10: in the paper h2 gains 10-40% with Nest. Our DVFS
+  // model reproduces the *placement* contrast (Nest uses roughly half the
+  // cores) but only performance parity, not the gain — see EXPERIMENTS.md
+  // for why the 6130's flat upper turbo ladder hides the win here.
+  DacapoSpec spec = DacapoWorkload::AppSpec("h2");
+  spec.iterations = 150;
+  DacapoWorkload workload(spec);
+  ExperimentConfig cfs_cfg = Cfg("intel-6130-4s", SchedulerKind::kCfs);
+  ExperimentConfig nest_cfg = Cfg("intel-6130-4s", SchedulerKind::kNest);
+  const ExperimentResult cfs = RunExperiment(cfs_cfg, workload);
+  const ExperimentResult nest = RunExperiment(nest_cfg, workload);
+  EXPECT_GT(SpeedupPercent(cfs.seconds(), nest.seconds()), -5.0);
+  EXPECT_LT(nest.cpus_used.size() * 3, cfs.cpus_used.size() * 2);  // >= 1.5x fewer
+}
+
+TEST(PaperShapeTest, NestKeepsH2OnOneSocket) {
+  // Figure 8: Nest concentrates h2 on a single socket.
+  DacapoSpec spec = DacapoWorkload::AppSpec("h2");
+  spec.iterations = 100;
+  DacapoWorkload workload(spec);
+  ExperimentConfig config = Cfg("intel-6130-4s", SchedulerKind::kNest);
+  const ExperimentResult r = RunExperiment(config, workload);
+  const MachineSpec& m = MachineByName(config.machine);
+  Topology topo(m.num_sockets, m.physical_cores_per_socket, m.threads_per_core);
+  std::set<int> sockets;
+  for (int cpu : r.cpus_used) {
+    sockets.insert(topo.SocketOf(cpu));
+  }
+  EXPECT_EQ(sockets.size(), 1u);
+}
+
+TEST(PaperShapeTest, HackbenchIsNestsWorstWorkload) {
+  // §5.6: hackbench (pure wakeups) is the paper's pathological case for
+  // Nest. Our model does not charge Nest's longer core-selection code paths,
+  // so the absolute slowdown is not reproduced (see EXPERIMENTS.md); what
+  // must hold is the ordering: hackbench is a far worse workload for Nest
+  // than the configure scripts Nest was designed for.
+  // The full-size configuration: enough tasks that the machine is saturated
+  // with wakeups (small instances fit inside the nest and lose the point).
+  HackbenchSpec spec;
+  HackbenchWorkload hackbench(spec);
+  ConfigureWorkload configure("gcc");
+  const double hb_cfs = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kCfs), hackbench);
+  const double hb_nest = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kNest), hackbench);
+  const double cfg_cfs = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kCfs), configure);
+  const double cfg_nest = MeanSeconds(Cfg("intel-5218-2s", SchedulerKind::kNest), configure);
+  EXPECT_LT(SpeedupPercent(hb_cfs, hb_nest), SpeedupPercent(cfg_cfs, cfg_nest));
+}
+
+TEST(PaperShapeTest, RemovingSpinHurtsPauseHeavyWorkloads) {
+  // §5.3 ablation: warm spinning matters for tasks whose pauses outlast the
+  // hardware's own frequency hold-off (2-8 ms gaps) — the DaCapo pattern.
+  DacapoSpec spec = DacapoWorkload::AppSpec("kafka-eval");
+  spec.iterations = 250;
+  DacapoWorkload workload(spec);
+  ExperimentConfig with = Cfg("intel-5218-2s", SchedulerKind::kNest);
+  ExperimentConfig without = with;
+  without.nest.enable_spin = false;
+  EXPECT_GT(MeanSeconds(without, workload), MeanSeconds(with, workload));
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,119 @@
+#include "src/kernel/domains.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hw/machine_spec.h"
+
+namespace nestsim {
+namespace {
+
+TEST(DomainTreeTest, MultiSocketTopIsNuma) {
+  Topology topo(2, 4, 2);
+  DomainTree tree(topo);
+  EXPECT_EQ(tree.Top().level, DomainLevel::kNuma);
+  EXPECT_EQ(tree.Top().groups.size(), 2u);  // one group per socket
+  EXPECT_EQ(tree.Top().span.size(), 16u);
+}
+
+TEST(DomainTreeTest, MonoSocketTopIsDie) {
+  Topology topo(1, 4, 2);
+  DomainTree tree(topo);
+  EXPECT_EQ(tree.Top().level, DomainLevel::kDie);
+  EXPECT_EQ(tree.DomainFor(0, DomainLevel::kNuma), nullptr);
+}
+
+TEST(DomainTreeTest, DieGroupsArePhysicalCores) {
+  Topology topo(2, 4, 2);
+  DomainTree tree(topo);
+  const SchedDomain* die = tree.DomainFor(0, DomainLevel::kDie);
+  ASSERT_NE(die, nullptr);
+  EXPECT_EQ(die->groups.size(), 4u);
+  for (const SchedGroup& group : die->groups) {
+    EXPECT_EQ(group.cpus.size(), 2u);  // thread pair
+    EXPECT_EQ(topo.PhysCoreOf(group.cpus[0]), topo.PhysCoreOf(group.cpus[1]));
+  }
+}
+
+TEST(DomainTreeTest, SmtGroupsAreSingleCpus) {
+  Topology topo(2, 4, 2);
+  DomainTree tree(topo);
+  const SchedDomain* smt = tree.DomainFor(3, DomainLevel::kSmt);
+  ASSERT_NE(smt, nullptr);
+  EXPECT_EQ(smt->span.size(), 2u);
+  EXPECT_EQ(smt->groups.size(), 2u);
+  for (const SchedGroup& group : smt->groups) {
+    EXPECT_EQ(group.cpus.size(), 1u);
+  }
+}
+
+TEST(DomainTreeTest, DomainForMatchesCpu) {
+  Topology topo(2, 4, 2);
+  DomainTree tree(topo);
+  for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+    const SchedDomain* die = tree.DomainFor(cpu, DomainLevel::kDie);
+    ASSERT_NE(die, nullptr);
+    EXPECT_NE(std::find(die->span.begin(), die->span.end(), cpu), die->span.end());
+    const SchedDomain* smt = tree.DomainFor(cpu, DomainLevel::kSmt);
+    ASSERT_NE(smt, nullptr);
+    EXPECT_NE(std::find(smt->span.begin(), smt->span.end(), cpu), smt->span.end());
+  }
+}
+
+TEST(DomainTreeTest, ChildContainingDescendsLevels) {
+  Topology topo(2, 4, 2);
+  DomainTree tree(topo);
+  const SchedDomain& top = tree.Top();
+  const SchedDomain* die = tree.ChildContaining(top, 5);
+  ASSERT_NE(die, nullptr);
+  EXPECT_EQ(die->level, DomainLevel::kDie);
+  const SchedDomain* smt = tree.ChildContaining(*die, 5);
+  ASSERT_NE(smt, nullptr);
+  EXPECT_EQ(smt->level, DomainLevel::kSmt);
+  EXPECT_EQ(tree.ChildContaining(*smt, 5), nullptr);
+}
+
+class DomainMachineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DomainMachineTest, GroupsPartitionEachDomainSpan) {
+  const MachineSpec& spec = MachineByName(GetParam());
+  Topology topo(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
+  DomainTree tree(topo);
+  for (const SchedDomain& domain : tree.all()) {
+    std::set<int> covered;
+    for (const SchedGroup& group : domain.groups) {
+      for (int cpu : group.cpus) {
+        EXPECT_TRUE(covered.insert(cpu).second) << "cpu " << cpu << " in two groups";
+      }
+    }
+    EXPECT_EQ(covered.size(), domain.span.size());
+    for (int cpu : domain.span) {
+      EXPECT_TRUE(covered.count(cpu));
+    }
+  }
+}
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const MachineSpec& m : AllMachines()) {
+    names.push_back(m.name);
+  }
+  return names;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, DomainMachineTest, ::testing::ValuesIn(AllNames()),
+                         ParamName);
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,458 @@
+#include "src/kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+// A stub policy that always selects a scripted CPU; used to force placements.
+class PinnedPolicy : public SchedulerPolicy {
+ public:
+  explicit PinnedPolicy(int cpu, bool reservation = false, int spin_ticks = 0)
+      : cpu_(cpu), reservation_(reservation), spin_ticks_(spin_ticks) {}
+
+  const char* name() const override { return "pinned"; }
+  int SelectCpuFork(Task&, int) override { return cpu_; }
+  int SelectCpuWake(Task&, const WakeContext&) override { return cpu_; }
+  int IdleSpinTicks(int) override { return spin_ticks_; }
+  bool UsesPlacementReservation() const override { return reservation_; }
+
+  void set_cpu(int cpu) { cpu_ = cpu; }
+
+ private:
+  int cpu_;
+  bool reservation_;
+  int spin_ticks_;
+};
+
+// Common rig: fixed 1 GHz machine, so work W (GHz-ns) takes exactly W ns.
+struct Rig {
+  explicit Rig(MachineSpec spec = FixedFreqMachine(),
+               Kernel::Params params = ZeroCostParams(),
+               std::unique_ptr<SchedulerPolicy> custom_policy = nullptr)
+      : hw(&engine, spec),
+        policy(custom_policy != nullptr ? std::move(custom_policy)
+                                        : std::make_unique<CfsPolicy>()),
+        kernel(&engine, &hw, policy.get(), &governor, params) {
+    kernel.Start();
+  }
+
+  static Kernel::Params ZeroCostParams() {
+    Kernel::Params p;
+    p.placement_latency = 0;
+    p.fork_cost_work = 0;
+    p.send_cost_work = 0;
+    p.recv_cost_work = 0;
+    p.migration_cost_work = 0;
+    p.cross_die_migration_cost_work = 0;
+    return p;
+  }
+
+  // Pumps until no workload task is alive (hardware events keep the queue
+  // non-empty forever).
+  void RunToCompletion(SimDuration limit = 10 * kSecond) {
+    while (kernel.live_tasks() > 0 && engine.Now() < limit) {
+      ASSERT_TRUE(engine.Step());
+    }
+    ASSERT_EQ(kernel.live_tasks(), 0) << "workload did not finish";
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  std::unique_ptr<SchedulerPolicy> policy;
+  PerformanceGovernor governor;
+  Kernel kernel;
+};
+
+TEST(KernelTest, SingleComputeTaskRunsExactly) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Compute(2e6);  // 2 ms at 1 GHz
+  Task* task = rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  rig.RunToCompletion();
+  EXPECT_EQ(task->exited_at, 2 * kMillisecond);
+  EXPECT_EQ(task->total_runtime, 2 * kMillisecond);
+}
+
+TEST(KernelTest, TaskStateTransitions) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Compute(1e6).Sleep(Milliseconds(1)).Compute(1e6);
+  Task* task = rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  EXPECT_EQ(task->state, TaskState::kRunning);
+  rig.engine.RunUntil(MillisecondsF(1.5));
+  EXPECT_EQ(task->state, TaskState::kBlocked);
+  EXPECT_EQ(task->block_reason, BlockReason::kSleep);
+  rig.RunToCompletion();
+  EXPECT_EQ(task->state, TaskState::kDead);
+  EXPECT_EQ(task->exited_at, 3 * kMillisecond);
+}
+
+TEST(KernelTest, ForkAndJoinCompletes) {
+  Rig rig;
+  ProgramBuilder child("c");
+  child.Compute(3e6);
+  ProgramBuilder parent("p");
+  parent.Compute(1e6).Fork(child.Build()).JoinChildren().Compute(1e6);
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.RunToCompletion();
+  // Parent: 1 ms, fork at t=1ms, child runs 3 ms in parallel, parent joins
+  // at 4 ms, final 1 ms -> 5 ms total.
+  EXPECT_EQ(rig.engine.Now(), 5 * kMillisecond);
+  EXPECT_EQ(rig.kernel.tasks().size(), 2u);
+}
+
+TEST(KernelTest, ForkCostIsCharged) {
+  Kernel::Params params = Rig::ZeroCostParams();
+  params.fork_cost_work = 50e3;  // 50 us at 1 GHz
+  Rig rig(FixedFreqMachine(), params);
+  ProgramBuilder child("c");
+  child.Compute(1e6);
+  ProgramBuilder parent("p");
+  parent.Fork(child.Build()).JoinChildren();
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.RunToCompletion();
+  // fork cost 50 us + child 1 ms.
+  EXPECT_EQ(rig.engine.Now(), Microseconds(1050));
+}
+
+TEST(KernelTest, PlacementLatencyDelaysEnqueue) {
+  Kernel::Params params = Rig::ZeroCostParams();
+  params.placement_latency = 5 * kMicrosecond;
+  Rig rig(FixedFreqMachine(), params);
+  ProgramBuilder child("c");
+  child.Compute(1e6);
+  ProgramBuilder parent("p");
+  parent.Fork(child.Build()).JoinChildren();
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.RunToCompletion();
+  // Two placements pay the latency: the fork and the parent's join wakeup.
+  EXPECT_EQ(rig.engine.Now(), Microseconds(1010));
+}
+
+TEST(KernelTest, SleepWakesAfterDuration) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Sleep(Milliseconds(7)).Compute(1e6);
+  Task* task = rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  rig.RunToCompletion();
+  EXPECT_EQ(task->exited_at, 8 * kMillisecond);
+  EXPECT_EQ(task->wakeups, 1);
+}
+
+TEST(KernelTest, ExecutionHistoryTracksLastTwoStints) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Compute(1e6).Sleep(Milliseconds(1)).Compute(1e6).Sleep(Milliseconds(1)).Compute(1e6);
+  Task* task = rig.kernel.SpawnInitial(b.Build(), "t", 0, 2);
+  rig.RunToCompletion();
+  // Ran on cpu 2 every time (prev == prev_prev: "attached", paper §3.3).
+  EXPECT_EQ(task->prev_cpu, 2);
+  EXPECT_EQ(task->prev_prev_cpu, 2);
+}
+
+TEST(KernelTest, TwoCpuBoundTasksShareOneCpuFairly) {
+  // Mono-CPU machine: both tasks must interleave by tick preemption.
+  Rig rig(FixedFreqMachine(1, 1, 1));
+  for (int i = 0; i < 2; ++i) {
+    ProgramBuilder b("t");
+    b.Compute(20e6);  // 20 ms each
+    rig.kernel.SpawnInitial(b.Build(), "t" + std::to_string(i), 0, 0);
+  }
+  rig.RunToCompletion();
+  EXPECT_EQ(rig.engine.Now(), 40 * kMillisecond);
+  // Fairness: both ran, and neither finished absurdly early.
+  const auto& tasks = rig.kernel.tasks();
+  EXPECT_GT(tasks[0]->exited_at, 30 * kMillisecond);
+  EXPECT_GT(tasks[1]->exited_at, 30 * kMillisecond);
+  EXPECT_GT(rig.kernel.context_switches(), 4u);
+}
+
+TEST(KernelTest, WakeupPreemptsLongRunner) {
+  Rig rig(FixedFreqMachine(1, 1, 1));
+  ProgramBuilder hog("hog");
+  hog.Compute(50e6);
+  ProgramBuilder sleeper("sleeper");
+  sleeper.Sleep(Milliseconds(10)).Compute(1e6);
+  rig.kernel.SpawnInitial(hog.Build(), "hog", 0, 0);
+  Task* s = rig.kernel.SpawnInitial(sleeper.Build(), "sleeper", 0, 0);
+  rig.RunToCompletion();
+  // The sleeper woke at 10 ms with a vruntime credit and must have finished
+  // long before the hog's 51 ms completion.
+  EXPECT_LT(s->exited_at, 20 * kMillisecond);
+}
+
+TEST(KernelTest, BarrierReleasesAllParties) {
+  Rig rig;
+  rig.kernel.CreateBarrier(1, 3);
+  ProgramBuilder b("w");
+  b.Compute(1e6).Barrier(1).Compute(1e6);
+  for (int i = 0; i < 3; ++i) {
+    rig.kernel.SpawnInitial(b.Build(), "w" + std::to_string(i), 0, i);
+  }
+  rig.RunToCompletion();
+  EXPECT_EQ(rig.engine.Now(), 2 * kMillisecond);
+}
+
+TEST(KernelTest, BarrierIsCyclic) {
+  Rig rig;
+  rig.kernel.CreateBarrier(1, 2);
+  ProgramBuilder b("w");
+  b.Loop(5).Compute(1e6).Barrier(1).EndLoop();
+  rig.kernel.SpawnInitial(b.Build(), "a", 0, 0);
+  rig.kernel.SpawnInitial(b.Build(), "b", 0, 1);
+  rig.RunToCompletion();
+  EXPECT_EQ(rig.engine.Now(), 5 * kMillisecond);
+}
+
+TEST(KernelTest, ChannelHandoffWakesReceiver) {
+  Rig rig;
+  ProgramBuilder receiver("r");
+  receiver.Recv(9).Compute(1e6);
+  ProgramBuilder sender("s");
+  sender.Compute(2e6).Send(9);
+  Task* r = rig.kernel.SpawnInitial(receiver.Build(), "r", 0, 0);
+  rig.kernel.SpawnInitial(sender.Build(), "s", 0, 1);
+  rig.RunToCompletion();
+  // Receiver blocked immediately, woke at t=2ms, computed 1ms.
+  EXPECT_EQ(r->exited_at, 3 * kMillisecond);
+}
+
+TEST(KernelTest, ChannelBuffersMessages) {
+  Rig rig;
+  ProgramBuilder sender("s");
+  sender.Send(9).Send(9);
+  ProgramBuilder receiver("r");
+  receiver.Sleep(Milliseconds(5)).Recv(9).Recv(9).Compute(1e6);
+  Task* r = rig.kernel.SpawnInitial(receiver.Build(), "r", 0, 0);
+  rig.kernel.SpawnInitial(sender.Build(), "s", 0, 1);
+  rig.RunToCompletion();
+  // Both messages were pending; no blocking on recv.
+  EXPECT_EQ(r->exited_at, 6 * kMillisecond);
+}
+
+TEST(KernelTest, JoinThresholdReapsBatchOnly) {
+  Rig rig;
+  ProgramBuilder service("svc");
+  service.Sleep(Milliseconds(50));
+  ProgramBuilder batch("batch");
+  batch.Compute(1e6);
+  ProgramBuilder parent("p");
+  parent.Fork(service.Build()).Fork(batch.Build()).JoinChildren(1).Compute(1e6);
+  Task* p = rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.RunToCompletion();
+  // Parent resumed when the batch child (1 ms) exited, not the 50 ms service.
+  EXPECT_EQ(p->exited_at, 2 * kMillisecond);
+  EXPECT_EQ(rig.engine.Now(), 50 * kMillisecond);
+}
+
+TEST(KernelTest, ExitingChildWakesJoiningParent) {
+  Rig rig;
+  ProgramBuilder child("c");
+  child.Compute(4e6);
+  ProgramBuilder parent("p");
+  parent.Fork(child.Build()).JoinChildren();
+  Task* p = rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.engine.RunUntil(2 * kMillisecond);
+  EXPECT_EQ(p->state, TaskState::kBlocked);
+  EXPECT_EQ(p->block_reason, BlockReason::kJoin);
+  rig.RunToCompletion();
+  EXPECT_EQ(p->state, TaskState::kDead);
+}
+
+TEST(KernelTest, RunnableCountTracksLifecycle) {
+  Rig rig;
+  EXPECT_EQ(rig.kernel.runnable_tasks(), 0);
+  ProgramBuilder b("t");
+  b.Compute(1e6).Sleep(Milliseconds(2)).Compute(1e6);
+  rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  EXPECT_EQ(rig.kernel.runnable_tasks(), 1);
+  rig.engine.RunUntil(MillisecondsF(1.5));  // sleeping
+  EXPECT_EQ(rig.kernel.runnable_tasks(), 0);
+  rig.engine.RunUntil(MillisecondsF(3.5));  // woke, computing
+  EXPECT_EQ(rig.kernel.runnable_tasks(), 1);
+  rig.RunToCompletion();
+  EXPECT_EQ(rig.kernel.runnable_tasks(), 0);
+}
+
+TEST(KernelTest, OverloadedQueueDrainsViaLoadBalancing) {
+  // Pin all placements to cpu 0, then let the balancer spread them.
+  auto policy = std::make_unique<PinnedPolicy>(0);
+  Rig rig(FixedFreqMachine(1, 4, 1), Rig::ZeroCostParams(), std::move(policy));
+  ProgramBuilder worker("w");
+  worker.Compute(10e6);
+  ProgramBuilder parent("p");
+  for (int i = 0; i < 3; ++i) {
+    parent.Fork(worker.Build());
+  }
+  parent.JoinChildren();
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.RunToCompletion();
+  // Without balancing this serialises on cpu 0 (~30 ms); stealing should
+  // bring it close to the 10 ms parallel optimum.
+  EXPECT_LT(rig.engine.Now(), 16 * kMillisecond);
+  EXPECT_GT(rig.kernel.total_migrations(), 0u);
+}
+
+TEST(KernelTest, NoBalancingKeepsOverloadSerial) {
+  auto policy = std::make_unique<PinnedPolicy>(0);
+  Kernel::Params params = Rig::ZeroCostParams();
+  params.enable_newidle_balance = false;
+  params.enable_periodic_balance = false;
+  Rig rig(FixedFreqMachine(1, 4, 1), params, std::move(policy));
+  ProgramBuilder worker("w");
+  worker.Compute(10e6);
+  ProgramBuilder parent("p");
+  for (int i = 0; i < 3; ++i) {
+    parent.Fork(worker.Build());
+  }
+  parent.JoinChildren();
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.RunToCompletion();
+  EXPECT_GE(rig.engine.Now(), 30 * kMillisecond);
+}
+
+TEST(KernelTest, IdleSpinKeepsHardwareBusy) {
+  auto policy = std::make_unique<PinnedPolicy>(0, /*reservation=*/false, /*spin_ticks=*/2);
+  Rig rig(FixedFreqMachine(1, 2, 2), Rig::ZeroCostParams(), std::move(policy));
+  ProgramBuilder b("t");
+  b.Compute(1e6);
+  rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  rig.engine.RunUntil(2 * kMillisecond);  // task done at 1 ms, spin active
+  EXPECT_TRUE(rig.kernel.CpuIdle(0));
+  EXPECT_TRUE(rig.hw.ThreadBusy(0));  // warm spin
+  rig.engine.RunUntil(12 * kMillisecond);  // spin (8 ms) expired
+  EXPECT_FALSE(rig.hw.ThreadBusy(0));
+}
+
+TEST(KernelTest, SpinStopsWhenSiblingGetsTask) {
+  auto owned = std::make_unique<PinnedPolicy>(0, false, /*spin_ticks=*/10);
+  PinnedPolicy* policy = owned.get();
+  Rig rig(FixedFreqMachine(1, 2, 2), Rig::ZeroCostParams(), std::move(owned));
+  ProgramBuilder b("t");
+  b.Compute(1e6);
+  rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  rig.engine.RunUntil(2 * kMillisecond);
+  ASSERT_TRUE(rig.hw.ThreadBusy(0));  // spinning
+  // Start a task on the SMT sibling of cpu 0.
+  const int sibling = rig.kernel.topology().SiblingOf(0);
+  policy->set_cpu(sibling);
+  ProgramBuilder b2("t2");
+  b2.Compute(1e6);
+  rig.kernel.SpawnInitial(b2.Build(), "t2", 0, sibling);
+  rig.engine.RunUntil(rig.engine.Now() + 100 * kMicrosecond);
+  // The spin must have yielded to the sibling (paper §3.2).
+  EXPECT_FALSE(rig.hw.ThreadBusy(0));
+  EXPECT_TRUE(rig.hw.ThreadBusy(sibling));
+}
+
+TEST(KernelTest, ClaimedCpuVisibleThroughKernel) {
+  Rig rig;
+  EXPECT_TRUE(rig.kernel.CpuIdleUnclaimed(3));
+  EXPECT_TRUE(rig.kernel.TryClaimCpu(3));
+  EXPECT_FALSE(rig.kernel.CpuIdleUnclaimed(3));
+  EXPECT_FALSE(rig.kernel.TryClaimCpu(3));
+  rig.kernel.rq(3).ClearClaim();
+  EXPECT_TRUE(rig.kernel.CpuIdleUnclaimed(3));
+}
+
+TEST(KernelTest, PlacementCollisionWithoutReservation) {
+  // Both tasks select cpu 0 inside the placement window: the second must
+  // queue behind the first (the §3.4 collision).
+  auto policy = std::make_unique<PinnedPolicy>(0, /*reservation=*/false);
+  Kernel::Params params = Rig::ZeroCostParams();
+  params.placement_latency = 10 * kMicrosecond;
+  Rig rig(FixedFreqMachine(1, 4, 1), params, std::move(policy));
+  ProgramBuilder w("w");
+  w.Compute(5e6);
+  ProgramBuilder parent("p");
+  parent.Fork(w.Build()).Fork(w.Build()).Compute(20e6);
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 1);
+  rig.engine.RunUntil(1 * kMillisecond);
+  // Before any balancing tick, cpu 0 has one running and one queued.
+  EXPECT_EQ(rig.kernel.rq(0).NrRunning(), 2);
+}
+
+TEST(KernelTest, MigrateQueuedMovesTaskAndKickWorks) {
+  auto policy = std::make_unique<PinnedPolicy>(0);
+  Kernel::Params params = Rig::ZeroCostParams();
+  params.enable_newidle_balance = false;
+  params.enable_periodic_balance = false;
+  Rig rig(FixedFreqMachine(1, 2, 1), params, std::move(policy));
+  ProgramBuilder w("w");
+  w.Compute(10e6);
+  ProgramBuilder parent("p");
+  parent.Fork(w.Build()).Compute(30e6);
+  rig.kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+  rig.engine.RunUntil(1 * kMillisecond);
+  Task* queued = rig.kernel.rq(0).Leftmost();
+  ASSERT_NE(queued, nullptr);
+  rig.kernel.MigrateQueued(queued, 1);
+  EXPECT_EQ(queued->cpu, 1);
+  EXPECT_TRUE(rig.kernel.rq(1).Queued(queued));
+  rig.kernel.KickIfIdle(1);
+  EXPECT_EQ(rig.kernel.rq(1).curr(), queued);
+}
+
+TEST(KernelTest, SmtSharingSlowsBothThreads) {
+  MachineSpec spec = FixedFreqMachine(1, 1, 2, 1.0);
+  spec.smt_throughput = 0.5;
+  auto policy = std::make_unique<PinnedPolicy>(0);
+  Rig rig(spec, Rig::ZeroCostParams(), std::move(policy));
+  ProgramBuilder b("t");
+  b.Compute(10e6);
+  rig.kernel.SpawnInitial(b.Build(), "a", 0, 0);
+  rig.kernel.SpawnInitial(b.Build(), "b", 0, 1);  // the SMT sibling
+  rig.RunToCompletion();
+  // Both threads at half speed: 10 ms of work takes 20 ms.
+  EXPECT_EQ(rig.engine.Now(), 20 * kMillisecond);
+}
+
+TEST(KernelTest, LiveTasksPerTag) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Sleep(Milliseconds(5));
+  rig.kernel.SpawnInitial(b.Build(), "a", /*tag=*/1, 0);
+  rig.kernel.SpawnInitial(b.Build(), "b", /*tag=*/2, 1);
+  EXPECT_EQ(rig.kernel.live_tasks_for_tag(1), 1);
+  EXPECT_EQ(rig.kernel.live_tasks_for_tag(2), 1);
+  EXPECT_EQ(rig.kernel.live_tasks_for_tag(3), 0);
+  rig.RunToCompletion();
+  EXPECT_EQ(rig.kernel.live_tasks_for_tag(1), 0);
+}
+
+TEST(KernelTest, RootCpuIsFirstSpawnCpu) {
+  Rig rig;
+  EXPECT_EQ(rig.kernel.root_cpu(), -1);
+  ProgramBuilder b("t");
+  b.Compute(1e6);
+  rig.kernel.SpawnInitial(b.Build(), "t", 0, 5);
+  EXPECT_EQ(rig.kernel.root_cpu(), 5);
+}
+
+TEST(KernelTest, EmptyLoopBodySkipsCleanly) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Loop(0).Compute(1e6).EndLoop().Compute(2e6);
+  Task* t = rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  rig.RunToCompletion();
+  EXPECT_EQ(t->exited_at, 2 * kMillisecond);
+}
+
+TEST(KernelTest, NestedLoopsExecuteFully) {
+  Rig rig;
+  ProgramBuilder b("t");
+  b.Loop(3).Loop(2).Compute(1e6).EndLoop().EndLoop();
+  Task* t = rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  rig.RunToCompletion();
+  EXPECT_EQ(t->exited_at, 6 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace nestsim

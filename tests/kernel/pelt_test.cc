@@ -1,0 +1,73 @@
+#include "src/kernel/pelt.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+TEST(PeltTest, StartsAtZero) {
+  PeltSignal signal;
+  EXPECT_DOUBLE_EQ(signal.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(signal.ValueAt(100 * kMillisecond), 0.0);
+}
+
+TEST(PeltTest, SaturatesTowardOneWhenAlwaysActive) {
+  PeltSignal signal;
+  for (int i = 1; i <= 100; ++i) {
+    signal.Update(i * 10 * kMillisecond, 1.0);
+  }
+  EXPECT_GT(signal.raw(), 0.99);
+  EXPECT_LE(signal.raw(), 1.0);
+}
+
+TEST(PeltTest, HalfLifeIsRespected) {
+  PeltSignal signal;
+  signal.Set(0, 1.0);
+  EXPECT_NEAR(signal.ValueAt(PeltSignal::kHalfLife), 0.5, 1e-9);
+  EXPECT_NEAR(signal.ValueAt(2 * PeltSignal::kHalfLife), 0.25, 1e-9);
+}
+
+TEST(PeltTest, UpdateWithInactivityDecays) {
+  PeltSignal signal;
+  signal.Set(0, 0.8);
+  signal.Update(PeltSignal::kHalfLife, 0.0);
+  EXPECT_NEAR(signal.raw(), 0.4, 1e-9);
+}
+
+TEST(PeltTest, PartialActivityConverges) {
+  // Alternating busy/idle in equal shares converges near 0.5.
+  PeltSignal signal;
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += kMillisecond;
+    signal.Update(t, 1.0);
+    t += kMillisecond;
+    signal.Update(t, 0.0);
+  }
+  EXPECT_NEAR(signal.raw(), 0.5, 0.03);
+}
+
+TEST(PeltTest, ZeroElapsedIsNoop) {
+  PeltSignal signal;
+  signal.Set(10, 0.6);
+  signal.Update(10, 1.0);
+  EXPECT_DOUBLE_EQ(signal.raw(), 0.6);
+}
+
+TEST(PeltTest, ValueAtDoesNotMutate) {
+  PeltSignal signal;
+  signal.Set(0, 1.0);
+  (void)signal.ValueAt(64 * kMillisecond);
+  EXPECT_DOUBLE_EQ(signal.raw(), 1.0);
+  EXPECT_EQ(signal.last_update(), 0);
+}
+
+TEST(PeltTest, SetOverridesState) {
+  PeltSignal signal;
+  signal.Set(5 * kMillisecond, 0.42);
+  EXPECT_DOUBLE_EQ(signal.raw(), 0.42);
+  EXPECT_EQ(signal.last_update(), 5 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace nestsim

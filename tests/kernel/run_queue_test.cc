@@ -1,0 +1,108 @@
+#include "src/kernel/run_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+Task MakeTask(int tid, double vruntime) {
+  Task t;
+  t.tid = tid;
+  t.vruntime = vruntime;
+  return t;
+}
+
+TEST(RunQueueTest, StartsIdle) {
+  RunQueue rq;
+  EXPECT_TRUE(rq.Idle());
+  EXPECT_EQ(rq.NrRunning(), 0);
+  EXPECT_EQ(rq.Leftmost(), nullptr);
+  EXPECT_EQ(rq.Rightmost(), nullptr);
+}
+
+TEST(RunQueueTest, LeftmostIsSmallestVruntime) {
+  RunQueue rq;
+  Task a = MakeTask(1, 30);
+  Task b = MakeTask(2, 10);
+  Task c = MakeTask(3, 20);
+  rq.Enqueue(&a);
+  rq.Enqueue(&b);
+  rq.Enqueue(&c);
+  EXPECT_EQ(rq.Leftmost(), &b);
+  EXPECT_EQ(rq.Rightmost(), &a);
+  EXPECT_EQ(rq.QueuedCount(), 3);
+}
+
+TEST(RunQueueTest, TiesBreakByTid) {
+  RunQueue rq;
+  Task a = MakeTask(2, 10);
+  Task b = MakeTask(1, 10);
+  rq.Enqueue(&a);
+  rq.Enqueue(&b);
+  EXPECT_EQ(rq.Leftmost(), &b);
+}
+
+TEST(RunQueueTest, DequeueRemoves) {
+  RunQueue rq;
+  Task a = MakeTask(1, 5);
+  rq.Enqueue(&a);
+  EXPECT_TRUE(rq.Queued(&a));
+  rq.Dequeue(&a);
+  EXPECT_FALSE(rq.Queued(&a));
+  EXPECT_TRUE(rq.Idle());
+}
+
+TEST(RunQueueTest, CurrCountsAsRunning) {
+  RunQueue rq;
+  Task a = MakeTask(1, 5);
+  rq.set_curr(&a);
+  EXPECT_EQ(rq.NrRunning(), 1);
+  EXPECT_FALSE(rq.Idle());
+  EXPECT_EQ(rq.QueuedCount(), 0);
+}
+
+TEST(RunQueueTest, MinVruntimeIsMonotone) {
+  RunQueue rq;
+  Task a = MakeTask(1, 100);
+  rq.Enqueue(&a);
+  const double v1 = rq.min_vruntime();
+  rq.Dequeue(&a);
+  Task b = MakeTask(2, 50);
+  rq.Enqueue(&b);
+  // min_vruntime never goes backwards even if a smaller task arrives.
+  EXPECT_GE(rq.min_vruntime(), v1);
+}
+
+TEST(RunQueueTest, ClaimBlocksSecondClaim) {
+  RunQueue rq;
+  EXPECT_TRUE(rq.TryClaim(0));
+  EXPECT_FALSE(rq.TryClaim(10));
+  rq.ClearClaim();
+  EXPECT_TRUE(rq.TryClaim(20));
+}
+
+TEST(RunQueueTest, ClaimExpires) {
+  RunQueue rq;
+  EXPECT_TRUE(rq.TryClaim(0));
+  // An abandoned claim times out so the CPU is not leaked.
+  EXPECT_TRUE(rq.TryClaim(Milliseconds(1)));
+}
+
+TEST(RunQueueTest, PlacementLoadDecays) {
+  RunQueue rq;
+  rq.BumpPlacement(0);
+  EXPECT_DOUBLE_EQ(rq.PlacementLoad(0), 1.0);
+  const double later = rq.PlacementLoad(10 * kMillisecond);
+  EXPECT_NEAR(later, 0.5, 0.01);  // 10 ms half-life
+  EXPECT_LT(rq.PlacementLoad(100 * kMillisecond), 0.001);
+}
+
+TEST(RunQueueTest, PlacementLoadAccumulates) {
+  RunQueue rq;
+  rq.BumpPlacement(0);
+  rq.BumpPlacement(0);
+  EXPECT_DOUBLE_EQ(rq.PlacementLoad(0), 2.0);
+}
+
+}  // namespace
+}  // namespace nestsim

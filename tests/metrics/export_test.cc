@@ -1,0 +1,79 @@
+#include "src/metrics/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace nestsim {
+namespace {
+
+ExperimentResult FakeResult() {
+  ExperimentResult r;
+  r.makespan = SecondsF(1.5);
+  r.energy_joules = 42.0;
+  r.underload_per_s = 3.25;
+  r.cpus_used = {0, 1, 2};
+  r.context_switches = 100;
+  r.migrations = 7;
+  r.tasks_created = 11;
+  return r;
+}
+
+TEST(ExportTest, ResultsCsvHasHeaderAndRows) {
+  const std::string csv = ResultsToCsv({{"llvm_ninja", "Nest sched", FakeResult()}});
+  EXPECT_NE(csv.find("workload,variant,seconds"), std::string::npos);
+  EXPECT_NE(csv.find("llvm_ninja,Nest sched,1.500000,42.000,3.250,3,100,7,11"),
+            std::string::npos);
+}
+
+TEST(ExportTest, CsvQuotesSpecialFields) {
+  const std::string csv = ResultsToCsv({{"a,b", "say \"hi\"", FakeResult()}});
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ExportTest, TraceCsv) {
+  ExecSegment seg;
+  seg.start = Milliseconds(1);
+  seg.end = Milliseconds(2);
+  seg.cpu = 5;
+  seg.tid = 9;
+  seg.freq_ghz = 3.5;
+  const std::string csv = TraceToCsv({seg});
+  EXPECT_NE(csv.find("start_s,end_s,cpu,tid,freq_ghz"), std::string::npos);
+  EXPECT_NE(csv.find("0.001000000,0.002000000,5,9,3.500"), std::string::npos);
+}
+
+TEST(ExportTest, FreqHistCsvSharesSum) {
+  FreqHistogram h;
+  h.edges = {1.0, 2.0};
+  h.seconds = {1.0, 3.0};
+  const std::string csv = FreqHistToCsv(h);
+  EXPECT_NE(csv.find("0.00,1.00,1.000000,0.250000"), std::string::npos);
+  EXPECT_NE(csv.find("1.00,2.00,3.000000,0.750000"), std::string::npos);
+}
+
+TEST(ExportTest, UnderloadSeriesCsv) {
+  const std::string csv = UnderloadSeriesToCsv({{0.004, 2.0}, {0.008, 0.0}});
+  EXPECT_NE(csv.find("t_s,underload"), std::string::npos);
+  EXPECT_NE(csv.find("0.004000,2.0"), std::string::npos);
+}
+
+TEST(ExportTest, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/nestsim_export_test.csv";
+  ASSERT_TRUE(WriteFile(path, "hello,world\n"));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "hello,world\n");
+}
+
+TEST(ExportTest, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(WriteFile("/nonexistent-dir-zzz/file.csv", "x"));
+}
+
+}  // namespace
+}  // namespace nestsim

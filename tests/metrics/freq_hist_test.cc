@@ -1,0 +1,108 @@
+#include "src/metrics/freq_hist.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+TEST(FreqBucketsTest, PaperEdgesFor6130) {
+  const std::vector<double> edges = FreqBucketEdgesFor(MachineByName("intel-6130-2s"));
+  EXPECT_EQ(edges, (std::vector<double>{1.0, 1.6, 2.1, 2.8, 3.1, 3.4, 3.7}));
+}
+
+TEST(FreqBucketsTest, PaperEdgesFor5218) {
+  const std::vector<double> edges = FreqBucketEdgesFor(MachineByName("intel-5218-2s"));
+  EXPECT_EQ(edges, (std::vector<double>{1.0, 1.6, 2.3, 2.8, 3.1, 3.6, 3.9}));
+}
+
+TEST(FreqBucketsTest, PaperEdgesForE7) {
+  const std::vector<double> edges = FreqBucketEdgesFor(MachineByName("intel-e78870v4-4s"));
+  EXPECT_EQ(edges, (std::vector<double>{1.2, 1.7, 2.1, 2.6, 3.0}));
+}
+
+TEST(FreqBucketsTest, GenericMachineGetsAscendingEdges) {
+  const std::vector<double> edges = FreqBucketEdgesFor(FixedFreqMachine(1, 4, 2, 2.0));
+  ASSERT_GE(edges.size(), 2u);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i], edges[i - 1] - 1e-12);
+  }
+}
+
+TEST(FreqHistogramTest, SharesSumToOne) {
+  FreqHistogram h;
+  h.edges = {1.0, 2.0, 3.0};
+  h.seconds = {1.0, 3.0, 4.0};
+  double total = 0;
+  for (size_t i = 0; i < h.seconds.size(); ++i) {
+    total += h.Share(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(h.TopShare(2), 7.0 / 8.0, 1e-12);
+}
+
+TEST(FreqHistogramTest, EmptyHistogramIsSafe) {
+  FreqHistogram h;
+  h.edges = {1.0};
+  h.seconds = {0.0};
+  EXPECT_DOUBLE_EQ(h.Share(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.TotalSeconds(), 0.0);
+}
+
+TEST(FreqResidencyTest, FixedFrequencyLandsInOneBucket) {
+  Engine engine;
+  HardwareModel hw(&engine, FixedFreqMachine(1, 2, 1, 2.0));
+  CfsPolicy cfs;
+  PerformanceGovernor governor;
+  Kernel kernel(&engine, &hw, &cfs, &governor);
+  FreqResidencyTracker tracker(&kernel, {1.0, 2.0, 3.0});
+  kernel.AddObserver(&tracker);
+  kernel.Start();
+
+  ProgramBuilder b("t");
+  b.Compute(10e6);  // 5 ms at 2 GHz
+  kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  while (kernel.live_tasks() > 0) {
+    ASSERT_TRUE(engine.Step());
+  }
+  FreqHistogram h = tracker.Snapshot(engine.Now());
+  EXPECT_NEAR(h.seconds[1], 0.005, 1e-6);  // the (1.0, 2.0] bucket
+  EXPECT_NEAR(h.seconds[0], 0.0, 1e-9);
+  EXPECT_NEAR(h.seconds[2], 0.0, 1e-9);
+}
+
+TEST(FreqResidencyTest, IdleTimeIsNotCounted) {
+  Engine engine;
+  HardwareModel hw(&engine, FixedFreqMachine(1, 2, 1, 2.0));
+  CfsPolicy cfs;
+  PerformanceGovernor governor;
+  Kernel kernel(&engine, &hw, &cfs, &governor);
+  FreqResidencyTracker tracker(&kernel, {1.0, 2.0, 3.0});
+  kernel.AddObserver(&tracker);
+  kernel.Start();
+
+  ProgramBuilder b("t");
+  b.Compute(2e6).Sleep(Milliseconds(10)).Compute(2e6);  // 1 ms + sleep + 1 ms
+  kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  while (kernel.live_tasks() > 0) {
+    ASSERT_TRUE(engine.Step());
+  }
+  FreqHistogram h = tracker.Snapshot(engine.Now());
+  EXPECT_NEAR(h.TotalSeconds(), 0.002, 1e-6);  // only the busy 2 ms
+}
+
+TEST(FreqResidencyTest, FormatMentionsEveryBucket) {
+  const MachineSpec& spec = MachineByName("intel-5218-2s");
+  FreqHistogram h;
+  h.edges = FreqBucketEdgesFor(spec);
+  h.seconds.assign(h.edges.size(), 1.0);
+  const std::string text = h.Format(spec);
+  EXPECT_NE(text.find("(3.6, 3.9] GHz"), std::string::npos);
+  EXPECT_NE(text.find("(0.0, 1.0] GHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,52 @@
+#include "src/metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nestsim {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, Mean) { EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0); }
+
+TEST(StatsTest, StddevOfSingleIsZero) { EXPECT_DOUBLE_EQ(Stddev({5.0}), 0.0); }
+
+TEST(StatsTest, StddevSample) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} with n-1: sqrt(32/7).
+  EXPECT_NEAR(Stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, PercentileEdges) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25);
+}
+
+TEST(StatsTest, PercentileEmpty) { EXPECT_DOUBLE_EQ(Percentile({}, 99), 0.0); }
+
+TEST(StatsTest, SpeedupPositiveWhenFaster) {
+  EXPECT_NEAR(SpeedupPercent(2.0, 1.0), 100.0, 1e-9);
+  EXPECT_NEAR(SpeedupPercent(1.1, 1.0), 10.0, 1e-9);
+}
+
+TEST(StatsTest, SpeedupNegativeWhenSlower) {
+  EXPECT_NEAR(SpeedupPercent(1.0, 2.0), -50.0, 1e-9);
+}
+
+TEST(StatsTest, SpeedupZeroBaselineGuard) { EXPECT_DOUBLE_EQ(SpeedupPercent(1.0, 0.0), 0.0); }
+
+TEST(StatsTest, ImprovementForRates) {
+  EXPECT_NEAR(ImprovementPercent(100.0, 120.0), 20.0, 1e-9);
+  EXPECT_NEAR(ImprovementPercent(100.0, 80.0), -20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,118 @@
+#include "src/metrics/underload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "src/kernel/policy.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+// Policy scripted to return a fresh CPU for every placement — guaranteed
+// dispersal, hence guaranteed underload.
+class RoundRobinPolicy : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "rr"; }
+  int SelectCpuFork(Task&, int) override { return Next(); }
+  int SelectCpuWake(Task&, const WakeContext&) override { return Next(); }
+
+ private:
+  int Next() { return next_++ % kernel_->topology().num_cpus(); }
+  int next_ = 1;
+};
+
+// Policy that reuses one CPU — zero dispersal.
+class SameCpuPolicy : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "same"; }
+  int SelectCpuFork(Task&, int) override { return 1; }
+  int SelectCpuWake(Task&, const WakeContext&) override { return 1; }
+};
+
+struct Rig {
+  explicit Rig(std::unique_ptr<SchedulerPolicy> p)
+      : hw(&engine, FixedFreqMachine(1, 8, 1)),
+        policy(std::move(p)),
+        kernel(&engine, &hw, policy.get(), &governor),
+        tracker(&kernel, /*record_series=*/true) {
+    kernel.AddObserver(&tracker);
+    kernel.Start();
+  }
+
+  void RunSerialChain(int tasks) {
+    ProgramBuilder child("c");
+    child.Compute(2e6);
+    ProgramBuilder parent("p");
+    for (int i = 0; i < tasks; ++i) {
+      parent.Compute(0.2e6).Fork(child.Build()).JoinChildren();
+    }
+    kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+    while (kernel.live_tasks() > 0) {
+      ASSERT_TRUE(engine.Step());
+    }
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  std::unique_ptr<SchedulerPolicy> policy;
+  PerformanceGovernor governor;
+  Kernel kernel;
+  UnderloadTracker tracker;
+};
+
+TEST(UnderloadTest, DispersalProducesUnderload) {
+  Rig rig(std::make_unique<RoundRobinPolicy>());
+  rig.RunSerialChain(30);
+  EXPECT_GT(rig.tracker.TotalUnderload(), 10.0);
+}
+
+TEST(UnderloadTest, PerfectReuseProducesNoUnderload) {
+  // A serial fork/join chain placed on one CPU: parent and child overlap as
+  // runnable at fork time, so 2 cores used == 2 max runnable.
+  Rig rig(std::make_unique<SameCpuPolicy>());
+  rig.RunSerialChain(30);
+  EXPECT_LE(rig.tracker.TotalUnderload(), 1.0);
+}
+
+TEST(UnderloadTest, PerSecondNormalisation) {
+  Rig rig(std::make_unique<RoundRobinPolicy>());
+  rig.RunSerialChain(30);
+  const SimTime end = rig.engine.Now();
+  EXPECT_NEAR(rig.tracker.UnderloadPerSecond(end),
+              rig.tracker.TotalUnderload() / ToSeconds(end), 1e-6);
+}
+
+TEST(UnderloadTest, SeriesCoversRun) {
+  Rig rig(std::make_unique<RoundRobinPolicy>());
+  rig.RunSerialChain(30);
+  ASSERT_FALSE(rig.tracker.series().empty());
+  // One entry per tick interval; times ascend.
+  double last = -1.0;
+  for (const auto& [t, u] : rig.tracker.series()) {
+    EXPECT_GT(t, last);
+    EXPECT_GE(u, 0.0);
+    last = t;
+  }
+}
+
+TEST(UnderloadTest, CpusEverUsedTracksPlacements) {
+  Rig rr(std::make_unique<RoundRobinPolicy>());
+  rr.RunSerialChain(20);
+  EXPECT_GT(rr.tracker.CpusEverUsed().size(), 4u);
+
+  Rig same(std::make_unique<SameCpuPolicy>());
+  same.RunSerialChain(20);
+  EXPECT_LE(same.tracker.CpusEverUsed().size(), 2u);  // root cpu + cpu 1
+}
+
+TEST(UnderloadTest, ZeroDurationIsZeroRate) {
+  Rig rig(std::make_unique<SameCpuPolicy>());
+  EXPECT_DOUBLE_EQ(rig.tracker.UnderloadPerSecond(rig.engine.Now()), 0.0);
+}
+
+}  // namespace
+}  // namespace nestsim

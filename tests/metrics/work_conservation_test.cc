@@ -1,0 +1,98 @@
+#include "src/metrics/work_conservation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+// Pins everything to one CPU so tasks queue while other CPUs idle.
+class PinnedPolicy : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "pinned"; }
+  int SelectCpuFork(Task&, int) override { return 0; }
+  int SelectCpuWake(Task&, const WakeContext&) override { return 0; }
+};
+
+struct WcRig {
+  explicit WcRig(std::unique_ptr<SchedulerPolicy> p, bool balancing)
+      : hw(&engine, FixedFreqMachine(1, 4, 1)),
+        policy(std::move(p)),
+        kernel(&engine, &hw, policy.get(), &governor, Params(balancing)),
+        tracker(&kernel) {
+    kernel.AddObserver(&tracker);
+    kernel.Start();
+  }
+
+  static Kernel::Params Params(bool balancing) {
+    Kernel::Params p;
+    p.placement_latency = 0;
+    p.fork_cost_work = 0;
+    p.enable_newidle_balance = balancing;
+    p.enable_periodic_balance = balancing;
+    return p;
+  }
+
+  void RunParallelBatch() {
+    ProgramBuilder worker("w");
+    worker.Compute(20e6);
+    ProgramBuilder parent("p");
+    // Space the forks out so the selections see each other's enqueues
+    // (otherwise the zero-time fork burst exercises the §3.4 placement race
+    // instead of the fork path).
+    for (int i = 0; i < 3; ++i) {
+      parent.Fork(worker.Build()).Compute(50e3);
+    }
+    parent.JoinChildren();
+    kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+    while (kernel.live_tasks() > 0) {
+      ASSERT_TRUE(engine.Step());
+    }
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  std::unique_ptr<SchedulerPolicy> policy;
+  PerformanceGovernor governor;
+  Kernel kernel;
+  WorkConservationTracker tracker;
+};
+
+TEST(WorkConservationTest, PinnedPolicyWithoutBalancingViolates) {
+  WcRig rig(std::make_unique<PinnedPolicy>(), /*balancing=*/false);
+  rig.RunParallelBatch();
+  // Three 20 ms tasks serialised on one CPU while three CPUs idled: tens of
+  // milliseconds of violation.
+  EXPECT_GT(rig.tracker.ViolationTime(rig.engine.Now()), 20 * kMillisecond);
+  EXPECT_GE(rig.tracker.ViolationEpisodes(), 1);
+}
+
+TEST(WorkConservationTest, BalancingRestoresConservation) {
+  WcRig rig(std::make_unique<PinnedPolicy>(), /*balancing=*/true);
+  rig.RunParallelBatch();
+  // The balancer pulls queued tasks within a tick; violations are bounded by
+  // the balancing interval, not the workload length.
+  EXPECT_LT(rig.tracker.ViolationTime(rig.engine.Now()), 10 * kMillisecond);
+}
+
+TEST(WorkConservationTest, CfsForkIsConservingHere) {
+  WcRig rig(std::make_unique<CfsPolicy>(), /*balancing=*/false);
+  rig.RunParallelBatch();
+  // CFS forks onto distinct idle CPUs: effectively no violation time.
+  EXPECT_LT(rig.tracker.ViolationTime(rig.engine.Now()), kMillisecond);
+}
+
+TEST(WorkConservationTest, IdleSystemNeverViolates) {
+  WcRig rig(std::make_unique<CfsPolicy>(), true);
+  rig.engine.RunUntil(50 * kMillisecond);
+  EXPECT_EQ(rig.tracker.ViolationTime(rig.engine.Now()), 0);
+  EXPECT_EQ(rig.tracker.ViolationEpisodes(), 0);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,115 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nestsim {
+namespace {
+
+TEST(EngineTest, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.Now(), 0);
+}
+
+TEST(EngineTest, StepAdvancesClockToEventTime) {
+  Engine engine;
+  engine.ScheduleAt(100, [] {});
+  EXPECT_TRUE(engine.Step());
+  EXPECT_EQ(engine.Now(), 100);
+}
+
+TEST(EngineTest, StepOnEmptyReturnsFalse) {
+  Engine engine;
+  EXPECT_FALSE(engine.Step());
+  EXPECT_EQ(engine.Now(), 0);
+}
+
+TEST(EngineTest, ScheduleAfterIsRelative) {
+  Engine engine;
+  engine.ScheduleAt(50, [] {});
+  engine.Step();
+  SimTime fired_at = -1;
+  engine.ScheduleAfter(25, [&] { fired_at = engine.Now(); });
+  engine.Step();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    engine.ScheduleAt(t, [&] { ++fired; });
+  }
+  engine.RunUntil(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.Now(), 50);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine engine;
+  engine.RunUntil(1234);
+  EXPECT_EQ(engine.Now(), 1234);
+}
+
+TEST(EngineTest, RunUntilIdleDrainsEverything) {
+  Engine engine;
+  int fired = 0;
+  engine.ScheduleAt(1, [&] {
+    ++fired;
+    engine.ScheduleAfter(1, [&] { ++fired; });
+  });
+  EXPECT_EQ(engine.RunUntilIdle(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(engine.Idle());
+}
+
+TEST(EngineTest, RunUntilIdleRespectsMaxEvents) {
+  Engine engine;
+  // A self-perpetuating event: the guard must stop it.
+  std::function<void()> again = [&] { engine.ScheduleAfter(1, again); };
+  engine.ScheduleAt(0, again);
+  EXPECT_EQ(engine.RunUntilIdle(100), 100u);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(engine.Cancel(id));
+  engine.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, EventsFiredCounter) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) {
+    engine.ScheduleAt(i, [] {});
+  }
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.events_fired(), 7u);
+}
+
+TEST(EngineTest, EventsScheduledDuringStepRun) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(10, [&] {
+    order.push_back(1);
+    engine.ScheduleAt(10, [&] { order.push_back(2); });  // same instant, later order
+  });
+  engine.ScheduleAt(20, [&] { order.push_back(3); });
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, PendingEventsCount) {
+  Engine engine;
+  engine.ScheduleAt(5, [] {});
+  engine.ScheduleAt(6, [] {});
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.Step();
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace nestsim

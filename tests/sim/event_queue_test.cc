@@ -1,0 +1,147 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nestsim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(30, [&] { order.push_back(3); });
+  queue.Push(10, [&] { order.push_back(1); });
+  queue.Push(20, [&] { order.push_back(2); });
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  // Determinism requirement: equal timestamps fire in insertion order.
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLive) {
+  EventQueue queue;
+  const EventId early = queue.Push(10, [] {});
+  queue.Push(20, [] {});
+  EXPECT_EQ(queue.NextTime(), 10);
+  queue.Cancel(early);
+  EXPECT_EQ(queue.NextTime(), 20);
+}
+
+TEST(EventQueueTest, CancelPendingReturnsTrue) {
+  EventQueue queue;
+  const EventId id = queue.Push(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue queue;
+  const EventId id = queue.Push(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredReturnsFalse) {
+  EventQueue queue;
+  const EventId id = queue.Push(10, [] {});
+  queue.Pop();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(kInvalidEventId));
+  EXPECT_FALSE(queue.Cancel(123456));
+}
+
+TEST(EventQueueTest, CancelledEventNeverFires) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Push(10, [&] { fired = true; });
+  queue.Push(20, [] {});
+  queue.Cancel(id);
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.Push(1, [] {});
+  queue.Push(2, [] {});
+  EXPECT_EQ(queue.Size(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.Size(), 1u);
+  queue.Pop();
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue queue;
+  for (int i = 0; i < 5; ++i) {
+    queue.Push(i, [] {});
+  }
+  queue.Clear();
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, IdsAreUniqueAndNonZero) {
+  EventQueue queue;
+  EventId prev = kInvalidEventId;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = queue.Push(i, [] {});
+    EXPECT_NE(id, kInvalidEventId);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(EventQueueTest, PopReturnsTimeAndId) {
+  EventQueue queue;
+  const EventId id = queue.Push(42, [] {});
+  const EventQueue::Fired fired = queue.Pop();
+  EXPECT_EQ(fired.time, 42);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueueTest, ManyCancellationsInterleaved) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(queue.Push(i, [&] { ++fired; }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    queue.Cancel(ids[i]);
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace nestsim

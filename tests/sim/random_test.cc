@@ -1,0 +1,188 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace nestsim {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, ZeroSeedWorks) {
+  Rng rng(0);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    values.insert(rng.NextU64());
+  }
+  EXPECT_GT(values.size(), 95u);  // not stuck
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, BoundedOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RandomTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, DoubleMeanIsHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, BoolProbability) {
+  Rng rng(17);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, BoolEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_FALSE(rng.NextBool(-1.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+  EXPECT_TRUE(rng.NextBool(2.0));
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextExponential(2.5);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RandomTest, NormalMoments) {
+  Rng rng(23);
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RandomTest, LogNormalMedian) {
+  Rng rng(29);
+  std::vector<double> values;
+  for (int i = 0; i < 20001; ++i) {
+    const double v = rng.NextLogNormal(3.0, 0.8);
+    ASSERT_GT(v, 0.0);
+    values.push_back(v);
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+  EXPECT_NEAR(values[values.size() / 2], 3.0, 0.15);
+}
+
+TEST(RandomTest, ParetoMinimum) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(rng.NextPareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(RandomTest, ForkIsIndependentAndDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.Fork();
+  Rng child2 = parent2.Fork();
+  // Children of equal parents match.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child1.NextU64(), child2.NextU64());
+  }
+  // Forking does not perturb the parent's stream.
+  Rng fresh(99);
+  fresh.Fork();
+  Rng untouched(99);
+  untouched.Fork();
+  EXPECT_EQ(fresh.NextU64(), untouched.NextU64());
+}
+
+TEST(RandomTest, SuccessiveForksDiffer) {
+  Rng parent(5);
+  Rng a = parent.Fork();
+  Rng b = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, SplitMix64KnownValue) {
+  // Reference value from the splitmix64 reference implementation.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace nestsim

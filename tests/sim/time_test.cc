@@ -1,0 +1,56 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+}
+
+TEST(TimeTest, TickPeriodIs4Ms) {
+  // The paper's kernels run at 250 Hz; thresholds like "2 ticks = 8 ms"
+  // depend on this.
+  EXPECT_EQ(kTickPeriod, 4 * kMillisecond);
+  EXPECT_EQ(2 * kTickPeriod, 8 * kMillisecond);
+}
+
+TEST(TimeTest, IntegerConstructors) {
+  EXPECT_EQ(Nanoseconds(7), 7);
+  EXPECT_EQ(Microseconds(3), 3000);
+  EXPECT_EQ(Milliseconds(2), 2 * kMillisecond);
+  EXPECT_EQ(Seconds(5), 5 * kSecond);
+}
+
+TEST(TimeTest, FractionalConstructors) {
+  EXPECT_EQ(MillisecondsF(1.5), 1500 * kMicrosecond);
+  EXPECT_EQ(MicrosecondsF(0.5), 500);
+  EXPECT_EQ(SecondsF(0.25), 250 * kMillisecond);
+}
+
+TEST(TimeTest, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(SecondsF(3.5)), 3.5);
+}
+
+TEST(TimeTest, FormatPicksUnit) {
+  EXPECT_EQ(FormatTime(12), "12ns");
+  EXPECT_EQ(FormatTime(Microseconds(890)), "890.000us");
+  EXPECT_EQ(FormatTime(MillisecondsF(56.7)), "56.700ms");
+  EXPECT_EQ(FormatTime(SecondsF(1.234)), "1.234s");
+}
+
+TEST(TimeTest, FormatNegative) {
+  EXPECT_EQ(FormatTime(-Milliseconds(3)), "-3.000ms");
+  EXPECT_EQ(FormatTime(-5), "-5ns");
+}
+
+TEST(TimeTest, FormatZero) { EXPECT_EQ(FormatTime(0), "0ns"); }
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,35 @@
+// Test helpers: deterministic machines with pinned frequencies, so execution
+// times are exactly work / frequency and assertions can be exact.
+
+#ifndef NESTSIM_TESTS_TESTING_TEST_MACHINE_H_
+#define NESTSIM_TESTS_TESTING_TEST_MACHINE_H_
+
+#include "src/hw/machine_spec.h"
+
+namespace nestsim {
+
+// A machine whose cores always run at exactly `ghz`: min == nominal == every
+// turbo ladder entry, no ramping dynamics can move the frequency.
+inline MachineSpec FixedFreqMachine(int sockets = 2, int phys_per_socket = 4,
+                                    int threads_per_core = 2, double ghz = 1.0) {
+  MachineSpec m;
+  m.name = "test-fixed";
+  m.cpu_model = "Test CPU";
+  m.microarch = "Test";
+  m.num_sockets = sockets;
+  m.physical_cores_per_socket = phys_per_socket;
+  m.threads_per_core = threads_per_core;
+  m.min_freq_ghz = ghz;
+  m.nominal_freq_ghz = ghz;
+  m.turbo = TurboLadder(std::vector<double>(static_cast<size_t>(phys_per_socket), ghz));
+  m.ramp_up_ghz_per_ms = 1000.0;
+  m.ramp_down_ghz_per_ms = 1000.0;
+  m.idle_drift_ghz_per_ms = 1000.0;
+  m.busy_downshift_ghz_per_ms = 1000.0;
+  m.smt_throughput = 1.0;  // SMT sharing off unless a test overrides it
+  return m;
+}
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_TESTS_TESTING_TEST_MACHINE_H_

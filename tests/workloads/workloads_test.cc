@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/experiment.h"
+#include "src/workloads/configure.h"
+#include "src/workloads/dacapo.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/multi.h"
+#include "src/workloads/nas.h"
+#include "src/workloads/phoronix.h"
+#include "src/workloads/server.h"
+
+namespace nestsim {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.machine = "intel-6130-2s";
+  config.scheduler = SchedulerKind::kCfs;
+  config.governor = "performance";
+  config.seed = 3;
+  return config;
+}
+
+TEST(ConfigureWorkloadTest, AllPackagesHaveSpecs) {
+  for (const std::string& name : ConfigureWorkload::PackageNames()) {
+    const ConfigureSpec spec = ConfigureWorkload::PackageSpec(name);
+    EXPECT_EQ(spec.package, name);
+    EXPECT_GT(spec.num_tests, 0);
+    EXPECT_GT(spec.child_work_ms, 0.0);
+  }
+  EXPECT_EQ(ConfigureWorkload::PackageNames().size(), 11u);  // Figure 4-7 set
+}
+
+TEST(ConfigureWorkloadTest, RunsToCompletionAndForksProbes) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 20;
+  ConfigureWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_FALSE(r.hit_time_limit);
+  // Root + at least one child per test.
+  EXPECT_GE(r.tasks_created, 21);
+  EXPECT_GT(r.seconds(), 0.0);
+}
+
+TEST(ConfigureWorkloadTest, DeterministicPerSeed) {
+  ConfigureWorkload workload("gdb");
+  const ExperimentResult a = RunExperiment(SmallConfig(), workload);
+  const ExperimentResult b = RunExperiment(SmallConfig(), workload);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+}
+
+TEST(ConfigureWorkloadDeathTest, UnknownPackageAborts) {
+  EXPECT_DEATH((void)ConfigureWorkload::PackageSpec("notapackage"), "unknown configure package");
+}
+
+TEST(DacapoWorkloadTest, AllAppsHaveSpecs) {
+  for (const std::string& name : DacapoWorkload::AppNames()) {
+    const DacapoSpec spec = DacapoWorkload::AppSpec(name);
+    EXPECT_EQ(spec.app, name);
+  }
+  EXPECT_EQ(DacapoWorkload::AppNames().size(), 21u);  // Figure 10 set
+}
+
+TEST(DacapoWorkloadTest, WorkerCountMatchesSpec) {
+  DacapoSpec spec = DacapoWorkload::AppSpec("h2");
+  spec.iterations = 5;
+  spec.aux_threads = 0;  // isolate the worker population
+  DacapoWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_EQ(r.tasks_created, 1 + spec.workers);  // jvm + workers
+}
+
+TEST(DacapoWorkloadTest, HelperBatchesSpawnPerRound) {
+  DacapoSpec spec = DacapoWorkload::AppSpec("h2");
+  spec.iterations = 5;
+  DacapoWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  // jvm + workers + coordinator + at least one helper batch.
+  EXPECT_GE(r.tasks_created, 1 + spec.workers + 1 + spec.aux_threads);
+}
+
+TEST(DacapoWorkloadTest, ChurnSpawnsBatches) {
+  DacapoSpec spec = DacapoWorkload::AppSpec("tradebeans");
+  spec.churn_batches = 4;
+  DacapoWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_GE(r.tasks_created, 1 + 4 * spec.workers);
+}
+
+TEST(NasWorkloadTest, AllKernelsHaveSpecs) {
+  for (const std::string& name : NasWorkload::KernelNames()) {
+    EXPECT_EQ(NasWorkload::KernelSpec(name).kernel_name, name);
+  }
+  EXPECT_EQ(NasWorkload::KernelNames().size(), 9u);  // Figure 12 set
+}
+
+TEST(NasWorkloadTest, OneTaskPerCpuPlusMaster) {
+  NasSpec spec = NasWorkload::KernelSpec("is");
+  spec.iterations = 3;
+  NasWorkload workload(spec);
+  ExperimentConfig config = SmallConfig();
+  const ExperimentResult r = RunExperiment(config, workload);
+  const MachineSpec& m = MachineByName(config.machine);
+  EXPECT_EQ(r.tasks_created, 1 + m.num_sockets * m.physical_cores_per_socket * m.threads_per_core);
+}
+
+TEST(NasWorkloadTest, ExplicitThreadCountHonoured) {
+  NasSpec spec = NasWorkload::KernelSpec("is");
+  spec.iterations = 3;
+  spec.threads = 8;
+  NasWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_EQ(r.tasks_created, 9);
+}
+
+TEST(PhoronixWorkloadTest, Figure13TestsResolve) {
+  for (const std::string& name : PhoronixWorkload::Figure13TestNames()) {
+    EXPECT_EQ(PhoronixWorkload::TestSpec(name).test, name);
+  }
+  EXPECT_EQ(PhoronixWorkload::Figure13TestNames().size(), 27u);
+}
+
+TEST(PhoronixWorkloadTest, SyntheticSpecsAreDeterministic) {
+  const PhoronixSpec a = PhoronixWorkload::SyntheticSpec(42);
+  const PhoronixSpec b = PhoronixWorkload::SyntheticSpec(42);
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_DOUBLE_EQ(a.item_ms, b.item_ms);
+  EXPECT_EQ(a.items, b.items);
+}
+
+TEST(PhoronixWorkloadTest, EveryStyleRuns) {
+  for (PhoronixStyle style :
+       {PhoronixStyle::kPool, PhoronixStyle::kOpenMp, PhoronixStyle::kPipeline,
+        PhoronixStyle::kFullParallel, PhoronixStyle::kSerialBursts}) {
+    PhoronixSpec spec;
+    spec.test = "style-test";
+    spec.style = style;
+    spec.threads = 4;
+    spec.items = 6;
+    spec.item_ms = 0.5;
+    PhoronixWorkload workload(spec);
+    const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+    EXPECT_FALSE(r.hit_time_limit) << "style " << static_cast<int>(style);
+    EXPECT_GE(r.tasks_created, 4);
+  }
+}
+
+TEST(HackbenchWorkloadTest, AllMessagesDelivered) {
+  HackbenchSpec spec;
+  spec.groups = 2;
+  spec.fan = 3;
+  spec.loops = 10;
+  HackbenchWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_FALSE(r.hit_time_limit);  // receivers all got their messages
+  EXPECT_EQ(r.tasks_created, 1 + 2 * 2 * 3);
+}
+
+TEST(SchbenchWorkloadTest, RoundsComplete) {
+  SchbenchSpec spec;
+  spec.message_threads = 2;
+  spec.workers_per_thread = 3;
+  spec.rounds = 5;
+  SchbenchWorkload workload(spec);
+  ExperimentConfig config = SmallConfig();
+  config.record_latency = true;
+  const ExperimentResult r = RunExperiment(config, workload);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_GT(r.p99_wakeup_latency_us, 0.0);
+}
+
+TEST(MultiAppWorkloadTest, TagsSeparateMembers) {
+  MultiAppWorkload multi;
+  ConfigureSpec a = ConfigureWorkload::PackageSpec("gcc");
+  a.num_tests = 5;
+  ConfigureSpec b = ConfigureWorkload::PackageSpec("gdb");
+  b.num_tests = 5;
+  multi.Add(std::make_unique<ConfigureWorkload>(a));
+  multi.Add(std::make_unique<ConfigureWorkload>(b));
+  EXPECT_EQ(multi.Tags(), (std::vector<int>{0, 1}));
+
+  const ExperimentResult r = RunExperiment(SmallConfig(), multi);
+  ASSERT_EQ(r.tag_makespan.size(), 2u);
+  EXPECT_GT(r.tag_makespan.at(0), 0);
+  EXPECT_GT(r.tag_makespan.at(1), 0);
+  EXPECT_EQ(std::max(r.tag_makespan.at(0), r.tag_makespan.at(1)), r.makespan);
+}
+
+TEST(ServerWorkloadTest, AllTestsHaveSpecs) {
+  for (const std::string& name : ServerWorkload::TestNames()) {
+    EXPECT_EQ(ServerWorkload::TestSpec(name).name, name);
+  }
+  EXPECT_EQ(ServerWorkload::TestNames().size(), 8u);  // the §5.6 server set
+}
+
+TEST(ServerWorkloadTest, EventLoopCompletesAllRequests) {
+  ServerSpec spec = ServerWorkload::TestSpec("nginx");
+  spec.clients = 6;
+  spec.requests_per_client = 10;
+  ServerWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_FALSE(r.hit_time_limit);  // every request served, every client done
+  EXPECT_EQ(r.tasks_created, 1 + spec.workers + spec.clients);
+}
+
+TEST(ServerWorkloadTest, ThreadPerRequestForksHandlers) {
+  ServerSpec spec = ServerWorkload::TestSpec("apache-siege-64");
+  spec.clients = 4;
+  spec.requests_per_client = 5;
+  ServerWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_FALSE(r.hit_time_limit);
+  // main + listener + clients + one handler per request.
+  EXPECT_EQ(r.tasks_created, 1 + 1 + 4 + 4 * 5);
+}
+
+TEST(ServerWorkloadTest, UnevenWorkerSplitStillDrainsQueue) {
+  ServerSpec spec = ServerWorkload::TestSpec("leveldb");
+  spec.workers = 3;
+  spec.clients = 5;
+  spec.requests_per_client = 7;  // 35 requests over 3 workers: 12/12/11
+  ServerWorkload workload(spec);
+  const ExperimentResult r = RunExperiment(SmallConfig(), workload);
+  EXPECT_FALSE(r.hit_time_limit);
+}
+
+TEST(ServerWorkloadDeathTest, UnknownTestAborts) {
+  EXPECT_DEATH((void)ServerWorkload::TestSpec("gopher"), "unknown server test");
+}
+
+TEST(WorkloadScalingTest, ConfigureWorkIsProportionalToTests) {
+  // Sanity of the generator: twice the tests, roughly twice the makespan.
+  ConfigureSpec small = ConfigureWorkload::PackageSpec("gcc");
+  small.num_tests = 20;
+  ConfigureSpec big = small;
+  big.num_tests = 40;
+  const double t_small = RunExperiment(SmallConfig(), ConfigureWorkload(small)).seconds();
+  const double t_big = RunExperiment(SmallConfig(), ConfigureWorkload(big)).seconds();
+  EXPECT_GT(t_big, 1.5 * t_small);
+  EXPECT_LT(t_big, 2.6 * t_small);
+}
+
+}  // namespace
+}  // namespace nestsim
