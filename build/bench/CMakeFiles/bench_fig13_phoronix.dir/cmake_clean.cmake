@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_phoronix.dir/bench_fig13_phoronix.cpp.o"
+  "CMakeFiles/bench_fig13_phoronix.dir/bench_fig13_phoronix.cpp.o.d"
+  "bench_fig13_phoronix"
+  "bench_fig13_phoronix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_phoronix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_underload_timeline.cpp" "bench/CMakeFiles/bench_fig3_underload_timeline.dir/bench_fig3_underload_timeline.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_underload_timeline.dir/bench_fig3_underload_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nestsim_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_configure_underload.dir/bench_fig4_configure_underload.cpp.o"
+  "CMakeFiles/bench_fig4_configure_underload.dir/bench_fig4_configure_underload.cpp.o.d"
+  "bench_fig4_configure_underload"
+  "bench_fig4_configure_underload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_configure_underload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

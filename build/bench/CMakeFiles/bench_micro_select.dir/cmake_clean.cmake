@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_select.dir/bench_micro_select.cpp.o"
+  "CMakeFiles/bench_micro_select.dir/bench_micro_select.cpp.o.d"
+  "bench_micro_select"
+  "bench_micro_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

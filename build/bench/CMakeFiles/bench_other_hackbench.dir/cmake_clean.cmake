@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_hackbench.dir/bench_other_hackbench.cpp.o"
+  "CMakeFiles/bench_other_hackbench.dir/bench_other_hackbench.cpp.o.d"
+  "bench_other_hackbench"
+  "bench_other_hackbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_hackbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

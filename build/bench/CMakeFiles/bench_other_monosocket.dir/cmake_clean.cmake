@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_monosocket.dir/bench_other_monosocket.cpp.o"
+  "CMakeFiles/bench_other_monosocket.dir/bench_other_monosocket.cpp.o.d"
+  "bench_other_monosocket"
+  "bench_other_monosocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_monosocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

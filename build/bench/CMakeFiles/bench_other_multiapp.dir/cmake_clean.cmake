@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_multiapp.dir/bench_other_multiapp.cpp.o"
+  "CMakeFiles/bench_other_multiapp.dir/bench_other_multiapp.cpp.o.d"
+  "bench_other_multiapp"
+  "bench_other_multiapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_server.dir/bench_other_server.cpp.o"
+  "CMakeFiles/bench_other_server.dir/bench_other_server.cpp.o.d"
+  "bench_other_server"
+  "bench_other_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

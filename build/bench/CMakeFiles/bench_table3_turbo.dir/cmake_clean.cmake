@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_turbo.dir/bench_table3_turbo.cpp.o"
+  "CMakeFiles/bench_table3_turbo.dir/bench_table3_turbo.cpp.o.d"
+  "bench_table3_turbo"
+  "bench_table3_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

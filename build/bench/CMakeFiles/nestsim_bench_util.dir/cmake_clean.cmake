@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/nestsim_bench_util.dir/bench_util.cc.o.d"
+  "libnestsim_bench_util.a"
+  "libnestsim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

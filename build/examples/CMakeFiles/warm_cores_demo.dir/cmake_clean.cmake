@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_cores_demo.dir/warm_cores_demo.cpp.o"
+  "CMakeFiles/warm_cores_demo.dir/warm_cores_demo.cpp.o.d"
+  "warm_cores_demo"
+  "warm_cores_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_cores_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/nestsim_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/nestsim_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/metrics/export.cc" "src/CMakeFiles/nestsim_core.dir/metrics/export.cc.o" "gcc" "src/CMakeFiles/nestsim_core.dir/metrics/export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_core.dir/core/experiment.cc.o"
+  "CMakeFiles/nestsim_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/nestsim_core.dir/metrics/export.cc.o"
+  "CMakeFiles/nestsim_core.dir/metrics/export.cc.o.d"
+  "libnestsim_core.a"
+  "libnestsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/hardware.cc" "src/CMakeFiles/nestsim_hw.dir/hw/hardware.cc.o" "gcc" "src/CMakeFiles/nestsim_hw.dir/hw/hardware.cc.o.d"
+  "/root/repo/src/hw/machine_spec.cc" "src/CMakeFiles/nestsim_hw.dir/hw/machine_spec.cc.o" "gcc" "src/CMakeFiles/nestsim_hw.dir/hw/machine_spec.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/CMakeFiles/nestsim_hw.dir/hw/topology.cc.o" "gcc" "src/CMakeFiles/nestsim_hw.dir/hw/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_hw.dir/hw/hardware.cc.o"
+  "CMakeFiles/nestsim_hw.dir/hw/hardware.cc.o.d"
+  "CMakeFiles/nestsim_hw.dir/hw/machine_spec.cc.o"
+  "CMakeFiles/nestsim_hw.dir/hw/machine_spec.cc.o.d"
+  "CMakeFiles/nestsim_hw.dir/hw/topology.cc.o"
+  "CMakeFiles/nestsim_hw.dir/hw/topology.cc.o.d"
+  "libnestsim_hw.a"
+  "libnestsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

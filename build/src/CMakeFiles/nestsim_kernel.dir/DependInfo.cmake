@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/domains.cc" "src/CMakeFiles/nestsim_kernel.dir/kernel/domains.cc.o" "gcc" "src/CMakeFiles/nestsim_kernel.dir/kernel/domains.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/nestsim_kernel.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/nestsim_kernel.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/pelt.cc" "src/CMakeFiles/nestsim_kernel.dir/kernel/pelt.cc.o" "gcc" "src/CMakeFiles/nestsim_kernel.dir/kernel/pelt.cc.o.d"
+  "/root/repo/src/kernel/program.cc" "src/CMakeFiles/nestsim_kernel.dir/kernel/program.cc.o" "gcc" "src/CMakeFiles/nestsim_kernel.dir/kernel/program.cc.o.d"
+  "/root/repo/src/kernel/run_queue.cc" "src/CMakeFiles/nestsim_kernel.dir/kernel/run_queue.cc.o" "gcc" "src/CMakeFiles/nestsim_kernel.dir/kernel/run_queue.cc.o.d"
+  "/root/repo/src/kernel/sync.cc" "src/CMakeFiles/nestsim_kernel.dir/kernel/sync.cc.o" "gcc" "src/CMakeFiles/nestsim_kernel.dir/kernel/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

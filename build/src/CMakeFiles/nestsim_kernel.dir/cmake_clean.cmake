@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_kernel.dir/kernel/domains.cc.o"
+  "CMakeFiles/nestsim_kernel.dir/kernel/domains.cc.o.d"
+  "CMakeFiles/nestsim_kernel.dir/kernel/kernel.cc.o"
+  "CMakeFiles/nestsim_kernel.dir/kernel/kernel.cc.o.d"
+  "CMakeFiles/nestsim_kernel.dir/kernel/pelt.cc.o"
+  "CMakeFiles/nestsim_kernel.dir/kernel/pelt.cc.o.d"
+  "CMakeFiles/nestsim_kernel.dir/kernel/program.cc.o"
+  "CMakeFiles/nestsim_kernel.dir/kernel/program.cc.o.d"
+  "CMakeFiles/nestsim_kernel.dir/kernel/run_queue.cc.o"
+  "CMakeFiles/nestsim_kernel.dir/kernel/run_queue.cc.o.d"
+  "CMakeFiles/nestsim_kernel.dir/kernel/sync.cc.o"
+  "CMakeFiles/nestsim_kernel.dir/kernel/sync.cc.o.d"
+  "libnestsim_kernel.a"
+  "libnestsim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/freq_hist.cc" "src/CMakeFiles/nestsim_metrics.dir/metrics/freq_hist.cc.o" "gcc" "src/CMakeFiles/nestsim_metrics.dir/metrics/freq_hist.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/CMakeFiles/nestsim_metrics.dir/metrics/stats.cc.o" "gcc" "src/CMakeFiles/nestsim_metrics.dir/metrics/stats.cc.o.d"
+  "/root/repo/src/metrics/trace.cc" "src/CMakeFiles/nestsim_metrics.dir/metrics/trace.cc.o" "gcc" "src/CMakeFiles/nestsim_metrics.dir/metrics/trace.cc.o.d"
+  "/root/repo/src/metrics/underload.cc" "src/CMakeFiles/nestsim_metrics.dir/metrics/underload.cc.o" "gcc" "src/CMakeFiles/nestsim_metrics.dir/metrics/underload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_metrics.dir/metrics/freq_hist.cc.o"
+  "CMakeFiles/nestsim_metrics.dir/metrics/freq_hist.cc.o.d"
+  "CMakeFiles/nestsim_metrics.dir/metrics/stats.cc.o"
+  "CMakeFiles/nestsim_metrics.dir/metrics/stats.cc.o.d"
+  "CMakeFiles/nestsim_metrics.dir/metrics/trace.cc.o"
+  "CMakeFiles/nestsim_metrics.dir/metrics/trace.cc.o.d"
+  "CMakeFiles/nestsim_metrics.dir/metrics/underload.cc.o"
+  "CMakeFiles/nestsim_metrics.dir/metrics/underload.cc.o.d"
+  "libnestsim_metrics.a"
+  "libnestsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfs/cfs_policy.cc" "src/CMakeFiles/nestsim_policies.dir/cfs/cfs_policy.cc.o" "gcc" "src/CMakeFiles/nestsim_policies.dir/cfs/cfs_policy.cc.o.d"
+  "/root/repo/src/governors/governors.cc" "src/CMakeFiles/nestsim_policies.dir/governors/governors.cc.o" "gcc" "src/CMakeFiles/nestsim_policies.dir/governors/governors.cc.o.d"
+  "/root/repo/src/nest/nest_policy.cc" "src/CMakeFiles/nestsim_policies.dir/nest/nest_policy.cc.o" "gcc" "src/CMakeFiles/nestsim_policies.dir/nest/nest_policy.cc.o.d"
+  "/root/repo/src/smove/smove_policy.cc" "src/CMakeFiles/nestsim_policies.dir/smove/smove_policy.cc.o" "gcc" "src/CMakeFiles/nestsim_policies.dir/smove/smove_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

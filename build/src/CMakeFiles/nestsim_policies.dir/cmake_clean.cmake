@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_policies.dir/cfs/cfs_policy.cc.o"
+  "CMakeFiles/nestsim_policies.dir/cfs/cfs_policy.cc.o.d"
+  "CMakeFiles/nestsim_policies.dir/governors/governors.cc.o"
+  "CMakeFiles/nestsim_policies.dir/governors/governors.cc.o.d"
+  "CMakeFiles/nestsim_policies.dir/nest/nest_policy.cc.o"
+  "CMakeFiles/nestsim_policies.dir/nest/nest_policy.cc.o.d"
+  "CMakeFiles/nestsim_policies.dir/smove/smove_policy.cc.o"
+  "CMakeFiles/nestsim_policies.dir/smove/smove_policy.cc.o.d"
+  "libnestsim_policies.a"
+  "libnestsim_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/nestsim_sim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/nestsim_sim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/nestsim_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/nestsim_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/nestsim_sim.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/nestsim_sim.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/nestsim_sim.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/nestsim_sim.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/nestsim_sim.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/nestsim_sim.dir/sim/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

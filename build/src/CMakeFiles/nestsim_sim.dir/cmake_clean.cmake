@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/nestsim_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/nestsim_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/nestsim_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/nestsim_sim.dir/sim/log.cc.o"
+  "CMakeFiles/nestsim_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/nestsim_sim.dir/sim/random.cc.o"
+  "CMakeFiles/nestsim_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/nestsim_sim.dir/sim/time.cc.o"
+  "CMakeFiles/nestsim_sim.dir/sim/time.cc.o.d"
+  "libnestsim_sim.a"
+  "libnestsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/configure.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/configure.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/configure.cc.o.d"
+  "/root/repo/src/workloads/dacapo.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/dacapo.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/dacapo.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/multi.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/multi.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/multi.cc.o.d"
+  "/root/repo/src/workloads/nas.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/nas.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/nas.cc.o.d"
+  "/root/repo/src/workloads/phoronix.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/phoronix.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/phoronix.cc.o.d"
+  "/root/repo/src/workloads/server.cc" "src/CMakeFiles/nestsim_workloads.dir/workloads/server.cc.o" "gcc" "src/CMakeFiles/nestsim_workloads.dir/workloads/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

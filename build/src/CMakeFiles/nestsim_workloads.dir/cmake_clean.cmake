@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestsim_workloads.dir/workloads/configure.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/configure.cc.o.d"
+  "CMakeFiles/nestsim_workloads.dir/workloads/dacapo.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/dacapo.cc.o.d"
+  "CMakeFiles/nestsim_workloads.dir/workloads/micro.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/micro.cc.o.d"
+  "CMakeFiles/nestsim_workloads.dir/workloads/multi.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/multi.cc.o.d"
+  "CMakeFiles/nestsim_workloads.dir/workloads/nas.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/nas.cc.o.d"
+  "CMakeFiles/nestsim_workloads.dir/workloads/phoronix.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/phoronix.cc.o.d"
+  "CMakeFiles/nestsim_workloads.dir/workloads/server.cc.o"
+  "CMakeFiles/nestsim_workloads.dir/workloads/server.cc.o.d"
+  "libnestsim_workloads.a"
+  "libnestsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

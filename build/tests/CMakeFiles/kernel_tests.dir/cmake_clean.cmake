@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_tests.dir/kernel/domains_test.cc.o"
+  "CMakeFiles/kernel_tests.dir/kernel/domains_test.cc.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/kernel_test.cc.o"
+  "CMakeFiles/kernel_tests.dir/kernel/kernel_test.cc.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/pelt_test.cc.o"
+  "CMakeFiles/kernel_tests.dir/kernel/pelt_test.cc.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/program_test.cc.o"
+  "CMakeFiles/kernel_tests.dir/kernel/program_test.cc.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/run_queue_test.cc.o"
+  "CMakeFiles/kernel_tests.dir/kernel/run_queue_test.cc.o.d"
+  "kernel_tests"
+  "kernel_tests.pdb"
+  "kernel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

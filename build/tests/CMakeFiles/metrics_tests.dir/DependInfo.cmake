@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/export_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/export_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/export_test.cc.o.d"
+  "/root/repo/tests/metrics/freq_hist_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/freq_hist_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/freq_hist_test.cc.o.d"
+  "/root/repo/tests/metrics/stats_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/stats_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/stats_test.cc.o.d"
+  "/root/repo/tests/metrics/trace_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/trace_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/trace_test.cc.o.d"
+  "/root/repo/tests/metrics/underload_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/underload_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/underload_test.cc.o.d"
+  "/root/repo/tests/metrics/work_conservation_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/work_conservation_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/work_conservation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tests.dir/metrics/export_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/export_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/freq_hist_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/freq_hist_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/stats_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/stats_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/trace_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/trace_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/underload_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/underload_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/work_conservation_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/work_conservation_test.cc.o.d"
+  "metrics_tests"
+  "metrics_tests.pdb"
+  "metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

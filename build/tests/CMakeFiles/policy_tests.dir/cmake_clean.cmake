@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tests.dir/cfs/cfs_policy_test.cc.o"
+  "CMakeFiles/policy_tests.dir/cfs/cfs_policy_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/governors/governors_test.cc.o"
+  "CMakeFiles/policy_tests.dir/governors/governors_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/nest/nest_policy_test.cc.o"
+  "CMakeFiles/policy_tests.dir/nest/nest_policy_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/smove/smove_policy_test.cc.o"
+  "CMakeFiles/policy_tests.dir/smove/smove_policy_test.cc.o.d"
+  "policy_tests"
+  "policy_tests.pdb"
+  "policy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
