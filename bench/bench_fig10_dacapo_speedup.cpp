@@ -12,20 +12,23 @@ int main() {
   PrintHeader("Figure 10: DaCapo speedups vs CFS-schedutil",
               "u/s column is the baseline underload per second (the paper's "
               "'u:' annotation); high-underload apps are where Nest wins.");
-  const int reps = BenchRepetitions();
   const auto variants = StandardVariants();
+  GridCampaign grid(
+      "fig10_dacapo_speedup", PaperMachineNames(), DacapoWorkload::AppNames(), variants,
+      [](size_t, const std::string& app) { return std::make_shared<DacapoWorkload>(app); });
+  grid.set_repetitions(BenchRepetitions());
+  grid.Run();
 
-  for (const std::string& machine : PaperMachineNames()) {
-    PrintMachineBanner(MachineByName(machine));
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    PrintMachineBanner(MachineByName(grid.machines()[m]));
     std::printf("%-16s %16s %7s %10s %10s %10s\n", "app", "CFS sched (s)", "u/s", "CFS perf",
                 "Nest sched", "Nest perf");
-    for (const std::string& app : DacapoWorkload::AppNames()) {
-      DacapoWorkload workload(app);
-      const RepeatedResult base = RunRepeated(ConfigFor(machine, variants[0]), workload, reps);
-      std::printf("%-16s %9.2fs %4.1f%% %7.1f", app.c_str(), base.mean_seconds,
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      const RepeatedResult& base = grid.result(m, r, 0);
+      std::printf("%-16s %9.2fs %4.1f%% %7.1f", grid.rows()[r].c_str(), base.mean_seconds,
                   base.stddev_pct(), base.mean_underload_per_s);
       for (size_t v = 1; v < variants.size(); ++v) {
-        const RepeatedResult rr = RunRepeated(ConfigFor(machine, variants[v]), workload, reps);
+        const RepeatedResult& rr = grid.result(m, r, v);
         std::printf(" %10s",
                     FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
       }

@@ -13,20 +13,24 @@ using namespace nestsim;
 int main() {
   PrintHeader("Figure 12: NAS speedups vs CFS-schedutil",
               "One OpenMP-style task per hardware thread; class C shapes.");
-  const int reps = BenchRepetitions();
   const auto variants = StandardVariants();
+  GridCampaign grid("fig12_nas_speedup", PaperMachineNames(), NasWorkload::KernelNames(),
+                    variants, [](size_t, const std::string& kernel_name) {
+                      return std::make_shared<NasWorkload>(kernel_name);
+                    });
+  grid.set_repetitions(BenchRepetitions());
+  grid.Run();
 
-  for (const std::string& machine : PaperMachineNames()) {
-    PrintMachineBanner(MachineByName(machine));
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    PrintMachineBanner(MachineByName(grid.machines()[m]));
     std::printf("%-8s %16s %10s %10s %10s\n", "kernel", "CFS sched (s)", "CFS perf",
                 "Nest sched", "Nest perf");
-    for (const std::string& kernel_name : NasWorkload::KernelNames()) {
-      NasWorkload workload(kernel_name);
-      const RepeatedResult base = RunRepeated(ConfigFor(machine, variants[0]), workload, reps);
-      std::printf("%-8s %9.2fs %4.1f%%", (kernel_name + ".C.x").c_str(), base.mean_seconds,
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      const RepeatedResult& base = grid.result(m, r, 0);
+      std::printf("%-8s %9.2fs %4.1f%%", (grid.rows()[r] + ".C.x").c_str(), base.mean_seconds,
                   base.stddev_pct());
       for (size_t v = 1; v < variants.size(); ++v) {
-        const RepeatedResult rr = RunRepeated(ConfigFor(machine, variants[v]), workload, reps);
+        const RepeatedResult& rr = grid.result(m, r, v);
         std::printf(" %10s",
                     FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
       }

@@ -1,6 +1,6 @@
 // Reproduces Figure 4: underload per second for the configure workloads, on
 // all four paper machines, with CFS and Nest under both governors. As in the
-// paper, underload is based on a single run.
+// paper, underload is based on a single run (seed 11).
 
 #include "bench/bench_util.h"
 #include "src/workloads/configure.h"
@@ -14,18 +14,23 @@ int main() {
               "because the simulated scripts are fork-dense end to end; see "
               "EXPERIMENTS.md.)");
   const auto variants = StandardVariants();
-  for (const std::string& machine : PaperMachineNames()) {
-    PrintMachineBanner(MachineByName(machine));
+  GridCampaign grid("fig4_configure_underload", PaperMachineNames(),
+                    ConfigureWorkload::PackageNames(), variants,
+                    [](size_t, const std::string& package) {
+                      return std::make_shared<ConfigureWorkload>(package);
+                    });
+  grid.set_repetitions(1);
+  grid.set_base_seed(11);
+  grid.Run();
+
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    PrintMachineBanner(MachineByName(grid.machines()[m]));
     std::printf("%-14s %12s %12s %12s %12s\n", "package", "CFS sched", "CFS perf", "Nest sched",
                 "Nest perf");
-    for (const std::string& package : ConfigureWorkload::PackageNames()) {
-      ConfigureWorkload workload(package);
-      std::printf("%-14s", package.c_str());
-      for (const Variant& variant : variants) {
-        ExperimentConfig config = ConfigFor(machine, variant);
-        config.seed = 11;
-        const ExperimentResult r = RunExperiment(config, workload);
-        std::printf(" %12.1f", r.underload_per_s);
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      std::printf("%-14s", grid.rows()[r].c_str());
+      for (size_t v = 0; v < variants.size(); ++v) {
+        std::printf(" %12.1f", grid.result(m, r, v).runs[0].underload_per_s);
       }
       std::printf("\n");
     }

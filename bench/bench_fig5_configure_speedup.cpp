@@ -13,21 +13,25 @@ int main() {
   PrintHeader("Figure 5: Configure speedups vs CFS-schedutil",
               "Rows: packages. Baseline column shows CFS-schedutil time +- stddev%. "
               "'*' marks speedups above the paper's 5% band, '!' degradations.");
-  const int reps = BenchRepetitions();
   const auto variants = StandardVariants(/*include_smove=*/true);
+  GridCampaign grid("fig5_configure_speedup", PaperMachineNames(),
+                    ConfigureWorkload::PackageNames(), variants,
+                    [](size_t, const std::string& package) {
+                      return std::make_shared<ConfigureWorkload>(package);
+                    });
+  grid.set_repetitions(BenchRepetitions());
+  grid.Run();
 
-  for (const std::string& machine : PaperMachineNames()) {
-    PrintMachineBanner(MachineByName(machine));
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    PrintMachineBanner(MachineByName(grid.machines()[m]));
     std::printf("%-14s %16s %10s %10s %10s %10s\n", "package", "CFS sched (s)", "CFS perf",
                 "Nest sched", "Nest perf", "Smove sch");
-    for (const std::string& package : ConfigureWorkload::PackageNames()) {
-      ConfigureWorkload workload(package);
-      const RepeatedResult base =
-          RunRepeated(ConfigFor(machine, variants[0]), workload, reps);
-      std::printf("%-14s %9.2fs %4.1f%%", package.c_str(), base.mean_seconds,
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      const RepeatedResult& base = grid.result(m, r, 0);
+      std::printf("%-14s %9.2fs %4.1f%%", grid.rows()[r].c_str(), base.mean_seconds,
                   base.stddev_pct());
       for (size_t v = 1; v < variants.size(); ++v) {
-        const RepeatedResult rr = RunRepeated(ConfigFor(machine, variants[v]), workload, reps);
+        const RepeatedResult& rr = grid.result(m, r, v);
         std::printf(" %10s",
                     FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
       }

@@ -42,11 +42,12 @@ int main() {
               "CFS spreads h2 widely at lower turbo; Nest concentrates it on few "
               "cores of one socket at high turbo. Several seeds show CFS's "
               "run-to-run dispersal variance (Figure 9's slow run).");
-  for (uint64_t seed : {1, 2, 3}) {
-    RunCase("CFS-schedutil", SchedulerKind::kCfs, seed);
+  const int reps = BenchRepetitions();  // NESTSIM_REPS controls the seed count
+  for (int i = 0; i < reps; ++i) {
+    RunCase("CFS-schedutil", SchedulerKind::kCfs, 1 + static_cast<uint64_t>(i));
   }
-  for (uint64_t seed : {1, 2, 3}) {
-    RunCase("Nest-schedutil", SchedulerKind::kNest, seed);
+  for (int i = 0; i < reps; ++i) {
+    RunCase("Nest-schedutil", SchedulerKind::kNest, 1 + static_cast<uint64_t>(i));
   }
   return 0;
 }

@@ -53,27 +53,37 @@ int main() {
               ">20% slower | 5-20% slower | same (+-5%) | 5-20% faster | >20% faster");
 
   const auto named = PhoronixWorkload::Figure13TestNames();
-  for (const std::string& machine : PaperMachineNames()) {
-    PrintMachineBanner(MachineByName(machine));
+  std::vector<std::string> rows;
+  rows.reserve(kTotalTests);
+  for (int i = 0; i < kTotalTests; ++i) {
+    rows.push_back(i < static_cast<int>(named.size()) ? named[i]
+                                                      : "synthetic-" + std::to_string(i));
+  }
+  const std::vector<Variant> variants = {
+      {"CFS sched", SchedulerKind::kCfs, "schedutil"},
+      {"CFS perf", SchedulerKind::kCfs, "performance"},
+      {"Nest sched", SchedulerKind::kNest, "schedutil"},
+  };
+  GridCampaign grid("table4_phoronix_overview", PaperMachineNames(), rows, variants,
+                    [&named](size_t row_index, const std::string& row) {
+                      const PhoronixSpec spec = row_index < named.size()
+                                                    ? PhoronixWorkload::TestSpec(row)
+                                                    : PhoronixWorkload::SyntheticSpec(
+                                                          static_cast<int>(row_index));
+                      return std::make_shared<PhoronixWorkload>(spec);
+                    });
+  grid.set_repetitions(1);
+  grid.set_base_seed(17);
+  grid.Run();
+
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    PrintMachineBanner(MachineByName(grid.machines()[m]));
     Bands perf_bands;
     Bands nest_bands;
-    for (int i = 0; i < kTotalTests; ++i) {
-      PhoronixSpec spec = i < static_cast<int>(named.size())
-                              ? PhoronixWorkload::TestSpec(named[i])
-                              : PhoronixWorkload::SyntheticSpec(i);
-      PhoronixWorkload workload(spec);
-
-      ExperimentConfig base = ConfigFor(machine, {"CFS sched", SchedulerKind::kCfs, "schedutil"});
-      base.seed = 17;
-      const double base_s = RunExperiment(base, workload).seconds();
-
-      ExperimentConfig perf = base;
-      perf.governor = "performance";
-      perf_bands.Add(SpeedupPercent(base_s, RunExperiment(perf, workload).seconds()));
-
-      ExperimentConfig nest = base;
-      nest.scheduler = SchedulerKind::kNest;
-      nest_bands.Add(SpeedupPercent(base_s, RunExperiment(nest, workload).seconds()));
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      const double base_s = grid.result(m, r, 0).runs[0].seconds();
+      perf_bands.Add(SpeedupPercent(base_s, grid.result(m, r, 1).runs[0].seconds()));
+      nest_bands.Add(SpeedupPercent(base_s, grid.result(m, r, 2).runs[0].seconds()));
     }
     perf_bands.Print("CFS-perf.");
     nest_bands.Print("Nest-sched.");

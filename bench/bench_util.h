@@ -12,16 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "src/campaign/grid.h"
 #include "src/core/experiment.h"
 #include "src/metrics/stats.h"
 
 namespace nestsim {
 
-struct Variant {
-  std::string label;
-  SchedulerKind scheduler;
-  std::string governor;
-};
+// `Variant` (a scheduler/governor column) lives in src/campaign/grid.h; the
+// grid benches run their machine × workload × variant grids through the
+// campaign worker pool (NESTSIM_JOBS workers, NESTSIM_JSONL result sink).
 
 // The paper's standard comparison set (Figure 5 adds Smove).
 inline std::vector<Variant> StandardVariants(bool include_smove = false) {

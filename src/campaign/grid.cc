@@ -1,0 +1,63 @@
+#include "src/campaign/grid.h"
+
+#include <stdexcept>
+
+namespace nestsim {
+
+GridCampaign::GridCampaign(std::string name, std::vector<std::string> machines,
+                           std::vector<std::string> rows, std::vector<Variant> variants,
+                           RowFactory factory, CampaignOptions options)
+    : name_(std::move(name)),
+      machines_(std::move(machines)),
+      rows_(std::move(rows)),
+      variants_(std::move(variants)),
+      factory_(std::move(factory)),
+      options_(std::move(options)) {}
+
+size_t GridCampaign::IndexOf(size_t machine, size_t row, size_t variant) const {
+  return (machine * rows_.size() + row) * variants_.size() + variant;
+}
+
+void GridCampaign::Run() {
+  Campaign campaign(name_, options_);
+  for (const std::string& machine : machines_) {
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      // One workload model per (machine, row); the variant jobs share it.
+      const std::shared_ptr<const Workload> model = factory_(r, rows_[r]);
+      for (const Variant& variant : variants_) {
+        Job job;
+        job.workload = rows_[r];
+        job.variant = variant.label;
+        job.config.machine = machine;
+        job.config.scheduler = variant.scheduler;
+        job.config.governor = variant.governor;
+        if (config_hook_) {
+          config_hook_(job.config);
+        }
+        job.model = model;
+        job.repetitions = repetitions_;
+        job.base_seed = base_seed_;
+        job.timeout_s = timeout_s_;
+        campaign.Add(std::move(job));
+      }
+    }
+  }
+  outcomes_ = campaign.Run();
+}
+
+const JobOutcome& GridCampaign::outcome(size_t machine, size_t row, size_t variant) const {
+  return outcomes_.at(IndexOf(machine, row, variant));
+}
+
+const RepeatedResult& GridCampaign::result(size_t machine, size_t row, size_t variant) const {
+  const JobOutcome& out = outcome(machine, row, variant);
+  if (!out.ok()) {
+    throw std::runtime_error("campaign " + name_ + ": job " + machines_[machine] + " x " +
+                             rows_[row] + " x " + variants_[variant].label + " " +
+                             JobStatusName(out.status) +
+                             (out.message.empty() ? "" : ": " + out.message));
+  }
+  return out.result;
+}
+
+}  // namespace nestsim

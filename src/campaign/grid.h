@@ -1,0 +1,80 @@
+// Declarative job grids: machines × workload rows × scheduler variants.
+//
+// GridCampaign expands the grid into Jobs in a fixed machine-major order
+// (machine, then row, then variant), runs them on the campaign pool, and
+// indexes outcomes by (machine, row, variant) — so a bench can print its
+// paper-style table in nested-loop order and get bytes identical to a serial
+// run, for any worker count.
+
+#ifndef NESTSIM_SRC_CAMPAIGN_GRID_H_
+#define NESTSIM_SRC_CAMPAIGN_GRID_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+
+namespace nestsim {
+
+// A scheduler/governor column of the paper's tables, e.g. "Nest sched".
+struct Variant {
+  std::string label;
+  SchedulerKind scheduler;
+  std::string governor;
+};
+
+// Builds the workload model for one grid row. Invoked once per (machine,
+// row, variant) cell during expansion, on the calling thread, in grid order.
+using RowFactory =
+    std::function<std::shared_ptr<const Workload>(size_t row_index, const std::string& row)>;
+
+class GridCampaign {
+ public:
+  GridCampaign(std::string name, std::vector<std::string> machines,
+               std::vector<std::string> rows, std::vector<Variant> variants, RowFactory factory,
+               CampaignOptions options = CampaignOptions::FromEnv());
+
+  // Knobs below apply at Run() time to every job.
+  void set_repetitions(int reps) { repetitions_ = reps; }
+  void set_base_seed(uint64_t seed) { base_seed_ = seed; }
+  void set_timeout_s(double s) { timeout_s_ = s; }
+  // Last-chance per-job config tweak (e.g. nest parameters, record flags).
+  void set_config_hook(std::function<void(ExperimentConfig&)> hook) {
+    config_hook_ = std::move(hook);
+  }
+
+  void Run();
+
+  const std::vector<std::string>& machines() const { return machines_; }
+  const std::vector<std::string>& rows() const { return rows_; }
+  const std::vector<Variant>& variants() const { return variants_; }
+
+  // Valid after Run().
+  const JobOutcome& outcome(size_t machine, size_t row, size_t variant) const;
+  // The aggregated result; throws std::runtime_error when the job timed out
+  // or failed — use outcome() where failures are expected.
+  const RepeatedResult& result(size_t machine, size_t row, size_t variant) const;
+
+ private:
+  size_t IndexOf(size_t machine, size_t row, size_t variant) const;
+
+  std::string name_;
+  std::vector<std::string> machines_;
+  std::vector<std::string> rows_;
+  std::vector<Variant> variants_;
+  RowFactory factory_;
+  CampaignOptions options_;
+
+  int repetitions_ = 1;
+  uint64_t base_seed_ = 1;
+  double timeout_s_ = 0.0;
+  std::function<void(ExperimentConfig&)> config_hook_;
+
+  std::vector<JobOutcome> outcomes_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_CAMPAIGN_GRID_H_

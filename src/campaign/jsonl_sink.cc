@@ -1,0 +1,175 @@
+#include "src/campaign/jsonl_sink.h"
+
+#include <cstdlib>
+
+namespace nestsim {
+
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* key, const std::string& value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += JsonEscape(value);
+  out += '"';
+}
+
+void AppendField(std::string& out, const char* key, double value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  AppendDouble(out, value);
+}
+
+void AppendField(std::string& out, const char* key, uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kTimeout:
+      return "timeout";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string JobRecordJson(const std::string& campaign, const Job& job,
+                          const JobOutcome& outcome) {
+  std::string out = "{";
+  AppendField(out, "campaign", campaign);
+  out += ',';
+  AppendField(out, "workload", job.workload);
+  out += ',';
+  AppendField(out, "variant", job.variant);
+  out += ',';
+  AppendField(out, "machine", job.config.machine);
+  out += ',';
+  AppendField(out, "scheduler", std::string(SchedulerKindName(job.config.scheduler)));
+  out += ',';
+  AppendField(out, "governor", job.config.governor);
+  out += ',';
+  AppendField(out, "base_seed", job.base_seed);
+  out += ',';
+  AppendField(out, "repetitions", static_cast<uint64_t>(job.repetitions));
+  out += ',';
+  AppendField(out, "status", std::string(JobStatusName(outcome.status)));
+  out += ',';
+  AppendField(out, "wall_s", outcome.wall_seconds);
+  if (outcome.status == JobStatus::kFailed) {
+    out += ',';
+    AppendField(out, "error", outcome.message);
+  }
+  if (outcome.status == JobStatus::kOk) {
+    out += ',';
+    AppendField(out, "mean_s", outcome.result.mean_seconds);
+    out += ',';
+    AppendField(out, "stddev_s", outcome.result.stddev_seconds);
+    out += ',';
+    AppendField(out, "mean_energy_j", outcome.result.mean_energy_j);
+    out += ',';
+    AppendField(out, "mean_underload_per_s", outcome.result.mean_underload_per_s);
+    out += ",\"runs\":[";
+    for (size_t i = 0; i < outcome.result.runs.size(); ++i) {
+      const ExperimentResult& r = outcome.result.runs[i];
+      if (i > 0) {
+        out += ',';
+      }
+      out += '{';
+      AppendField(out, "seed", job.base_seed + i);
+      out += ',';
+      AppendField(out, "seconds", r.seconds());
+      out += ',';
+      AppendField(out, "energy_j", r.energy_joules);
+      out += ',';
+      AppendField(out, "underload_per_s", r.underload_per_s);
+      out += ',';
+      AppendField(out, "makespan_ns", static_cast<uint64_t>(r.makespan));
+      out += '}';
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "[campaign] cannot open JSONL sink %s; disabling\n", path.c_str());
+  }
+}
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void JsonlSink::Write(const std::string& campaign, const Job& job, const JobOutcome& outcome) {
+  if (file_ == nullptr) {
+    return;
+  }
+  const std::string record = JobRecordJson(campaign, job, outcome);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(record.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+std::string JsonlSink::PathFromEnv() {
+  const char* env = std::getenv("NESTSIM_JSONL");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace nestsim

@@ -1,0 +1,37 @@
+#include "src/campaign/progress.h"
+
+#include <cstdio>
+
+namespace nestsim {
+
+ProgressMeter::ProgressMeter(std::string name, size_t total, bool enabled)
+    : name_(std::move(name)),
+      total_(total),
+      enabled_(enabled && total > 0),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_ - std::chrono::hours(1)) {}
+
+void ProgressMeter::JobDone() {
+  if (!enabled_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  const auto now = std::chrono::steady_clock::now();
+  const bool final = done_ >= total_;
+  if (!final && now - last_print_ < std::chrono::milliseconds(100)) {
+    return;
+  }
+  last_print_ = now;
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done_) / elapsed : 0.0;
+  const double eta_s = rate > 0.0 ? static_cast<double>(total_ - done_) / rate : 0.0;
+  std::fprintf(stderr, "\r[%s] %zu/%zu jobs  %.1f jobs/s  ETA %.0fs ", name_.c_str(), done_,
+               total_, rate, eta_s);
+  if (final) {
+    std::fputc('\n', stderr);
+  }
+  std::fflush(stderr);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,36 @@
+// Throttled progress reporting for long campaigns.
+
+#ifndef NESTSIM_SRC_CAMPAIGN_PROGRESS_H_
+#define NESTSIM_SRC_CAMPAIGN_PROGRESS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace nestsim {
+
+// Prints "\r[name] done/total jobs  R jobs/s  ETA Ns" to stderr, at most once
+// per 100 ms; the final update always prints and ends the line. Thread-safe:
+// campaign workers call JobDone() as they finish. Progress goes to stderr so
+// the paper-style tables on stdout stay clean.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::string name, size_t total, bool enabled);
+
+  void JobDone();
+
+ private:
+  const std::string name_;
+  const size_t total_;
+  const bool enabled_;
+  const std::chrono::steady_clock::time_point start_;
+
+  std::mutex mu_;
+  size_t done_ = 0;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_CAMPAIGN_PROGRESS_H_

@@ -98,13 +98,23 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   ExperimentResult result;
   // Pump events until every task exited. The hardware's periodic updates keep
   // the queue non-empty forever, so the live-task count is the loop
-  // condition.
+  // condition. The abort hook is polled on a stride so the steady-clock read
+  // stays off the per-event path.
+  constexpr int kAbortCheckStride = 2048;
+  int until_abort_check = kAbortCheckStride;
   while (kernel.live_tasks() > 0 && engine.Now() < config.time_limit) {
+    if (--until_abort_check <= 0) {
+      until_abort_check = kAbortCheckStride;
+      if (config.should_abort && config.should_abort()) {
+        result.aborted = true;
+        break;
+      }
+    }
     if (!engine.Step()) {
       break;
     }
   }
-  result.hit_time_limit = kernel.live_tasks() > 0;
+  result.hit_time_limit = kernel.live_tasks() > 0 && !result.aborted;
 
   const SimTime end = completion.last_exit() > 0 ? completion.last_exit() : engine.Now();
   result.makespan = end;
@@ -136,16 +146,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   return result;
 }
 
-RepeatedResult RunRepeated(const ExperimentConfig& config, const Workload& workload,
-                           int repetitions, uint64_t base_seed) {
+RepeatedResult AggregateRuns(std::vector<ExperimentResult> runs) {
   RepeatedResult out;
   std::vector<double> seconds;
   std::vector<double> energy;
   std::vector<double> underload;
-  for (int i = 0; i < repetitions; ++i) {
-    ExperimentConfig c = config;
-    c.seed = base_seed + static_cast<uint64_t>(i);
-    ExperimentResult r = RunExperiment(c, workload);
+  for (ExperimentResult& r : runs) {
     seconds.push_back(r.seconds());
     energy.push_back(r.energy_joules);
     underload.push_back(r.underload_per_s);
@@ -163,6 +169,18 @@ RepeatedResult RunRepeated(const ExperimentConfig& config, const Workload& workl
   out.mean_energy_j = Mean(energy);
   out.mean_underload_per_s = Mean(underload);
   return out;
+}
+
+RepeatedResult RunRepeated(const ExperimentConfig& config, const Workload& workload,
+                           int repetitions, uint64_t base_seed) {
+  std::vector<ExperimentResult> runs;
+  runs.reserve(static_cast<size_t>(repetitions > 0 ? repetitions : 0));
+  for (int i = 0; i < repetitions; ++i) {
+    ExperimentConfig c = config;
+    c.seed = base_seed + static_cast<uint64_t>(i);
+    runs.push_back(RunExperiment(c, workload));
+  }
+  return AggregateRuns(std::move(runs));
 }
 
 }  // namespace nestsim

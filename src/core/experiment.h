@@ -9,6 +9,7 @@
 #ifndef NESTSIM_SRC_CORE_EXPERIMENT_H_
 #define NESTSIM_SRC_CORE_EXPERIMENT_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +45,12 @@ struct ExperimentConfig {
   bool record_underload_series = false;
   bool record_latency = false;
 
+  // Cooperative wall-clock cancellation: when set, the event loop polls this
+  // every few thousand events and abandons the run once it returns true,
+  // marking the result `aborted`. The campaign runner uses it to enforce
+  // per-job wall-clock timeouts without killing threads.
+  std::function<bool()> should_abort;
+
   // Convenience label, e.g. "Nest sched".
   std::string Label() const;
 };
@@ -59,6 +66,7 @@ struct ExperimentResult {
   uint64_t migrations = 0;
   int tasks_created = 0;
   bool hit_time_limit = false;
+  bool aborted = false;  // should_abort fired; metrics cover the partial run
 
   // Per-tag completion times (multi-application runs).
   std::map<int, SimDuration> tag_makespan;
@@ -92,6 +100,11 @@ struct RepeatedResult {
     return mean_seconds > 0 ? 100.0 * stddev_seconds / mean_seconds : 0.0;
   }
 };
+
+// Aggregates already-collected per-seed runs into the summary benches print.
+// RunRepeated and the campaign runner share this so a pooled campaign
+// produces bitwise-identical tables to a serial loop.
+RepeatedResult AggregateRuns(std::vector<ExperimentResult> runs);
 
 // Runs `repetitions` seeds (base_seed, base_seed+1, ...) and aggregates.
 RepeatedResult RunRepeated(const ExperimentConfig& config, const Workload& workload,

@@ -1,11 +1,14 @@
 #include "src/sim/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace nestsim {
 
 namespace {
-LogLevel g_level = LogLevel::kNone;
+// Atomic so concurrent campaign workers can read it race-free; the level is
+// normally set once, before any simulation runs.
+std::atomic<LogLevel> g_level{LogLevel::kNone};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -24,11 +27,11 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogAt(LogLevel level, SimTime now, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) {
+  if (static_cast<int>(level) > static_cast<int>(GetLogLevel())) {
     return;
   }
   std::fprintf(stderr, "[%s %12s] ", LevelTag(level), FormatTime(now).c_str());

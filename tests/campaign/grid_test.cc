@@ -1,0 +1,107 @@
+#include "src/campaign/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/workloads/configure.h"
+
+namespace nestsim {
+namespace {
+
+std::shared_ptr<const Workload> SmallConfigure(const std::string& package) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec(package);
+  spec.num_tests = 10;
+  return std::make_shared<ConfigureWorkload>(spec);
+}
+
+GridCampaign MakeGrid(int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.progress = false;
+  return GridCampaign(
+      "grid-test", {"intel-5218-2s", "intel-6130-2s"}, {"gcc", "llvm_ninja"},
+      {{"CFS sched", SchedulerKind::kCfs, "schedutil"},
+       {"Nest sched", SchedulerKind::kNest, "schedutil"}},
+      [](size_t, const std::string& package) { return SmallConfigure(package); }, options);
+}
+
+TEST(GridCampaignTest, IndexesResultsByMachineRowVariant) {
+  GridCampaign grid = MakeGrid(4);
+  grid.set_repetitions(2);
+  grid.Run();
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      for (size_t v = 0; v < grid.variants().size(); ++v) {
+        ASSERT_TRUE(grid.outcome(m, r, v).ok());
+        EXPECT_EQ(grid.result(m, r, v).runs.size(), 2u);
+      }
+    }
+  }
+  // Different cells really are different experiments.
+  EXPECT_NE(grid.result(0, 0, 0).runs[0].makespan, grid.result(1, 0, 0).runs[0].makespan);
+  EXPECT_NE(grid.result(0, 0, 0).runs[0].makespan, grid.result(0, 1, 0).runs[0].makespan);
+}
+
+TEST(GridCampaignTest, PooledGridMatchesSerialRunRepeatedBitwise) {
+  GridCampaign grid = MakeGrid(8);
+  grid.set_repetitions(2);
+  grid.set_base_seed(21);
+  grid.Run();
+  for (size_t m = 0; m < grid.machines().size(); ++m) {
+    for (size_t r = 0; r < grid.rows().size(); ++r) {
+      for (size_t v = 0; v < grid.variants().size(); ++v) {
+        ExperimentConfig config;
+        config.machine = grid.machines()[m];
+        config.scheduler = grid.variants()[v].scheduler;
+        config.governor = grid.variants()[v].governor;
+        const RepeatedResult direct =
+            RunRepeated(config, *SmallConfigure(grid.rows()[r]), 2, /*base_seed=*/21);
+        const RepeatedResult& pooled = grid.result(m, r, v);
+        EXPECT_EQ(pooled.mean_seconds, direct.mean_seconds);
+        EXPECT_EQ(pooled.stddev_seconds, direct.stddev_seconds);
+        EXPECT_EQ(pooled.mean_energy_j, direct.mean_energy_j);
+        ASSERT_EQ(pooled.runs.size(), direct.runs.size());
+        for (size_t i = 0; i < direct.runs.size(); ++i) {
+          EXPECT_EQ(pooled.runs[i].makespan, direct.runs[i].makespan);
+          EXPECT_EQ(pooled.runs[i].context_switches, direct.runs[i].context_switches);
+        }
+      }
+    }
+  }
+}
+
+TEST(GridCampaignTest, ConfigHookApplies) {
+  CampaignOptions options;
+  options.jobs = 2;
+  options.progress = false;
+  GridCampaign grid(
+      "grid-test", {"intel-5218-2s"}, {"gcc"},
+      {{"CFS sched", SchedulerKind::kCfs, "schedutil"}},
+      [](size_t, const std::string& package) { return SmallConfigure(package); }, options);
+  grid.set_config_hook([](ExperimentConfig& config) { config.record_trace = true; });
+  grid.Run();
+  EXPECT_FALSE(grid.result(0, 0, 0).runs[0].trace.empty());
+}
+
+TEST(GridCampaignTest, ResultThrowsOnFailedJob) {
+  class Bad : public Workload {
+   public:
+    std::string name() const override { return "bad"; }
+    void Setup(Kernel&, Rng&) const override { throw std::runtime_error("boom"); }
+  };
+  CampaignOptions options;
+  options.jobs = 1;
+  options.progress = false;
+  GridCampaign grid(
+      "grid-test", {"intel-5218-2s"}, {"bad"},
+      {{"CFS sched", SchedulerKind::kCfs, "schedutil"}},
+      [](size_t, const std::string&) { return std::make_shared<Bad>(); }, options);
+  grid.Run();
+  EXPECT_EQ(grid.outcome(0, 0, 0).status, JobStatus::kFailed);
+  EXPECT_THROW(grid.result(0, 0, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nestsim

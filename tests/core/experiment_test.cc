@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/kernel/program.h"
 #include "src/workloads/configure.h"
 #include "src/workloads/nas.h"
@@ -151,6 +153,79 @@ TEST(RunRepeatedTest, AggregatesAcrossSeeds) {
   }
   EXPECT_NEAR(rr.mean_seconds, sum / 3.0, 1e-12);
   EXPECT_FALSE(rr.mean_freq_hist.edges.empty());
+}
+
+TEST(RunRepeatedTest, MeanAndStddevMatchHandComputation) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  ExperimentConfig config;
+  const RepeatedResult rr = RunRepeated(config, workload, 4, /*base_seed=*/5);
+  ASSERT_EQ(rr.runs.size(), 4u);
+
+  double sum = 0.0;
+  double sum_energy = 0.0;
+  double sum_underload = 0.0;
+  for (const ExperimentResult& run : rr.runs) {
+    sum += run.seconds();
+    sum_energy += run.energy_joules;
+    sum_underload += run.underload_per_s;
+  }
+  const double mean = sum / 4.0;
+  double var = 0.0;
+  for (const ExperimentResult& run : rr.runs) {
+    var += (run.seconds() - mean) * (run.seconds() - mean);
+  }
+  EXPECT_NEAR(rr.mean_seconds, mean, 1e-12);
+  EXPECT_NEAR(rr.mean_energy_j, sum_energy / 4.0, 1e-9);
+  EXPECT_NEAR(rr.mean_underload_per_s, sum_underload / 4.0, 1e-9);
+  // Stddev is the sample (n-1) form, as paper-style variance annotations are.
+  EXPECT_NEAR(rr.stddev_seconds, std::sqrt(var / 3.0), 1e-12);
+  EXPECT_NEAR(rr.stddev_pct(), 100.0 * rr.stddev_seconds / rr.mean_seconds, 1e-12);
+}
+
+TEST(RunRepeatedTest, StddevPctZeroWhenMeanZero) {
+  RepeatedResult rr;
+  EXPECT_EQ(rr.stddev_pct(), 0.0);
+}
+
+TEST(RunRepeatedTest, FreqHistSumsSecondsAcrossRuns) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  ExperimentConfig config;
+  const RepeatedResult rr = RunRepeated(config, workload, 3);
+  ASSERT_EQ(rr.runs.size(), 3u);
+  ASSERT_FALSE(rr.mean_freq_hist.edges.empty());
+  EXPECT_EQ(rr.mean_freq_hist.edges, rr.runs[0].freq_hist.edges);
+  for (size_t b = 0; b < rr.mean_freq_hist.seconds.size(); ++b) {
+    double sum = 0.0;
+    for (const ExperimentResult& run : rr.runs) {
+      sum += run.freq_hist.seconds[b];
+    }
+    EXPECT_NEAR(rr.mean_freq_hist.seconds[b], sum, 1e-9) << "bucket " << b;
+  }
+}
+
+TEST(RunRepeatedTest, AggregateRunsMatchesRunRepeated) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  ConfigureWorkload workload(spec);
+  ExperimentConfig config;
+
+  std::vector<ExperimentResult> runs;
+  for (int i = 0; i < 3; ++i) {
+    ExperimentConfig c = config;
+    c.seed = 1 + static_cast<uint64_t>(i);
+    runs.push_back(RunExperiment(c, workload));
+  }
+  const RepeatedResult direct = AggregateRuns(std::move(runs));
+  const RepeatedResult repeated = RunRepeated(config, workload, 3);
+  EXPECT_EQ(direct.mean_seconds, repeated.mean_seconds);
+  EXPECT_EQ(direct.stddev_seconds, repeated.stddev_seconds);
+  EXPECT_EQ(direct.mean_energy_j, repeated.mean_energy_j);
+  EXPECT_EQ(direct.mean_underload_per_s, repeated.mean_underload_per_s);
+  EXPECT_EQ(direct.mean_freq_hist.seconds, repeated.mean_freq_hist.seconds);
 }
 
 TEST(RunRepeatedTest, DistinctSeedsUsed) {
