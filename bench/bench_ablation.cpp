@@ -22,6 +22,17 @@ struct AblationVariant {
   std::function<void(NestParams&)> mutate;
 };
 
+// Decision counters summed over a variant's repetitions; the per-variant
+// "why" behind the makespan deltas (e.g. "no reserve" shows as nest misses,
+// "no spin" as zero spin conversions).
+SchedCounters SumCounters(const RepeatedResult& rr) {
+  SchedCounters sum;
+  for (const ExperimentResult& r : rr.runs) {
+    sum.Add(r.counters);
+  }
+  return sum;
+}
+
 std::vector<AblationVariant> Variants() {
   std::vector<AblationVariant> v;
   v.push_back({"default", [](NestParams&) {}});
@@ -57,6 +68,7 @@ void RunStudy(const std::string& machine, const Workload& workload) {
   const RepeatedResult base = RunRepeated(config, workload, reps);
   std::printf("  %-16s %8.3fs (baseline Nest-schedutil, Table 1 parameters)\n", "default",
               base.mean_seconds);
+  std::printf("  %-16s %8s  [%s]\n", "", "", NestSummary(SumCounters(base)).c_str());
   for (const AblationVariant& variant : Variants()) {
     if (variant.label == "default") {
       continue;
@@ -67,6 +79,7 @@ void RunStudy(const std::string& machine, const Workload& workload) {
     std::printf("  %-16s %8.3fs  change vs default: %s\n", variant.label.c_str(),
                 rr.mean_seconds,
                 FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
+    std::printf("  %-16s %8s  [%s]\n", "", "", NestSummary(SumCounters(rr)).c_str());
   }
 }
 

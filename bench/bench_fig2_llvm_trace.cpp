@@ -19,6 +19,7 @@ void RunCase(const char* label, SchedulerKind scheduler) {
   config.governor = "schedutil";
   config.record_trace = true;
   config.seed = 7;
+  config.trace_label = std::string("fig2-llvm-") + (scheduler == SchedulerKind::kCfs ? "cfs" : "nest");
 
   ConfigureWorkload workload("llvm_ninja");
   const ExperimentResult r = RunExperiment(config, workload);
@@ -29,6 +30,9 @@ void RunCase(const char* label, SchedulerKind scheduler) {
   std::printf("frequency residency while executing tasks:\n%s", r.freq_hist.Format(spec).c_str());
   std::printf("first 300 ms, per-core activity:\n%s",
               TraceRecorder::Summarize(r.trace, 0, 300 * kMillisecond).c_str());
+  if (!r.trace_file.empty()) {
+    std::printf("perfetto trace: %s\n", r.trace_file.c_str());
+  }
 }
 
 }  // namespace

@@ -20,6 +20,7 @@ void RunCase(const char* label, SchedulerKind scheduler, uint64_t seed) {
   config.scheduler = scheduler;
   config.governor = "schedutil";
   config.seed = seed;
+  config.trace_label = std::string("fig8-h2-") + (scheduler == SchedulerKind::kCfs ? "cfs" : "nest");
   DacapoWorkload workload("h2");
   const ExperimentResult r = RunExperiment(config, workload);
   const MachineSpec& spec = MachineByName(config.machine);
@@ -33,6 +34,9 @@ void RunCase(const char* label, SchedulerKind scheduler, uint64_t seed) {
               static_cast<unsigned long long>(seed), r.seconds(), r.cpus_used.size(),
               sockets.size());
   std::printf("%s", r.freq_hist.Format(spec).c_str());
+  if (!r.trace_file.empty()) {
+    std::printf("perfetto trace: %s\n", r.trace_file.c_str());
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/obs/sched_counters.h"
+
 namespace nestsim {
 
 namespace {
@@ -135,6 +137,13 @@ std::string JobRecordJson(const std::string& campaign, const Job& job,
       out += '}';
     }
     out += ']';
+    // Decision counters summed across the job's runs (docs/OBSERVABILITY.md).
+    SchedCounters summed;
+    for (const ExperimentResult& r : outcome.result.runs) {
+      summed.Add(r.counters);
+    }
+    out += ",\"counters\":";
+    out += SchedCountersJson(summed);
   }
   out += '}';
   return out;

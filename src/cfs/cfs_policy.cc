@@ -209,9 +209,13 @@ int CfsPolicy::WakePath(const Task& task, const WakeContext& ctx, bool work_cons
   return target;
 }
 
-int CfsPolicy::SelectCpuFork(Task& child, int parent_cpu) { return ForkPath(child, parent_cpu); }
+int CfsPolicy::SelectCpuFork(Task& child, int parent_cpu) {
+  child.placement_path = PlacementPath::kCfsFork;
+  return ForkPath(child, parent_cpu);
+}
 
 int CfsPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
+  task.placement_path = PlacementPath::kCfsWake;
   return WakePath(task, ctx, /*work_conserving_ext=*/false);
 }
 

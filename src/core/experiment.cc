@@ -1,6 +1,9 @@
 #include "src/core/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "src/cfs/cfs_policy.h"
@@ -8,6 +11,7 @@
 #include "src/metrics/latency.h"
 #include "src/metrics/stats.h"
 #include "src/metrics/underload.h"
+#include "src/obs/perfetto_trace.h"
 
 namespace nestsim {
 
@@ -51,6 +55,27 @@ class CompletionObserver : public KernelObserver {
   std::map<int, SimTime> tag_last_exit_;
 };
 
+// The directory Perfetto traces go to: the config field wins, then the
+// NESTSIM_TRACE environment variable; empty disables capture.
+std::string TraceDir(const ExperimentConfig& config) {
+  if (!config.trace_dir.empty()) {
+    return config.trace_dir;
+  }
+  const char* env = std::getenv("NESTSIM_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string SanitizeStem(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += ok ? c : '-';
+  }
+  return out;
+}
+
 std::unique_ptr<SchedulerPolicy> MakePolicy(const ExperimentConfig& config) {
   switch (config.scheduler) {
     case SchedulerKind::kCfs:
@@ -80,10 +105,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   kernel.AddObserver(&underload);
   kernel.AddObserver(&freq);
 
+  SchedCounterRecorder counters(&kernel);
+  kernel.AddObserver(&counters);
+
   std::unique_ptr<TraceRecorder> trace;
   if (config.record_trace) {
     trace = std::make_unique<TraceRecorder>(&kernel);
     kernel.AddObserver(trace.get());
+  }
+  const std::string trace_dir = TraceDir(config);
+  std::unique_ptr<PerfettoTraceWriter> perfetto;
+  if (!trace_dir.empty()) {
+    perfetto = std::make_unique<PerfettoTraceWriter>(&kernel);
+    kernel.AddObserver(perfetto.get());
   }
   std::unique_ptr<WakeupLatencyTracker> latency;
   if (config.record_latency) {
@@ -131,8 +165,29 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   if (config.record_underload_series) {
     result.underload_series = underload.series();
   }
+  result.counters = counters.Finish(end);
   if (trace != nullptr) {
     result.trace = trace->Finish(end);
+  }
+  if (perfetto != nullptr) {
+    perfetto->Finish(end);
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    std::string stem = config.trace_label;
+    if (stem.empty()) {
+      stem = config.machine;
+      stem += '-';
+      stem += SchedulerKindName(config.scheduler);
+      stem += '-';
+      stem += config.governor;
+    }
+    const std::string path = trace_dir + "/" + SanitizeStem(stem) + "-seed" +
+                             std::to_string(config.seed) + ".json";
+    if (perfetto->WriteFile(path)) {
+      result.trace_file = path;
+    } else {
+      std::fprintf(stderr, "[trace] cannot write %s\n", path.c_str());
+    }
   }
   if (config.scheduler == SchedulerKind::kSmove) {
     const auto* smove = static_cast<const SmovePolicy*>(policy.get());

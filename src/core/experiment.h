@@ -19,6 +19,7 @@
 #include "src/metrics/freq_hist.h"
 #include "src/metrics/trace.h"
 #include "src/nest/nest_policy.h"
+#include "src/obs/sched_counters.h"
 #include "src/smove/smove_policy.h"
 
 namespace nestsim {
@@ -45,6 +46,15 @@ struct ExperimentConfig {
   bool record_underload_series = false;
   bool record_latency = false;
 
+  // Perfetto capture (docs/OBSERVABILITY.md): when trace_dir is non-empty —
+  // or the NESTSIM_TRACE environment variable names a directory — each run
+  // writes a chrome trace-event JSON file into it. The filename stem is
+  // trace_label when set, otherwise "<machine>-<scheduler>-<governor>"; the
+  // seed is appended. Attaching the writer never changes simulation
+  // behaviour.
+  std::string trace_dir;
+  std::string trace_label;
+
   // Cooperative wall-clock cancellation: when set, the event loop polls this
   // every few thousand events and abandons the run once it returns true,
   // marking the result `aborted`. The campaign runner uses it to enforce
@@ -70,6 +80,13 @@ struct ExperimentResult {
 
   // Per-tag completion times (multi-application runs).
   std::map<int, SimDuration> tag_makespan;
+
+  // Scheduler decision counters (src/obs/); always populated.
+  SchedCounters counters;
+
+  // Path of the Perfetto trace written for this run ("" when tracing is off
+  // or the write failed).
+  std::string trace_file;
 
   // Only populated when the corresponding record_* flag was set.
   std::vector<std::pair<double, double>> underload_series;

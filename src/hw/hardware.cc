@@ -134,8 +134,17 @@ void HardwareModel::UpdateCoreFreq(int phys) {
   } else if (target < core.freq_ghz) {
     core.freq_ghz = std::max(target, core.freq_ghz - down_rate * elapsed_ms);
   }
+  if (core.freq_ghz != old) {
+    NotifyFreqChange(phys);
+  }
   if (std::abs(core.freq_ghz - old) > kSpeedChangeEpsilonGhz) {
     NotifySpeedChange(phys);
+  }
+}
+
+void HardwareModel::NotifyFreqChange(int phys) {
+  if (freq_change_fn_) {
+    freq_change_fn_(phys, cores_[phys].freq_ghz);
   }
 }
 
@@ -186,6 +195,7 @@ void HardwareModel::SetThreadBusy(int cpu, bool busy) {
     const double instant = std::clamp(floor_ghz, spec_.min_freq_ghz, cap);
     if (instant > core.freq_ghz) {
       core.freq_ghz = instant;
+      NotifyFreqChange(phys);
       NotifySpeedChange(phys);
     }
   } else if (was_busy_threads == 1 && core.busy_threads == 0) {

@@ -28,6 +28,10 @@ class HardwareModel {
   using FreqRequestFn = std::function<double(int cpu)>;
   // Invoked when the effective speed of a busy logical CPU changed.
   using SpeedChangeFn = std::function<void(int cpu)>;
+  // Invoked whenever a physical core's frequency moves (ramps, instant
+  // arrival grants, idle decay) — busy or not. Observability only; the kernel
+  // forwards it to KernelObserver::OnCoreFreqChange.
+  using FreqChangeFn = std::function<void(int phys_core, double freq_ghz)>;
 
   HardwareModel(Engine* engine, const MachineSpec& spec);
   HardwareModel(const HardwareModel&) = delete;
@@ -38,6 +42,7 @@ class HardwareModel {
 
   void set_freq_request_fn(FreqRequestFn fn) { freq_request_fn_ = std::move(fn); }
   void set_speed_change_fn(SpeedChangeFn fn) { speed_change_fn_ = std::move(fn); }
+  void set_freq_change_fn(FreqChangeFn fn) { freq_change_fn_ = std::move(fn); }
 
   // Schedules the periodic frequency re-evaluation. Call once, after the
   // callbacks are wired.
@@ -102,12 +107,14 @@ class HardwareModel {
   void PeriodicUpdate();
   void AccumulateEnergy();
   void NotifySpeedChange(int phys);
+  void NotifyFreqChange(int phys);
 
   Engine* engine_;
   MachineSpec spec_;
   Topology topology_;
   FreqRequestFn freq_request_fn_;
   SpeedChangeFn speed_change_fn_;
+  FreqChangeFn freq_change_fn_;
 
   std::vector<CoreState> cores_;      // indexed by physical core
   std::vector<char> thread_busy_;     // indexed by logical cpu

@@ -28,6 +28,11 @@ void Kernel::Start() {
   started_ = true;
   hw_->set_freq_request_fn([this](int cpu) { return GovernorRequestGhz(cpu); });
   hw_->set_speed_change_fn([this](int cpu) { OnSpeedChange(cpu); });
+  hw_->set_freq_change_fn([this](int phys, double ghz) {
+    for (KernelObserver* obs : observers_) {
+      obs->OnCoreFreqChange(engine_->Now(), phys, ghz);
+    }
+  });
   hw_->Start();
   engine_->ScheduleAfter(kTickPeriod, [this] { Tick(); });
 }
@@ -65,6 +70,10 @@ Task* Kernel::SpawnInitial(ProgramPtr program, std::string name, int tag, int cp
     root_cpu_ = cpu;
   }
   Task* task = NewTask(std::move(program), std::move(name), tag, /*parent=*/nullptr);
+  task->placement_path = PlacementPath::kInitial;
+  for (KernelObserver* obs : observers_) {
+    obs->OnTaskPlaced(engine_->Now(), *task, cpu, /*is_fork=*/true);
+  }
   EnqueueTask(task, cpu, /*wakeup=*/false);
   return task;
 }
@@ -97,9 +106,16 @@ void Kernel::PlaceTask(Task* task, int cpu, bool is_fork) {
   if (policy_->UsesPlacementReservation()) {
     // Best effort: the policy normally avoided claimed CPUs already; a failed
     // claim here means a collision the reservation could not prevent.
-    cpus_[cpu].rq.TryClaim(engine_->Now());
+    if (!cpus_[cpu].rq.TryClaim(engine_->Now())) {
+      for (KernelObserver* obs : observers_) {
+        obs->OnReservationCollision(engine_->Now(), *task, cpu);
+      }
+    }
   }
   task->cpu = cpu;
+  for (KernelObserver* obs : observers_) {
+    obs->OnTaskPlaced(engine_->Now(), *task, cpu, is_fork);
+  }
   const bool wakeup = !is_fork;
   engine_->ScheduleAfter(params_.placement_latency, [this, task, cpu, wakeup] {
     if (task->state == TaskState::kPlacing) {
@@ -333,6 +349,9 @@ void Kernel::EnterIdle(int cpu) {
       hw_->SetThreadBusy(cpu, true);  // no-op if it was already busy
     }
     const uint64_t gen = ++cs.dispatch_gen;
+    for (KernelObserver* obs : observers_) {
+      obs->OnIdleSpinStart(engine_->Now(), cpu, spin_ticks);
+    }
     cs.spin_end = engine_->ScheduleAfter(spin_ticks * kTickPeriod, [this, cpu, gen] {
       if (cpus_[cpu].spinning && cpus_[cpu].dispatch_gen == gen) {
         StopSpin(cpu, /*because_busy=*/false);
@@ -359,6 +378,9 @@ void Kernel::StopSpin(int cpu, bool because_busy) {
     hw_->SetThreadBusy(cpu, false);
   }
   // When the spin ends because a task starts here, the thread stays busy.
+  for (KernelObserver* obs : observers_) {
+    obs->OnIdleSpinEnd(engine_->Now(), cpu, because_busy);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -681,7 +703,7 @@ Task* Kernel::FindStealableTask(int dst_cpu, bool same_die_only, bool ignore_hot
   return best;
 }
 
-void Kernel::MigrateQueued(Task* task, int dst_cpu) {
+void Kernel::MigrateQueued(Task* task, int dst_cpu, MigrationReason reason) {
   assert(task->state == TaskState::kRunnable);
   const int src_cpu = task->cpu;
   RunQueue& src = cpus_[src_cpu].rq;
@@ -701,6 +723,15 @@ void Kernel::MigrateQueued(Task* task, int dst_cpu) {
   }
   ++migrations_;
   ++task->migrations;
+  for (KernelObserver* obs : observers_) {
+    obs->OnTaskMigrated(engine_->Now(), *task, src_cpu, dst_cpu, reason);
+  }
+}
+
+void Kernel::NotifyNestEvent(NestEventKind kind, int cpu) {
+  for (KernelObserver* obs : observers_) {
+    obs->OnNestEvent(engine_->Now(), kind, cpu);
+  }
 }
 
 void Kernel::KickIfIdle(int cpu) {
@@ -715,7 +746,7 @@ void Kernel::NewIdleBalance(int cpu) {
   }
   Task* task = FindStealableTask(cpu, /*same_die_only=*/false, /*ignore_hotness=*/false);
   if (task != nullptr) {
-    MigrateQueued(task, cpu);
+    MigrateQueued(task, cpu, MigrationReason::kNewIdlePull);
   }
 }
 
@@ -736,7 +767,7 @@ void Kernel::PeriodicBalance() {
       task = FindStealableTask(cpu, /*same_die_only=*/false, /*ignore_hotness=*/true);
     }
     if (task != nullptr) {
-      MigrateQueued(task, cpu);
+      MigrateQueued(task, cpu, MigrationReason::kPeriodicPull);
       if (cpus_[cpu].rq.curr() == nullptr) {
         ScheduleCpu(cpu);
       }

@@ -125,7 +125,12 @@ class Kernel {
   // pull). The task must be kRunnable and queued. The caller must follow up
   // with KickIfIdle(dst_cpu) unless it is already inside the destination's
   // scheduling path.
-  void MigrateQueued(Task* task, int dst_cpu);
+  void MigrateQueued(Task* task, int dst_cpu,
+                     MigrationReason reason = MigrationReason::kPolicy);
+
+  // Forwards a nest membership transition to the observers. Called by
+  // NestPolicy (the policy has no observer list of its own).
+  void NotifyNestEvent(NestEventKind kind, int cpu);
 
   // Dispatches the destination CPU if it is idle with queued work (used after
   // policy-driven migrations, e.g. Smove's fallback timer).

@@ -12,6 +12,51 @@
 
 namespace nestsim {
 
+// Why a queued task was migrated between run queues.
+enum class MigrationReason {
+  kNewIdlePull,   // newly idle CPU pulled a waiter
+  kPeriodicPull,  // periodic balancing pass pulled a waiter
+  kPolicy,        // policy-driven move (e.g. Smove's fallback timer)
+};
+
+inline const char* MigrationReasonName(MigrationReason reason) {
+  switch (reason) {
+    case MigrationReason::kNewIdlePull:
+      return "newidle_pull";
+    case MigrationReason::kPeriodicPull:
+      return "periodic_pull";
+    case MigrationReason::kPolicy:
+      return "policy";
+  }
+  return "?";
+}
+
+// Nest membership transitions (paper §3.1), surfaced by NestPolicy through
+// Kernel::NotifyNestEvent.
+enum class NestEventKind {
+  kPromote,      // core entered the primary nest
+  kDemote,       // core left the primary nest (task exit left it idle)
+  kCompact,      // core left the primary nest via compaction (idle ≥ P_remove)
+  kReserveAdd,   // core entered the reserve nest
+  kReserveFull,  // candidate core dropped because the reserve was at R_max
+};
+
+inline const char* NestEventKindName(NestEventKind kind) {
+  switch (kind) {
+    case NestEventKind::kPromote:
+      return "promote";
+    case NestEventKind::kDemote:
+      return "demote";
+    case NestEventKind::kCompact:
+      return "compact";
+    case NestEventKind::kReserveAdd:
+      return "reserve_add";
+    case NestEventKind::kReserveFull:
+      return "reserve_full";
+  }
+  return "?";
+}
+
 class KernelObserver {
  public:
   virtual ~KernelObserver() = default;
@@ -57,6 +102,69 @@ class KernelObserver {
 
   // Scheduler tick boundary (after per-CPU accounting ran).
   virtual void OnTick(SimTime now) { (void)now; }
+
+  // ---- Decision-level hooks (src/obs/). ----
+
+  // The policy selected `cpu` for a fork or wakeup placement; the enqueue is
+  // now in flight (§3.4 window). `task.placement_path` says which policy code
+  // path decided. Fired for SpawnInitial too (path == kInitial).
+  virtual void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) {
+    (void)now;
+    (void)task;
+    (void)cpu;
+    (void)is_fork;
+  }
+
+  // A reservation-aware policy chose `cpu` but the run queue was already
+  // claimed by another in-flight placement — the collision the §3.4 flag
+  // could not prevent.
+  virtual void OnReservationCollision(SimTime now, const Task& task, int cpu) {
+    (void)now;
+    (void)task;
+    (void)cpu;
+  }
+
+  // A *queued* task moved between run queues (load balancing or policy).
+  virtual void OnTaskMigrated(SimTime now, const Task& task, int from_cpu, int to_cpu,
+                              MigrationReason reason) {
+    (void)now;
+    (void)task;
+    (void)from_cpu;
+    (void)to_cpu;
+    (void)reason;
+  }
+
+  // Nest membership transition on `cpu` (promotion/demotion/compaction/...).
+  virtual void OnNestEvent(SimTime now, NestEventKind kind, int cpu) {
+    (void)now;
+    (void)kind;
+    (void)cpu;
+  }
+
+  // The idle loop on `cpu` started a policy-driven warm spin for up to
+  // `max_ticks` ticks (§3.2).
+  virtual void OnIdleSpinStart(SimTime now, int cpu, int max_ticks) {
+    (void)now;
+    (void)cpu;
+    (void)max_ticks;
+  }
+
+  // The warm spin on `cpu` ended. `became_busy` is true when a task started
+  // running there (the spin paid off); false when the spin expired or the SMT
+  // sibling became busy.
+  virtual void OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) {
+    (void)now;
+    (void)cpu;
+    (void)became_busy;
+  }
+
+  // The DVFS state machine moved physical core `phys_core` to `freq_ghz`
+  // (ramps, instant arrival grants, idle decay — busy or not).
+  virtual void OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) {
+    (void)now;
+    (void)phys_core;
+    (void)freq_ghz;
+  }
 };
 
 }  // namespace nestsim

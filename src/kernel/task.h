@@ -23,6 +23,56 @@ enum class TaskState {
 
 enum class BlockReason { kNone, kSleep, kJoin, kBarrier, kRecv };
 
+// Which policy code path produced a fork/wake placement decision. Set by the
+// scheduler policy at selection time, read by the kernel when it notifies
+// observers (src/obs/ counts decisions per path and labels trace events).
+enum class PlacementPath {
+  kUnknown = 0,
+  kInitial,          // SpawnInitial's fixed CPU; no policy involved
+  kCfsFork,          // CFS find_idlest_group descent
+  kCfsWake,          // CFS wake_affine + select_idle_sibling
+  kNestPrimary,      // idle unclaimed primary-nest core (§3.1)
+  kNestReserve,      // reserve-nest hit, promoted to primary (§3.1)
+  kNestAttached,     // 2-deep placement-history attachment (§3.3)
+  kNestPrevCore,     // idle previous core outside the nests (§5.4)
+  kNestImpatient,    // impatience path: reserve or CFS, straight to primary
+  kNestCfsFallback,  // both nests busy; CFS chose, core joins the reserve
+  kSmoveParked,      // Smove parked the task on the fast parent/waker core
+  kSmoveCfs,         // Smove kept the CFS choice
+};
+
+inline constexpr int kNumPlacementPaths = 12;
+
+inline const char* PlacementPathName(PlacementPath path) {
+  switch (path) {
+    case PlacementPath::kUnknown:
+      return "unknown";
+    case PlacementPath::kInitial:
+      return "initial";
+    case PlacementPath::kCfsFork:
+      return "cfs_fork";
+    case PlacementPath::kCfsWake:
+      return "cfs_wake";
+    case PlacementPath::kNestPrimary:
+      return "nest_primary";
+    case PlacementPath::kNestReserve:
+      return "nest_reserve";
+    case PlacementPath::kNestAttached:
+      return "nest_attached";
+    case PlacementPath::kNestPrevCore:
+      return "nest_prev_core";
+    case PlacementPath::kNestImpatient:
+      return "nest_impatient";
+    case PlacementPath::kNestCfsFallback:
+      return "nest_cfs_fallback";
+    case PlacementPath::kSmoveParked:
+      return "smove_parked";
+    case PlacementPath::kSmoveCfs:
+      return "smove_cfs";
+  }
+  return "?";
+}
+
 struct Task {
   int tid = -1;
   std::string name;
@@ -57,6 +107,10 @@ struct Task {
 
   // Nest per-task state: consecutive wakeups that found prev_cpu busy.
   int impatience = 0;
+
+  // The policy path that made the most recent placement decision for this
+  // task; consumed by KernelObserver::OnTaskPlaced.
+  PlacementPath placement_path = PlacementPath::kUnknown;
 
   // Execution segment bookkeeping (valid while kRunning).
   SimTime seg_start = 0;

@@ -26,8 +26,12 @@ void NestPolicy::AddToPrimary(int cpu) {
   if (cores_[cpu].in_reserve) {
     RemoveFromReserve(cpu);
   }
+  const bool was_primary = cores_[cpu].in_primary;
   cores_[cpu].in_primary = true;
   cores_[cpu].compaction_eligible = false;
+  if (!was_primary) {
+    kernel_->NotifyNestEvent(NestEventKind::kPromote, cpu);
+  }
 }
 
 void NestPolicy::AddToReserve(int cpu) {
@@ -38,10 +42,13 @@ void NestPolicy::AddToReserve(int cpu) {
     return;
   }
   if (reserve_size_ >= params_.r_max) {
-    return;  // reserve full: the core joins no nest (§3.1)
+    // Reserve full: the core joins no nest (§3.1).
+    kernel_->NotifyNestEvent(NestEventKind::kReserveFull, cpu);
+    return;
   }
   cores_[cpu].in_reserve = true;
   ++reserve_size_;
+  kernel_->NotifyNestEvent(NestEventKind::kReserveAdd, cpu);
 }
 
 void NestPolicy::RemoveFromPrimary(int cpu) {
@@ -78,6 +85,7 @@ void NestPolicy::OnTaskExit(Task& task, int cpu) {
   // A task terminated and left the core idle: the core is no longer useful
   // and is demoted immediately (§3.1).
   if (cores_[cpu].in_primary && kernel_->CpuIdle(cpu)) {
+    kernel_->NotifyNestEvent(NestEventKind::kDemote, cpu);
     DemoteFromPrimary(cpu);
   }
 }
@@ -128,6 +136,7 @@ int NestPolicy::SearchPrimary(int anchor) {
       }
       if (core.compaction_eligible) {
         // A task touched an expired core: compaction happens now (§3.1).
+        kernel_->NotifyNestEvent(NestEventKind::kCompact, cpu);
         DemoteFromPrimary(cpu);
         continue;
       }
@@ -183,18 +192,21 @@ int NestPolicy::CfsFallbackWake(Task& task, const WakeContext& ctx) {
 int NestPolicy::SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx) {
   int chosen = SearchPrimary(anchor_cpu);
   if (chosen >= 0) {
+    task.placement_path = PlacementPath::kNestPrimary;
     MarkUsed(chosen);
     return chosen;
   }
   chosen = SearchReserve(anchor_cpu);
   if (chosen >= 0) {
     // Promotion: a reserve hit proves the nest needs to grow (§3.1).
+    task.placement_path = PlacementPath::kNestReserve;
     RemoveFromReserve(chosen);
     AddToPrimary(chosen);
     MarkUsed(chosen);
     return chosen;
   }
   chosen = is_fork ? CfsFallbackFork(task, anchor_cpu) : CfsFallbackWake(task, ctx);
+  task.placement_path = PlacementPath::kNestCfsFallback;
   if (params_.enable_reserve) {
     AddToReserve(chosen);
   } else {
@@ -227,6 +239,7 @@ int NestPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
     // Skip the primary nest entirely; the chosen core goes straight into the
     // primary nest to expand it, and the counter resets (§3.1).
     task.impatience = 0;
+    task.placement_path = PlacementPath::kNestImpatient;
     int chosen = SearchReserve(anchor);
     if (chosen >= 0) {
       RemoveFromReserve(chosen);
@@ -243,6 +256,7 @@ int NestPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
   if (params_.enable_attach && task.prev_cpu >= 0 && task.prev_cpu == task.prev_prev_cpu) {
     const int attached = task.prev_cpu;
     if (cores_[attached].in_primary && kernel_->CpuIdleUnclaimed(attached)) {
+      task.placement_path = PlacementPath::kNestAttached;
       MarkUsed(attached);
       return attached;
     }
@@ -255,6 +269,7 @@ int NestPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
   // this way is, by definition, in use: it joins the primary nest, so other
   // placements (and the warm spin) can benefit from it.
   if (params_.enable_attach && task.prev_cpu >= 0 && kernel_->CpuIdleUnclaimed(task.prev_cpu)) {
+    task.placement_path = PlacementPath::kNestPrevCore;
     AddToPrimary(task.prev_cpu);
     MarkUsed(task.prev_cpu);
     return task.prev_cpu;

@@ -1,0 +1,242 @@
+#include "src/obs/json_check.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace nestsim {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Report(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      fail_ = "trailing characters after the top-level value";
+      Report(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void Report(std::string* error) const {
+    if (error != nullptr) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s (at byte %zu)",
+                    fail_ != nullptr ? fail_ : "invalid JSON", pos_);
+      *error = buf;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* why) {
+    if (fail_ == nullptr) {
+      fail_ = why;
+    }
+    return false;
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!Eat(*p)) {
+        return Fail("invalid literal");
+      }
+    }
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) {
+      return Fail("expected string");
+    }
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') {
+        return true;
+      }
+      if (c < 0x20) {
+        --pos_;
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          --pos_;
+          return Fail("bad escape character");
+        }
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    Eat('-');
+    if (Eat('0')) {
+      // no further integer digits allowed
+    } else {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        pos_ = start;
+        return Fail("expected number");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':' after object key");
+      }
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool Value() {
+    SkipWs();
+    if (++depth_ > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    bool ok = false;
+    switch (Peek()) {
+      case '{':
+        ok = Object();
+        break;
+      case '[':
+        ok = Array();
+        break;
+      case '"':
+        ok = String();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = Number();
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  const char* fail_ = nullptr;
+};
+
+}  // namespace
+
+bool JsonValid(const std::string& text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,21 @@
+// A dependency-free JSON well-formedness checker (src/obs/).
+//
+// The test suite uses it to parse back everything the observability layer
+// emits (Perfetto traces, counter objects, campaign JSONL records) without
+// pulling in an external JSON library.
+
+#ifndef NESTSIM_SRC_OBS_JSON_CHECK_H_
+#define NESTSIM_SRC_OBS_JSON_CHECK_H_
+
+#include <string>
+
+namespace nestsim {
+
+// True when `text` is exactly one valid JSON value (RFC 8259 grammar;
+// duplicate keys allowed). On failure, `error` (if non-null) describes the
+// first problem and its byte offset.
+bool JsonValid(const std::string& text, std::string* error = nullptr);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_OBS_JSON_CHECK_H_

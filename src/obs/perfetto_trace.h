@@ -1,0 +1,104 @@
+// Perfetto / chrome://tracing export (src/obs/).
+//
+// PerfettoTraceWriter listens on the KernelObserver seam and renders the run
+// as Chrome trace-event JSON (the legacy JSON format both Perfetto's
+// ui.perfetto.dev and chrome://tracing load directly):
+//
+//   pid 1  "cpu activity"      one thread track per logical CPU: 'X' slices
+//                              for execution stints and warm idle spins, 'i'
+//                              instants for scheduler decisions, 's'/'f'
+//                              flow arrows from core selection to enqueue
+//                              (the §3.4 in-flight window).
+//   pid 2  "core frequency"    one counter track per physical core (GHz).
+//   pid 3  "socket power"      per-socket counter tracks: watts and turbo
+//                              licenses, sampled at every scheduler tick.
+//
+// The full event schema (names, args, units) is docs/OBSERVABILITY.md.
+// Strictly read-only: attaching a writer never changes simulation behaviour.
+
+#ifndef NESTSIM_SRC_OBS_PERFETTO_TRACE_H_
+#define NESTSIM_SRC_OBS_PERFETTO_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+
+namespace nestsim {
+
+class PerfettoTraceWriter : public KernelObserver {
+ public:
+  // Process ids of the trace's three synthetic processes.
+  static constexpr int kPidCpu = 1;
+  static constexpr int kPidFreq = 2;
+  static constexpr int kPidSocket = 3;
+
+  explicit PerfettoTraceWriter(Kernel* kernel, size_t max_events = 2'000'000);
+
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
+  void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override;
+  void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override;
+  void OnReservationCollision(SimTime now, const Task& task, int cpu) override;
+  void OnTaskMigrated(SimTime now, const Task& task, int from_cpu, int to_cpu,
+                      MigrationReason reason) override;
+  void OnNestEvent(SimTime now, NestEventKind kind, int cpu) override;
+  void OnIdleSpinStart(SimTime now, int cpu, int max_ticks) override;
+  void OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) override;
+  void OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) override;
+  void OnTick(SimTime now) override;
+
+  // Closes open stints/spins at `end` and sorts events by timestamp. Call
+  // once; Serialize/WriteFile before Finish see an incomplete trace.
+  void Finish(SimTime end);
+
+  // Renders the whole trace as one JSON document.
+  std::string Serialize() const;
+
+  // Serializes to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  size_t event_count() const { return events_.size(); }
+  // Events discarded after the max_events cap was hit.
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct TraceEvent {
+    SimTime ts = 0;
+    SimDuration dur = 0;  // 'X' only
+    char ph = 'i';
+    int pid = kPidCpu;
+    int tid = 0;
+    uint64_t flow_id = 0;  // 's'/'f' only
+    std::string name;
+    std::string args;  // pre-rendered JSON object ("" = no args)
+  };
+
+  struct OpenSlice {
+    bool active = false;
+    SimTime start = 0;
+    std::string name;
+    std::string args;
+  };
+
+  // Appends an event unless the cap was reached (then counts it as dropped).
+  void Push(TraceEvent ev);
+  void PushCounter(SimTime now, int pid, const std::string& track, const char* unit_key,
+                   double value);
+
+  Kernel* kernel_;
+  size_t max_events_;
+  uint64_t dropped_ = 0;
+  uint64_t next_flow_id_ = 1;
+  bool finished_ = false;
+
+  std::vector<TraceEvent> events_;
+  std::vector<OpenSlice> open_stint_;     // by cpu: running task slice
+  std::vector<OpenSlice> open_spin_;      // by cpu: warm idle-spin slice
+  std::vector<uint64_t> pending_flow_;    // by tid: select→enqueue flow id
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_OBS_PERFETTO_TRACE_H_

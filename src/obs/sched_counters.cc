@@ -1,0 +1,104 @@
+#include "src/obs/sched_counters.h"
+
+#include <cstdio>
+
+namespace nestsim {
+
+void SchedCounters::Add(const SchedCounters& other) {
+  for (int i = 0; i < kNumPlacementPaths; ++i) {
+    placements[i] += other.placements[i];
+  }
+  fork_placements += other.fork_placements;
+  wake_placements += other.wake_placements;
+  reservation_collisions += other.reservation_collisions;
+  nest_promotions += other.nest_promotions;
+  nest_demotions += other.nest_demotions;
+  nest_compactions += other.nest_compactions;
+  nest_reserve_adds += other.nest_reserve_adds;
+  nest_reserve_full_drops += other.nest_reserve_full_drops;
+  spin_starts += other.spin_starts;
+  spin_converted += other.spin_converted;
+  spin_expired += other.spin_expired;
+  migrations_newidle += other.migrations_newidle;
+  migrations_periodic += other.migrations_periodic;
+  migrations_policy += other.migrations_policy;
+  freq_ramps_up += other.freq_ramps_up;
+  freq_ramps_down += other.freq_ramps_down;
+  wc_violation_ns += other.wc_violation_ns;
+  wc_violation_episodes += other.wc_violation_episodes;
+}
+
+uint64_t SchedCounters::NestHits() const {
+  return placements[static_cast<int>(PlacementPath::kNestPrimary)] +
+         placements[static_cast<int>(PlacementPath::kNestReserve)] +
+         placements[static_cast<int>(PlacementPath::kNestAttached)] +
+         placements[static_cast<int>(PlacementPath::kNestPrevCore)] +
+         placements[static_cast<int>(PlacementPath::kNestImpatient)];
+}
+
+uint64_t SchedCounters::NestMisses() const {
+  return placements[static_cast<int>(PlacementPath::kNestCfsFallback)];
+}
+
+std::string NestSummary(const SchedCounters& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "nest hit/miss %llu/%llu  promote/demote/compact %llu/%llu/%llu  "
+                "spin ok/exp %llu/%llu  collide %llu",
+                static_cast<unsigned long long>(c.NestHits()),
+                static_cast<unsigned long long>(c.NestMisses()),
+                static_cast<unsigned long long>(c.nest_promotions),
+                static_cast<unsigned long long>(c.nest_demotions),
+                static_cast<unsigned long long>(c.nest_compactions),
+                static_cast<unsigned long long>(c.spin_converted),
+                static_cast<unsigned long long>(c.spin_expired),
+                static_cast<unsigned long long>(c.reservation_collisions));
+  return buf;
+}
+
+namespace {
+
+void AppendU64(std::string& out, const char* key, uint64_t value, bool* first) {
+  if (!*first) {
+    out += ',';
+  }
+  *first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string SchedCountersJson(const SchedCounters& c) {
+  std::string out = "{\"placements\":{";
+  bool first = true;
+  for (int i = 0; i < kNumPlacementPaths; ++i) {
+    AppendU64(out, PlacementPathName(static_cast<PlacementPath>(i)), c.placements[i], &first);
+  }
+  out += '}';
+  first = false;  // the placements object already opened the record
+  AppendU64(out, "fork_placements", c.fork_placements, &first);
+  AppendU64(out, "wake_placements", c.wake_placements, &first);
+  AppendU64(out, "reservation_collisions", c.reservation_collisions, &first);
+  AppendU64(out, "nest_promotions", c.nest_promotions, &first);
+  AppendU64(out, "nest_demotions", c.nest_demotions, &first);
+  AppendU64(out, "nest_compactions", c.nest_compactions, &first);
+  AppendU64(out, "nest_reserve_adds", c.nest_reserve_adds, &first);
+  AppendU64(out, "nest_reserve_full_drops", c.nest_reserve_full_drops, &first);
+  AppendU64(out, "spin_starts", c.spin_starts, &first);
+  AppendU64(out, "spin_converted", c.spin_converted, &first);
+  AppendU64(out, "spin_expired", c.spin_expired, &first);
+  AppendU64(out, "migrations_newidle", c.migrations_newidle, &first);
+  AppendU64(out, "migrations_periodic", c.migrations_periodic, &first);
+  AppendU64(out, "migrations_policy", c.migrations_policy, &first);
+  AppendU64(out, "freq_ramps_up", c.freq_ramps_up, &first);
+  AppendU64(out, "freq_ramps_down", c.freq_ramps_down, &first);
+  AppendU64(out, "wc_violation_ns", c.wc_violation_ns, &first);
+  AppendU64(out, "wc_violation_episodes", c.wc_violation_episodes, &first);
+  out += '}';
+  return out;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,202 @@
+// Scheduler decision counters (src/obs/).
+//
+// SchedCounters is a plain aggregate of every decision-level event the kernel
+// exposes through KernelObserver: placements by policy path, reservation
+// collisions, load-balancer migrations by reason, nest membership churn, warm
+// idle-spin outcomes, DVFS ramp events, and work-conservation violations.
+// SchedCounterRecorder fills one from a live kernel; RunExperiment attaches a
+// recorder unconditionally (counting is cheap and purely observational), so
+// every ExperimentResult carries counters and the campaign JSONL sink can
+// export them. The full field reference lives in docs/OBSERVABILITY.md.
+
+#ifndef NESTSIM_SRC_OBS_SCHED_COUNTERS_H_
+#define NESTSIM_SRC_OBS_SCHED_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+#include "src/metrics/work_conservation.h"
+
+namespace nestsim {
+
+struct SchedCounters {
+  // Fork/wake placements by the policy code path that decided (indexed by
+  // PlacementPath; names from PlacementPathName).
+  std::array<uint64_t, kNumPlacementPaths> placements{};
+  uint64_t fork_placements = 0;
+  uint64_t wake_placements = 0;
+  // §3.4 collisions: the chosen run queue was already claimed by another
+  // in-flight placement.
+  uint64_t reservation_collisions = 0;
+
+  // Nest membership churn (§3.1).
+  uint64_t nest_promotions = 0;
+  uint64_t nest_demotions = 0;
+  uint64_t nest_compactions = 0;
+  uint64_t nest_reserve_adds = 0;
+  uint64_t nest_reserve_full_drops = 0;
+
+  // Warm idle spinning (§3.2): spins started, spins that handed the CPU to a
+  // task, spins that expired (or lost the core to the SMT sibling).
+  uint64_t spin_starts = 0;
+  uint64_t spin_converted = 0;
+  uint64_t spin_expired = 0;
+
+  // Queued-task migrations by reason.
+  uint64_t migrations_newidle = 0;
+  uint64_t migrations_periodic = 0;
+  uint64_t migrations_policy = 0;
+
+  // DVFS events: discrete frequency moves of any physical core.
+  uint64_t freq_ramps_up = 0;
+  uint64_t freq_ramps_down = 0;
+
+  // Work-conservation violations (task queued while some CPU idles).
+  uint64_t wc_violation_ns = 0;
+  uint64_t wc_violation_episodes = 0;
+
+  void Add(const SchedCounters& other);
+
+  // Placements that landed inside a nest (primary/reserve/attached/prev-core/
+  // impatient) vs. placements that fell back to the CFS path.
+  uint64_t NestHits() const;
+  uint64_t NestMisses() const;
+
+  bool operator==(const SchedCounters&) const = default;
+};
+
+// One-line human summary for bench tables (nest churn + spin outcomes).
+std::string NestSummary(const SchedCounters& c);
+
+// Compact JSON object, e.g. {"placements":{"cfs_wake":12,...},...}. Every
+// field is always present so records are schema-stable.
+std::string SchedCountersJson(const SchedCounters& c);
+
+// Fills a SchedCounters from the kernel's observer callbacks. Purely
+// observational; attach with kernel->AddObserver(&recorder) before Start().
+class SchedCounterRecorder : public KernelObserver {
+ public:
+  explicit SchedCounterRecorder(Kernel* kernel)
+      : wc_(kernel),
+        prev_freq_ghz_(kernel->topology().num_physical_cores(), -1.0) {}
+
+  void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override {
+    (void)now;
+    (void)cpu;
+    ++counters_.placements[static_cast<int>(task.placement_path)];
+    if (is_fork) {
+      ++counters_.fork_placements;
+    } else {
+      ++counters_.wake_placements;
+    }
+  }
+
+  void OnReservationCollision(SimTime now, const Task& task, int cpu) override {
+    (void)now;
+    (void)task;
+    (void)cpu;
+    ++counters_.reservation_collisions;
+  }
+
+  void OnTaskMigrated(SimTime now, const Task& task, int from_cpu, int to_cpu,
+                      MigrationReason reason) override {
+    (void)now;
+    (void)task;
+    (void)from_cpu;
+    (void)to_cpu;
+    switch (reason) {
+      case MigrationReason::kNewIdlePull:
+        ++counters_.migrations_newidle;
+        break;
+      case MigrationReason::kPeriodicPull:
+        ++counters_.migrations_periodic;
+        break;
+      case MigrationReason::kPolicy:
+        ++counters_.migrations_policy;
+        break;
+    }
+  }
+
+  void OnNestEvent(SimTime now, NestEventKind kind, int cpu) override {
+    (void)now;
+    (void)cpu;
+    switch (kind) {
+      case NestEventKind::kPromote:
+        ++counters_.nest_promotions;
+        break;
+      case NestEventKind::kDemote:
+        ++counters_.nest_demotions;
+        break;
+      case NestEventKind::kCompact:
+        ++counters_.nest_compactions;
+        break;
+      case NestEventKind::kReserveAdd:
+        ++counters_.nest_reserve_adds;
+        break;
+      case NestEventKind::kReserveFull:
+        ++counters_.nest_reserve_full_drops;
+        break;
+    }
+  }
+
+  void OnIdleSpinStart(SimTime now, int cpu, int max_ticks) override {
+    (void)now;
+    (void)cpu;
+    (void)max_ticks;
+    ++counters_.spin_starts;
+  }
+
+  void OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) override {
+    (void)now;
+    (void)cpu;
+    if (became_busy) {
+      ++counters_.spin_converted;
+    } else {
+      ++counters_.spin_expired;
+    }
+  }
+
+  void OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) override {
+    (void)now;
+    double& prev = prev_freq_ghz_[phys_core];
+    if (prev >= 0.0) {
+      if (freq_ghz > prev) {
+        ++counters_.freq_ramps_up;
+      } else if (freq_ghz < prev) {
+        ++counters_.freq_ramps_down;
+      }
+    }
+    prev = freq_ghz;
+  }
+
+  // Work-conservation sampling rides on the embedded tracker.
+  void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override {
+    wc_.OnTaskEnqueued(now, task, cpu);
+  }
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override {
+    wc_.OnContextSwitch(now, cpu, prev, next);
+  }
+  void OnTick(SimTime now) override { wc_.OnTick(now); }
+
+  // Settles the work-conservation integral; call once when the run ends.
+  const SchedCounters& Finish(SimTime end) {
+    counters_.wc_violation_ns = static_cast<uint64_t>(wc_.ViolationTime(end));
+    counters_.wc_violation_episodes = static_cast<uint64_t>(wc_.ViolationEpisodes());
+    return counters_;
+  }
+
+  const SchedCounters& counters() const { return counters_; }
+
+ private:
+  SchedCounters counters_;
+  WorkConservationTracker wc_;
+  std::vector<double> prev_freq_ghz_;  // by physical core; -1 = never seen
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_OBS_SCHED_COUNTERS_H_

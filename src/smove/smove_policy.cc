@@ -15,10 +15,12 @@ int SmovePolicy::MaybePark(Task& task, int cfs_choice, int fast_cpu) {
   if (cfs_choice == fast_cpu || chosen_freq >= low || fast_freq < low) {
     // The sampled frequency of the CFS core looks fine (possibly stale —
     // that is the §5.2 failure mode), or the parent core is no better.
+    task.placement_path = PlacementPath::kSmoveCfs;
     return cfs_choice;
   }
 
   // Park on the fast core and arm the fallback timer.
+  task.placement_path = PlacementPath::kSmoveParked;
   ++moves_armed_;
   Task* t = &task;
   const int fallback = cfs_choice;

@@ -10,10 +10,10 @@ namespace nestsim {
 namespace {
 
 struct TraceRig {
-  TraceRig()
+  explicit TraceRig(size_t max_segments = 2'000'000)
       : hw(&engine, FixedFreqMachine(1, 4, 1, 1.0)),
         kernel(&engine, &hw, &cfs, &governor),
-        recorder(&kernel) {
+        recorder(&kernel, max_segments) {
     kernel.AddObserver(&recorder);
     kernel.Start();
   }
@@ -60,6 +60,36 @@ TEST(TraceTest, SegmentsSortedByStart) {
   for (size_t i = 1; i < segments.size(); ++i) {
     EXPECT_GE(segments[i].start, segments[i - 1].start);
   }
+}
+
+TEST(TraceTest, RespectsSegmentCap) {
+  TraceRig rig(/*max_segments=*/3);
+  for (int i = 0; i < 4; ++i) {
+    ProgramBuilder b("t");
+    b.Compute(1e6).Sleep(Milliseconds(1)).Compute(1e6);
+    rig.kernel.SpawnInitial(b.Build(), "t" + std::to_string(i), 0, i);
+  }
+  rig.Run();
+  // Eight stints happened; only the first three fit under the cap.
+  const auto segments = rig.recorder.Finish(rig.engine.Now());
+  EXPECT_EQ(segments.size(), 3u);
+}
+
+TEST(TraceTest, FinishClosesOpenSegmentMidRun) {
+  TraceRig rig;
+  ProgramBuilder b("t");
+  b.Compute(5e6);  // 5 ms at the fixed 1 GHz
+  Task* t = rig.kernel.SpawnInitial(b.Build(), "t", 0, 0);
+  while (rig.kernel.live_tasks() > 0 && rig.engine.Now() < 2 * kMillisecond) {
+    ASSERT_TRUE(rig.engine.Step());
+  }
+  ASSERT_GT(rig.kernel.live_tasks(), 0);  // still mid-compute
+  const SimTime now = rig.engine.Now();
+  const auto segments = rig.recorder.Finish(now);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].tid, t->tid);
+  EXPECT_EQ(segments[0].end, now);
+  EXPECT_GT(segments[0].end, segments[0].start);
 }
 
 TEST(TraceTest, SummarizeReportsBusyShare) {

@@ -1,0 +1,58 @@
+#include "src/obs/json_check.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+TEST(JsonCheckTest, AcceptsValidDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "-12.5e-3",
+           "\"a string with \\\"escapes\\\" and \\u00e9\"",
+           "{\"a\":[1,2.5,true,null,\"x\"],\"b\":{\"nested\":[]}}",
+           "  [ 1 , 2 ]  ",
+       }) {
+    std::string error;
+    EXPECT_TRUE(JsonValid(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonCheckTest, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "[1,]",
+           "{\"a\":}",
+           "{\"a\" 1}",
+           "{a:1}",
+           "01",
+           "1.",
+           "1e",
+           "\"unterminated",
+           "\"bad \\x escape\"",
+           "nul",
+           "{} trailing",
+           "[1] [2]",
+       }) {
+    EXPECT_FALSE(JsonValid(doc)) << "accepted: " << doc;
+  }
+}
+
+TEST(JsonCheckTest, ErrorNamesTheOffset) {
+  std::string error;
+  ASSERT_FALSE(JsonValid("[1,]", &error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+}
+
+TEST(JsonCheckTest, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValid(deep));
+}
+
+}  // namespace
+}  // namespace nestsim

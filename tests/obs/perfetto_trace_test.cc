@@ -1,0 +1,120 @@
+#include "src/obs/perfetto_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/core/experiment.h"
+#include "src/governors/governors.h"
+#include "src/obs/json_check.h"
+#include "src/workloads/configure.h"
+
+namespace nestsim {
+namespace {
+
+ConfigureWorkload SmallWorkload() {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  return ConfigureWorkload(spec);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Runs a traced experiment and returns the written trace document.
+std::string CaptureTrace(SchedulerKind kind, const std::string& label) {
+  ExperimentConfig config;
+  config.scheduler = kind;
+  config.trace_dir = ::testing::TempDir() + "nestsim-obs-test";
+  config.trace_label = label;
+  const ExperimentResult r = RunExperiment(config, SmallWorkload());
+  EXPECT_FALSE(r.trace_file.empty());
+  return ReadFile(r.trace_file);
+}
+
+TEST(PerfettoTraceTest, WritesValidJson) {
+  const std::string doc = CaptureTrace(SchedulerKind::kNest, "valid-json");
+  ASSERT_FALSE(doc.empty());
+  std::string error;
+  EXPECT_TRUE(JsonValid(doc, &error)) << error;
+}
+
+TEST(PerfettoTraceTest, ContainsDocumentedTracksAndEvents) {
+  const std::string doc = CaptureTrace(SchedulerKind::kNest, "tracks");
+  // Process/track metadata.
+  EXPECT_NE(doc.find("\"cpu activity\""), std::string::npos);
+  EXPECT_NE(doc.find("\"core frequency (GHz)\""), std::string::npos);
+  EXPECT_NE(doc.find("\"socket power & turbo\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cpu 0\""), std::string::npos);
+  // Counter tracks.
+  EXPECT_NE(doc.find("\"core0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"socket0 W\""), std::string::npos);
+  EXPECT_NE(doc.find("\"socket0 turbo licenses\""), std::string::npos);
+  // Decision events: a Nest run must place, promote, and flow select→enqueue.
+  EXPECT_NE(doc.find("\"place:"), std::string::npos);
+  EXPECT_NE(doc.find("\"nest:promote\""), std::string::npos);
+  EXPECT_NE(doc.find("\"place-enqueue\""), std::string::npos);
+  EXPECT_NE(doc.find("\"enqueue\""), std::string::npos);
+  // Execution stints are complete slices.
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(PerfettoTraceTest, TimestampsAreMonotoneAfterFinish) {
+  const std::string doc = CaptureTrace(SchedulerKind::kCfs, "monotone");
+  double prev = -1.0;
+  int samples = 0;
+  size_t pos = 0;
+  while ((pos = doc.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    const double ts = std::stod(doc.substr(pos, 32));
+    EXPECT_GE(ts, prev) << "sample " << samples;
+    prev = ts;
+    ++samples;
+  }
+  EXPECT_GT(samples, 100);
+}
+
+TEST(PerfettoTraceTest, TracingDoesNotChangeBehaviour) {
+  const ConfigureWorkload workload = SmallWorkload();
+  ExperimentConfig off;
+  off.scheduler = SchedulerKind::kNest;
+  off.seed = 3;
+  const ExperimentResult a = RunExperiment(off, workload);
+
+  ExperimentConfig on = off;
+  on.trace_dir = ::testing::TempDir() + "nestsim-obs-test";
+  on.trace_label = "behaviour";
+  const ExperimentResult b = RunExperiment(on, workload);
+
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.cpus_used, b.cpus_used);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_TRUE(a.trace_file.empty());
+  EXPECT_FALSE(b.trace_file.empty());
+}
+
+TEST(PerfettoTraceTest, EventCapCountsDrops) {
+  Engine engine;
+  HardwareModel hw(&engine, MachineByName("intel-6130-2s"));
+  // No kernel run needed: the constructor alone seeds one counter event per
+  // physical core plus metadata, so a tiny cap must drop the excess.
+  CfsPolicy cfs;
+  PerformanceGovernor governor;
+  Kernel kernel(&engine, &hw, &cfs, &governor);
+  PerfettoTraceWriter writer(&kernel, /*max_events=*/1);
+  EXPECT_GT(writer.dropped(), 0u);
+  EXPECT_LE(writer.event_count() - (3 + hw.topology().num_cpus()), 1u);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,152 @@
+#include "src/obs/sched_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "src/campaign/campaign.h"
+#include "src/core/experiment.h"
+#include "src/obs/json_check.h"
+#include "src/workloads/configure.h"
+
+namespace nestsim {
+namespace {
+
+ConfigureSpec SmallSpec() {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  return spec;
+}
+
+uint64_t TotalPlacements(const SchedCounters& c) {
+  return std::accumulate(c.placements.begin(), c.placements.end(), uint64_t{0});
+}
+
+TEST(SchedCountersTest, PopulatedByNestRun) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kNest;
+  const ExperimentResult r = RunExperiment(config, ConfigureWorkload(SmallSpec()));
+  const SchedCounters& c = r.counters;
+
+  EXPECT_GT(TotalPlacements(c), 0u);
+  // Every placement is either a fork or a wake.
+  EXPECT_EQ(c.fork_placements + c.wake_placements, TotalPlacements(c));
+  // SpawnInitial accounts for exactly one kInitial placement.
+  EXPECT_EQ(c.placements[static_cast<int>(PlacementPath::kInitial)], 1u);
+  // A Nest run grows a nest and lands tasks in it.
+  EXPECT_GT(c.nest_promotions, 0u);
+  EXPECT_GT(c.NestHits(), 0u);
+  // Each ended spin either converted or expired.
+  EXPECT_GE(c.spin_starts, c.spin_converted + c.spin_expired);
+  // DVFS moved at least once on a real machine model.
+  EXPECT_GT(c.freq_ramps_up, 0u);
+}
+
+TEST(SchedCountersTest, CfsRunTakesOnlyCfsPaths) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kCfs;
+  const ExperimentResult r = RunExperiment(config, ConfigureWorkload(SmallSpec()));
+  const SchedCounters& c = r.counters;
+  EXPECT_GT(c.placements[static_cast<int>(PlacementPath::kCfsFork)], 0u);
+  EXPECT_EQ(c.NestHits(), 0u);
+  EXPECT_EQ(c.NestMisses(), 0u);
+  EXPECT_EQ(c.nest_promotions, 0u);
+  EXPECT_EQ(c.spin_starts, 0u);
+}
+
+TEST(SchedCountersTest, DeterministicForSameSeed) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kNest;
+  config.seed = 11;
+  const ConfigureWorkload workload(SmallSpec());
+  const ExperimentResult a = RunExperiment(config, workload);
+  const ExperimentResult b = RunExperiment(config, workload);
+  EXPECT_TRUE(a.counters == b.counters);
+}
+
+TEST(SchedCountersTest, AddSumsFieldwise) {
+  SchedCounters a;
+  a.placements[static_cast<int>(PlacementPath::kCfsWake)] = 3;
+  a.spin_starts = 2;
+  a.wc_violation_ns = 100;
+  SchedCounters b;
+  b.placements[static_cast<int>(PlacementPath::kCfsWake)] = 4;
+  b.spin_starts = 5;
+  b.nest_compactions = 1;
+  a.Add(b);
+  EXPECT_EQ(a.placements[static_cast<int>(PlacementPath::kCfsWake)], 7u);
+  EXPECT_EQ(a.spin_starts, 7u);
+  EXPECT_EQ(a.nest_compactions, 1u);
+  EXPECT_EQ(a.wc_violation_ns, 100u);
+}
+
+TEST(SchedCountersTest, JsonIsValidAndSchemaStable) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kNest;
+  const ExperimentResult r = RunExperiment(config, ConfigureWorkload(SmallSpec()));
+  const std::string json = SchedCountersJson(r.counters);
+  std::string error;
+  EXPECT_TRUE(JsonValid(json, &error)) << error;
+  // Every documented key appears even when zero.
+  for (const char* key : {
+           "placements", "fork_placements", "wake_placements", "reservation_collisions",
+           "nest_promotions", "nest_demotions", "nest_compactions", "nest_reserve_adds",
+           "nest_reserve_full_drops", "spin_starts", "spin_converted", "spin_expired",
+           "migrations_newidle", "migrations_periodic", "migrations_policy", "freq_ramps_up",
+           "freq_ramps_down", "wc_violation_ns", "wc_violation_episodes",
+       }) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\":"), std::string::npos) << key;
+  }
+  for (int i = 0; i < kNumPlacementPaths; ++i) {
+    const std::string key =
+        std::string("\"") + PlacementPathName(static_cast<PlacementPath>(i)) + "\":";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(SchedCountersTest, NestSummaryMentionsTheChurn) {
+  SchedCounters c;
+  c.placements[static_cast<int>(PlacementPath::kNestPrimary)] = 9;
+  c.nest_promotions = 4;
+  const std::string line = NestSummary(c);
+  EXPECT_NE(line.find("nest hit/miss 9/0"), std::string::npos);
+  EXPECT_NE(line.find("promote/demote/compact 4/0/0"), std::string::npos);
+}
+
+std::vector<JobOutcome> RunCounterCampaign(int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.progress = false;
+  Campaign campaign("counters-test", options);
+  auto model = std::make_shared<ConfigureWorkload>(SmallSpec());
+  for (SchedulerKind kind :
+       {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+    Job job;
+    job.workload = "gcc";
+    job.variant = SchedulerKindName(kind);
+    job.config.scheduler = kind;
+    job.model = model;
+    job.repetitions = 2;
+    campaign.Add(std::move(job));
+  }
+  return campaign.Run();
+}
+
+TEST(SchedCountersTest, IdenticalAcrossCampaignWorkerCounts) {
+  const std::vector<JobOutcome> serial = RunCounterCampaign(1);
+  const std::vector<JobOutcome> pooled = RunCounterCampaign(8);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok());
+    ASSERT_TRUE(pooled[i].ok());
+    ASSERT_EQ(serial[i].result.runs.size(), pooled[i].result.runs.size());
+    for (size_t r = 0; r < serial[i].result.runs.size(); ++r) {
+      EXPECT_TRUE(serial[i].result.runs[r].counters == pooled[i].result.runs[r].counters)
+          << "job " << i << " run " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nestsim

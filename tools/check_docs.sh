@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Docs-consistency check, run by CI.
+#
+# Keeps the entry-point docs honest against the tree:
+#   1. every NESTSIM_* environment variable the code reads is documented in
+#      README.md;
+#   2. every src/<dir>/ named in DESIGN.md exists;
+#   3. every top-level src/ subsystem has a row in DESIGN.md §2 and a line in
+#      README.md's "What's in the box";
+#   4. docs/OBSERVABILITY.md is linked from README.md and DESIGN.md;
+#   5. every trace event name and counter key the observability layer emits
+#      is documented in docs/OBSERVABILITY.md.
+
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# 1. Environment variables.
+for var in $(grep -rhoE 'getenv\("NESTSIM_[A-Z_]+"\)' src bench examples \
+               | sed 's/getenv("//; s/")//' | sort -u); do
+  if ! grep -q "$var" README.md; then
+    echo "FAIL: $var is read by the code but not documented in README.md"
+    fail=1
+  fi
+done
+
+# 2. Directories DESIGN.md names must exist.
+for dir in $(grep -ohE 'src/[a-z_]+/' DESIGN.md | sort -u); do
+  if [ ! -d "$dir" ]; then
+    echo "FAIL: DESIGN.md names $dir but the directory does not exist"
+    fail=1
+  fi
+done
+
+# 3. Every src/ subsystem is covered by both docs.
+for dir in src/*/; do
+  for doc in DESIGN.md README.md; do
+    if ! grep -q "$dir" "$doc"; then
+      echo "FAIL: $dir has no mention in $doc"
+      fail=1
+    fi
+  done
+done
+
+# 4. The observability reference is reachable from the entry points.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'docs/OBSERVABILITY.md' "$doc"; then
+    echo "FAIL: $doc does not link docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+# 5a. Enum value names (placement paths, migration reasons, nest events) are
+#     all documented. The name functions return quoted lowercase words.
+for name in $(grep -ohE 'return "[a-z_]+"' src/kernel/task.h src/kernel/observer.h \
+                | sed 's/return "//; s/"//' | sort -u); do
+  if ! grep -q "\`$name\`" docs/OBSERVABILITY.md; then
+    echo "FAIL: event/path name '$name' is emitted but not documented in docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+# 5b. Counter JSON keys.
+for key in $(grep -ohE 'AppendU64\(out, "[a-z_]+"' src/obs/sched_counters.cc \
+               | sed 's/.*"\([a-z_]*\)"/\1/' | sort -u); do
+  if ! grep -q "\`$key\`" docs/OBSERVABILITY.md; then
+    echo "FAIL: counter key '$key' is emitted but not documented in docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-consistency check FAILED"
+  exit 1
+fi
+echo "docs-consistency check passed"
