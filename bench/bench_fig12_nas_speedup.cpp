@@ -4,38 +4,11 @@
 // one task per core leaves the nest nothing to improve, and it must not get
 // in the way. On the 160-core E7-8870 v4, Nest's more work-conserving
 // wakeups give substantial speedups (16% to >80%) on most kernels.
+//
+// The grid, formats, and seeds live in scenarios/fig12.json; this binary is a
+// thin wrapper so `bench_fig12_nas_speedup` and
+// `nestsim_run scenarios/fig12.json` print byte-identical tables.
 
-#include "bench/bench_util.h"
-#include "src/workloads/nas.h"
+#include "src/scenario/runner.h"
 
-using namespace nestsim;
-
-int main() {
-  PrintHeader("Figure 12: NAS speedups vs CFS-schedutil",
-              "One OpenMP-style task per hardware thread; class C shapes.");
-  const auto variants = StandardVariants();
-  GridCampaign grid("fig12_nas_speedup", PaperMachineNames(), NasWorkload::KernelNames(),
-                    variants, [](size_t, const std::string& kernel_name) {
-                      return std::make_shared<NasWorkload>(kernel_name);
-                    });
-  grid.set_repetitions(BenchRepetitions());
-  grid.Run();
-
-  for (size_t m = 0; m < grid.machines().size(); ++m) {
-    PrintMachineBanner(MachineByName(grid.machines()[m]));
-    std::printf("%-8s %16s %10s %10s %10s\n", "kernel", "CFS sched (s)", "CFS perf",
-                "Nest sched", "Nest perf");
-    for (size_t r = 0; r < grid.rows().size(); ++r) {
-      const RepeatedResult& base = grid.result(m, r, 0);
-      std::printf("%-8s %9.2fs %4.1f%%", (grid.rows()[r] + ".C.x").c_str(), base.mean_seconds,
-                  base.stddev_pct());
-      for (size_t v = 1; v < variants.size(); ++v) {
-        const RepeatedResult& rr = grid.result(m, r, v);
-        std::printf(" %10s",
-                    FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
-      }
-      std::printf("\n");
-    }
-  }
-  return 0;
-}
+int main() { return nestsim::RunScenarioFileMain("fig12.json"); }

@@ -19,7 +19,7 @@ int main() {
                     [](size_t, const std::string& package) {
                       return std::make_shared<ConfigureWorkload>(package);
                     });
-  grid.set_repetitions(1);
+  grid.set_repetitions(BenchRepetitions(/*fallback=*/1));  // paper: a single run
   grid.set_base_seed(11);
   grid.Run();
 

@@ -3,40 +3,11 @@
 // Smove-schedutil. The paper's headline: Nest gains 10%+ almost everywhere
 // (up to ~37% on the E7-8870 v4), Smove stays under ~5-9%, CFS-performance
 // helps little on the Speed Shift machines.
+//
+// The grid, formats, and seeds live in scenarios/fig5.json; this binary is a
+// thin wrapper so `bench_fig5_configure_speedup` and
+// `nestsim_run scenarios/fig5.json` print byte-identical tables.
 
-#include "bench/bench_util.h"
-#include "src/workloads/configure.h"
+#include "src/scenario/runner.h"
 
-using namespace nestsim;
-
-int main() {
-  PrintHeader("Figure 5: Configure speedups vs CFS-schedutil",
-              "Rows: packages. Baseline column shows CFS-schedutil time +- stddev%. "
-              "'*' marks speedups above the paper's 5% band, '!' degradations.");
-  const auto variants = StandardVariants(/*include_smove=*/true);
-  GridCampaign grid("fig5_configure_speedup", PaperMachineNames(),
-                    ConfigureWorkload::PackageNames(), variants,
-                    [](size_t, const std::string& package) {
-                      return std::make_shared<ConfigureWorkload>(package);
-                    });
-  grid.set_repetitions(BenchRepetitions());
-  grid.Run();
-
-  for (size_t m = 0; m < grid.machines().size(); ++m) {
-    PrintMachineBanner(MachineByName(grid.machines()[m]));
-    std::printf("%-14s %16s %10s %10s %10s %10s\n", "package", "CFS sched (s)", "CFS perf",
-                "Nest sched", "Nest perf", "Smove sch");
-    for (size_t r = 0; r < grid.rows().size(); ++r) {
-      const RepeatedResult& base = grid.result(m, r, 0);
-      std::printf("%-14s %9.2fs %4.1f%%", grid.rows()[r].c_str(), base.mean_seconds,
-                  base.stddev_pct());
-      for (size_t v = 1; v < variants.size(); ++v) {
-        const RepeatedResult& rr = grid.result(m, r, v);
-        std::printf(" %10s",
-                    FormatSpeedup(SpeedupPercent(base.mean_seconds, rr.mean_seconds)).c_str());
-      }
-      std::printf("\n");
-    }
-  }
-  return 0;
-}
+int main() { return nestsim::RunScenarioFileMain("fig5.json"); }

@@ -72,7 +72,7 @@ int main() {
                                                           static_cast<int>(row_index));
                       return std::make_shared<PhoronixWorkload>(spec);
                     });
-  grid.set_repetitions(1);
+  grid.set_repetitions(BenchRepetitions(/*fallback=*/1));  // paper: a single run
   grid.set_base_seed(17);
   grid.Run();
 

@@ -1,18 +1,9 @@
 #include "bench/bench_util.h"
 
-#include <cstdlib>
+#include "src/campaign/campaign.h"
 
 namespace nestsim {
 
-int BenchRepetitions() {
-  const char* env = std::getenv("NESTSIM_REPS");
-  if (env != nullptr) {
-    const int reps = std::atoi(env);
-    if (reps > 0) {
-      return reps;
-    }
-  }
-  return 2;
-}
+int BenchRepetitions(int fallback) { return RepetitionsFromEnv(fallback); }
 
 }  // namespace nestsim

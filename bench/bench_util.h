@@ -15,6 +15,7 @@
 #include "src/campaign/grid.h"
 #include "src/core/experiment.h"
 #include "src/metrics/stats.h"
+#include "src/scenario/report.h"
 
 namespace nestsim {
 
@@ -45,29 +46,15 @@ inline ExperimentConfig ConfigFor(const std::string& machine, const Variant& var
 }
 
 // How many seeded repetitions benches run. The paper uses 10 (30 for power);
-// 3 keeps the full suite fast while still exposing run-to-run variance. Can
-// be raised via the NESTSIM_REPS environment variable.
-int BenchRepetitions();
+// 2 keeps the full suite fast while still exposing run-to-run variance.
+// NESTSIM_REPS overrides the fallback uniformly across every bench (via
+// RepetitionsFromEnv in src/campaign/); benches whose paper artefact is
+// defined over a single run (Fig. 4, Table 4) pass fallback = 1.
+int BenchRepetitions(int fallback = 2);
 
-// Pretty-printers ------------------------------------------------------------
-
-inline void PrintHeader(const std::string& what, const std::string& description) {
-  std::printf("==============================================================\n");
-  std::printf("%s\n%s\n", what.c_str(), description.c_str());
-  std::printf("==============================================================\n");
-}
-
-inline void PrintMachineBanner(const MachineSpec& spec) {
-  std::printf("\n--- %s (%s, %dx%dx%d) ---\n", spec.name.c_str(), spec.cpu_model.c_str(),
-              spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core);
-}
-
-// "+12.3%" with a marker when outside the paper's ±5% noise band.
-inline std::string FormatSpeedup(double pct) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%+6.1f%%%s", pct, pct > 5.0 ? " *" : (pct < -5.0 ? " !" : "  "));
-  return buf;
-}
+// The pretty-printers (PrintHeader, PrintMachineBanner, FormatSpeedup) moved
+// to src/scenario/report.h so the scenario runner prints byte-identical
+// tables; they keep their old names in the nestsim namespace.
 
 }  // namespace nestsim
 

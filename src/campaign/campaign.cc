@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "src/campaign/jsonl_sink.h"
@@ -20,6 +21,16 @@ int CampaignJobsFromEnv() {
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int RepetitionsFromEnv(int fallback) {
+  if (const char* env = std::getenv("NESTSIM_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps > 0) {
+      return reps;
+    }
+  }
+  return fallback;
 }
 
 CampaignOptions CampaignOptions::FromEnv() {
@@ -88,9 +99,30 @@ std::vector<JobOutcome> Campaign::Run() {
   }
   ProgressMeter progress(name_, n, options_.progress);
 
+  // Records stream out in Add() order while jobs complete in any order: a
+  // finished job marks itself done, then drains every record whose
+  // predecessors have all finished. The sink flushes after each record, so
+  // killing the campaign mid-run leaves a parseable prefix of the final file.
+  JsonlSink sink(options_.jsonl_path);
+  std::mutex stream_mu;
+  std::vector<char> done(n, 0);
+  size_t next_to_write = 0;
+  auto stream_outcome = [&](size_t i) {
+    if (!sink.enabled()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(stream_mu);
+    done[i] = 1;
+    while (next_to_write < n && done[next_to_write]) {
+      sink.Write(name_, jobs_[next_to_write], outcomes[next_to_write]);
+      ++next_to_write;
+    }
+  };
+
   if (workers <= 1) {
     for (size_t i = 0; i < n; ++i) {
       outcomes[i] = ExecuteJob(jobs_[i]);
+      stream_outcome(i);
       progress.JobDone();
     }
   } else {
@@ -102,6 +134,7 @@ std::vector<JobOutcome> Campaign::Run() {
           return;
         }
         outcomes[i] = ExecuteJob(jobs_[i]);
+        stream_outcome(i);
         progress.JobDone();
       }
     };
@@ -112,13 +145,6 @@ std::vector<JobOutcome> Campaign::Run() {
     }
     for (std::thread& t : pool) {
       t.join();
-    }
-  }
-
-  if (!options_.jsonl_path.empty()) {
-    JsonlSink sink(options_.jsonl_path);
-    for (size_t i = 0; i < n; ++i) {
-      sink.Write(name_, jobs_[i], outcomes[i]);
     }
   }
   return outcomes;

@@ -22,6 +22,11 @@ namespace nestsim {
 // Worker count from NESTSIM_JOBS; defaults to hardware concurrency (min 1).
 int CampaignJobsFromEnv();
 
+// Per-cell repetition count: NESTSIM_REPS when set to a positive integer,
+// otherwise `fallback`. Every bench and the scenario engine resolve their
+// repetition counts through this so the environment override works uniformly.
+int RepetitionsFromEnv(int fallback);
+
 struct CampaignOptions {
   int jobs = 0;            // worker threads; <= 0 resolves to hardware concurrency
   bool progress = true;    // throttled stderr progress line
@@ -48,8 +53,11 @@ class Campaign {
   const std::vector<Job>& jobs() const { return jobs_; }
 
   // Runs every job and returns outcomes in Add() order regardless of
-  // completion order. JSONL records are written afterwards, also in Add()
-  // order, so the sink file is deterministic too.
+  // completion order. JSONL records are streamed while the campaign runs —
+  // still in Add() order, each record flushed as soon as every earlier job
+  // has finished — so the sink file is deterministic AND a killed campaign
+  // leaves a parseable partial file. Timed-out and failed jobs get a record
+  // too (status + error message).
   std::vector<JobOutcome> Run();
 
  private:

@@ -27,6 +27,31 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "?";
 }
 
+const char* SchedulerKindKey(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kCfs:
+      return "cfs";
+    case SchedulerKind::kNest:
+      return "nest";
+    case SchedulerKind::kSmove:
+      return "smove";
+  }
+  return "?";
+}
+
+bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+    if (key == SchedulerKindKey(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> SchedulerKindKeys() { return {"cfs", "nest", "smove"}; }
+
 std::string ExperimentConfig::Label() const {
   std::string label = SchedulerKindName(scheduler);
   label += " ";

@@ -28,6 +28,16 @@ enum class SchedulerKind { kCfs, kNest, kSmove };
 
 const char* SchedulerKindName(SchedulerKind kind);
 
+// Lowercase policy key used by spec files and registries ("cfs" / "nest" /
+// "smove"); the inverse of SchedulerKindFromKey.
+const char* SchedulerKindKey(SchedulerKind kind);
+
+// Non-aborting lookup by lowercase key; false on unknown names.
+bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out);
+
+// Every policy key, in enum order.
+std::vector<std::string> SchedulerKindKeys();
+
 struct ExperimentConfig {
   std::string machine = "intel-5218-2s";
   SchedulerKind scheduler = SchedulerKind::kCfs;

@@ -17,4 +17,15 @@ std::unique_ptr<Governor> MakeGovernor(const std::string& name) {
   std::abort();
 }
 
+std::vector<std::string> GovernorNames() { return {"schedutil", "performance"}; }
+
+bool IsKnownGovernor(const std::string& name) {
+  for (const std::string& known : GovernorNames()) {
+    if (known == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace nestsim

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/kernel/governor.h"
 
@@ -44,6 +45,13 @@ class SchedutilGovernor : public Governor {
 
 // Factory by name ("schedutil" / "performance"); aborts on unknown names.
 std::unique_ptr<Governor> MakeGovernor(const std::string& name);
+
+// Every governor name the factory accepts (the scenario engine validates
+// spec files against this list).
+std::vector<std::string> GovernorNames();
+
+// Non-aborting membership test for user-input validation.
+bool IsKnownGovernor(const std::string& name);
 
 }  // namespace nestsim
 

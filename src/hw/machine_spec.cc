@@ -187,11 +187,27 @@ const std::vector<MachineSpec>& AllMachines() {
   return *machines;
 }
 
-const MachineSpec& MachineByName(const std::string& name) {
+const MachineSpec* FindMachine(const std::string& name) {
   for (const MachineSpec& m : AllMachines()) {
     if (m.name == name) {
-      return m;
+      return &m;
     }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> MachineNames() {
+  std::vector<std::string> names;
+  names.reserve(AllMachines().size());
+  for (const MachineSpec& m : AllMachines()) {
+    names.push_back(m.name);
+  }
+  return names;
+}
+
+const MachineSpec& MachineByName(const std::string& name) {
+  if (const MachineSpec* m = FindMachine(name)) {
+    return *m;
   }
   std::fprintf(stderr, "nestsim: unknown machine '%s'. Known machines:\n", name.c_str());
   for (const MachineSpec& m : AllMachines()) {

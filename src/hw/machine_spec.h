@@ -128,6 +128,13 @@ const std::vector<MachineSpec>& AllMachines();
 // Looks up a preset by name; aborts with a clear message on unknown names.
 const MachineSpec& MachineByName(const std::string& name);
 
+// Non-aborting lookup for callers that validate user input (the scenario
+// engine); nullptr when `name` is not a preset.
+const MachineSpec* FindMachine(const std::string& name);
+
+// Every preset name, in AllMachines() order.
+std::vector<std::string> MachineNames();
+
 // The paper's four evaluation machines, in Figure order (6130-2s, 6130-4s,
 // 5218-2s, E7-8870v4-4s).
 std::vector<std::string> PaperMachineNames();

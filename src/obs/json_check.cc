@@ -2,18 +2,22 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace nestsim {
 
 namespace {
 
+// Validates, and — when constructed with a sink — also builds the JsonValue
+// tree. A null sink keeps the original validation-only behaviour.
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  explicit Parser(const std::string& text, JsonValue* sink = nullptr)
+      : text_(text), sink_(sink) {}
 
   bool Run(std::string* error) {
     SkipWs();
-    if (!Value()) {
+    if (!Value(sink_)) {
       Report(error);
       return false;
     }
@@ -72,13 +76,36 @@ class Parser {
     return true;
   }
 
-  bool String() {
+  static void AppendUtf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  // `decoded` (optional) receives the string with escapes resolved.
+  bool String(std::string* decoded = nullptr) {
     if (!Eat('"')) {
       return Fail("expected string");
     }
+    unsigned pending_high_surrogate = 0;
     while (pos_ < text_.size()) {
       const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
       if (c == '"') {
+        if (decoded != nullptr && pending_high_surrogate != 0) {
+          AppendUtf8(*decoded, 0xFFFD);
+        }
         return true;
       }
       if (c < 0x20) {
@@ -91,17 +118,73 @@ class Parser {
         }
         const char esc = text_[pos_++];
         if (esc == 'u') {
+          unsigned code_point = 0;
           for (int i = 0; i < 4; ++i) {
             if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
               return Fail("bad \\u escape");
             }
-            ++pos_;
+            const char h = text_[pos_++];
+            code_point = code_point * 16 +
+                         static_cast<unsigned>(h <= '9'   ? h - '0'
+                                               : h <= 'F' ? h - 'A' + 10
+                                                          : h - 'a' + 10);
           }
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
-                   esc != 'n' && esc != 'r' && esc != 't') {
+          if (decoded != nullptr) {
+            if (pending_high_surrogate != 0) {
+              if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+                AppendUtf8(*decoded, 0x10000 + ((pending_high_surrogate - 0xD800) << 10) +
+                                         (code_point - 0xDC00));
+              } else {
+                AppendUtf8(*decoded, 0xFFFD);
+                AppendUtf8(*decoded, code_point);
+              }
+              pending_high_surrogate = 0;
+            } else if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+              pending_high_surrogate = code_point;
+            } else {
+              AppendUtf8(*decoded, code_point);
+            }
+          }
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' && esc != 'n' &&
+            esc != 'r' && esc != 't') {
           --pos_;
           return Fail("bad escape character");
         }
+        if (decoded != nullptr) {
+          if (pending_high_surrogate != 0) {
+            AppendUtf8(*decoded, 0xFFFD);
+            pending_high_surrogate = 0;
+          }
+          switch (esc) {
+            case 'b':
+              *decoded += '\b';
+              break;
+            case 'f':
+              *decoded += '\f';
+              break;
+            case 'n':
+              *decoded += '\n';
+              break;
+            case 'r':
+              *decoded += '\r';
+              break;
+            case 't':
+              *decoded += '\t';
+              break;
+            default:
+              *decoded += esc;  // '"', '\\', '/'
+          }
+        }
+        continue;
+      }
+      if (decoded != nullptr) {
+        if (pending_high_surrogate != 0) {
+          AppendUtf8(*decoded, 0xFFFD);
+          pending_high_surrogate = 0;
+        }
+        *decoded += static_cast<char>(c);
       }
     }
     return Fail("unterminated string");
@@ -144,7 +227,7 @@ class Parser {
     return true;
   }
 
-  bool Object() {
+  bool Object(JsonValue* out) {
     ++pos_;  // '{'
     SkipWs();
     if (Eat('}')) {
@@ -152,14 +235,20 @@ class Parser {
     }
     while (true) {
       SkipWs();
-      if (!String()) {
+      std::string key;
+      if (!String(out != nullptr ? &key : nullptr)) {
         return false;
       }
       SkipWs();
       if (!Eat(':')) {
         return Fail("expected ':' after object key");
       }
-      if (!Value()) {
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue{});
+        slot = &out->members.back().second;
+      }
+      if (!Value(slot)) {
         return false;
       }
       SkipWs();
@@ -173,14 +262,19 @@ class Parser {
     }
   }
 
-  bool Array() {
+  bool Array(JsonValue* out) {
     ++pos_;  // '['
     SkipWs();
     if (Eat(']')) {
       return true;
     }
     while (true) {
-      if (!Value()) {
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      if (!Value(slot)) {
         return false;
       }
       SkipWs();
@@ -194,7 +288,7 @@ class Parser {
     }
   }
 
-  bool Value() {
+  bool Value(JsonValue* out) {
     SkipWs();
     if (++depth_ > kMaxDepth) {
       return Fail("nesting too deep");
@@ -202,32 +296,56 @@ class Parser {
     bool ok = false;
     switch (Peek()) {
       case '{':
-        ok = Object();
+        if (out != nullptr) {
+          out->type = JsonValue::Type::kObject;
+        }
+        ok = Object(out);
         break;
       case '[':
-        ok = Array();
+        if (out != nullptr) {
+          out->type = JsonValue::Type::kArray;
+        }
+        ok = Array(out);
         break;
       case '"':
-        ok = String();
+        if (out != nullptr) {
+          out->type = JsonValue::Type::kString;
+        }
+        ok = String(out != nullptr ? &out->string : nullptr);
         break;
       case 't':
         ok = Literal("true");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kBool;
+          out->boolean = true;
+        }
         break;
       case 'f':
         ok = Literal("false");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kBool;
+          out->boolean = false;
+        }
         break;
       case 'n':
         ok = Literal("null");
         break;
-      default:
+      default: {
+        const size_t start = pos_;
         ok = Number();
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kNumber;
+          out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+        }
         break;
+      }
     }
     --depth_;
     return ok;
   }
 
   const std::string& text_;
+  JsonValue* sink_;
   size_t pos_ = 0;
   int depth_ = 0;
   const char* fail_ = nullptr;
@@ -235,8 +353,44 @@ class Parser {
 
 }  // namespace
 
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const char* JsonTypeName(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return "bool";
+    case JsonValue::Type::kNumber:
+      return "number";
+    case JsonValue::Type::kString:
+      return "string";
+    case JsonValue::Type::kObject:
+      return "object";
+    case JsonValue::Type::kArray:
+      return "array";
+  }
+  return "?";
+}
+
 bool JsonValid(const std::string& text, std::string* error) {
   return Parser(text).Run(error);
+}
+
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  if (!Parser(text, out).Run(error)) {
+    *out = JsonValue{};
+    return false;
+  }
+  return true;
 }
 
 }  // namespace nestsim

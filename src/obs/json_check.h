@@ -1,13 +1,17 @@
-// A dependency-free JSON well-formedness checker (src/obs/).
+// A dependency-free JSON checker and parser (src/obs/).
 //
-// The test suite uses it to parse back everything the observability layer
-// emits (Perfetto traces, counter objects, campaign JSONL records) without
-// pulling in an external JSON library.
+// The test suite uses JsonValid to parse back everything the observability
+// layer emits (Perfetto traces, counter objects, campaign JSONL records)
+// without pulling in an external JSON library. JsonParse additionally builds
+// a JsonValue tree from the same grammar; the scenario engine
+// (src/scenario/) reads experiment-spec files through it.
 
 #ifndef NESTSIM_SRC_OBS_JSON_CHECK_H_
 #define NESTSIM_SRC_OBS_JSON_CHECK_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace nestsim {
 
@@ -15,6 +19,36 @@ namespace nestsim {
 // duplicate keys allowed). On failure, `error` (if non-null) describes the
 // first problem and its byte offset.
 bool JsonValid(const std::string& text, std::string* error = nullptr);
+
+// A parsed JSON value. Objects keep their members in file order (duplicate
+// keys are kept; lookups return the first).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;  // decoded (escapes resolved)
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects
+  std::vector<JsonValue> items;                            // arrays
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  // First member with `key`, or nullptr. Objects only.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Human-readable type name ("object", "string", ...), for error messages.
+const char* JsonTypeName(JsonValue::Type type);
+
+// Parses `text` (same grammar as JsonValid) into `*out`. On failure returns
+// false and describes the first problem in `error` (if non-null).
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error = nullptr);
 
 }  // namespace nestsim
 

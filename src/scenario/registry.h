@@ -1,0 +1,54 @@
+// String-keyed registries behind the scenario engine: machines, scheduler
+// policies, governors, and the eight workload families of src/workloads.
+//
+// The scenario parser validates spec files against these lists (so error
+// messages can name every alternative) and the runner builds Workload
+// instances through the family builders.
+
+#ifndef NESTSIM_SRC_SCENARIO_REGISTRY_H_
+#define NESTSIM_SRC_SCENARIO_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+#include "src/scenario/scenario.h"
+
+namespace nestsim {
+
+// One workload family ("configure", "dacapo", "nas", "phoronix", "server",
+// "hackbench", "schbench", "multi").
+struct WorkloadFamily {
+  std::string name;
+  std::string summary;  // one-liner for nestsim_run --list
+
+  // Named presets usable as parameterless rows ("gcc", "h2", "bt", ...).
+  std::vector<std::string> presets;
+  // Named row groups ("all"; phoronix adds "fig13" and "table4").
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+
+  // True when `row` names a preset this family can build without params
+  // (phoronix additionally accepts "synthetic-<i>").
+  std::function<bool(const std::string& row)> is_preset;
+
+  // Builds the model for one row. `params` is the row's params object, or
+  // nullptr for a preset row. Problems are reported through `err` under
+  // `path` and nullptr is returned.
+  std::function<std::unique_ptr<Workload>(const std::string& row, const JsonValue* params,
+                                          const std::string& path, ScenarioError& err)>
+      build;
+
+  // The group's rows, or empty when `group` is not one of `groups`.
+  const std::vector<std::string>* FindGroup(const std::string& group) const;
+};
+
+// Every family, in registry order.
+const std::vector<WorkloadFamily>& WorkloadFamilies();
+const WorkloadFamily* FindWorkloadFamily(const std::string& name);
+std::vector<std::string> WorkloadFamilyNames();
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_SCENARIO_REGISTRY_H_

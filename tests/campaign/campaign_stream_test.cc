@@ -1,0 +1,186 @@
+// Streaming behaviour of the campaign JSONL sink: records are written in
+// Add() order *while the campaign runs* (flushed per record), and a job that
+// dies still leaves an outcome row — so a killed campaign leaves a parseable
+// partial file.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/obs/json_check.h"
+#include "src/workloads/configure.h"
+
+namespace nestsim {
+namespace {
+
+std::shared_ptr<const Workload> SmallConfigure() {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 5;
+  return std::make_shared<ConfigureWorkload>(spec);
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+// Blanks the "wall_s" value — the one legitimately nondeterministic field —
+// so records can be compared across runs.
+std::string StripWallClock(const std::string& line) {
+  const std::string key = "\"wall_s\":";
+  const size_t start = line.find(key);
+  if (start == std::string::npos) {
+    return line;
+  }
+  size_t end = start + key.size();
+  while (end < line.size() && line[end] != ',' && line[end] != '}') {
+    ++end;
+  }
+  return line.substr(0, start + key.size()) + "?" + line.substr(end);
+}
+
+std::vector<std::string> ReadLinesNoWallClock(const std::string& path) {
+  std::vector<std::string> lines = ReadLines(path);
+  for (std::string& line : lines) {
+    line = StripWallClock(line);
+  }
+  return lines;
+}
+
+// Counts the sink file's lines from *inside* a later job, then aborts by
+// throwing — the probe that proves earlier records were already flushed
+// mid-campaign, not in a post-run loop.
+class SinkProbeWorkload : public Workload {
+ public:
+  SinkProbeWorkload(std::string sink_path, std::atomic<int>* observed)
+      : sink_path_(std::move(sink_path)), observed_(observed) {}
+
+  std::string name() const override { return "sink-probe"; }
+  void Setup(Kernel&, Rng&) const override {
+    observed_->store(static_cast<int>(ReadLines(sink_path_).size()));
+    throw std::runtime_error("forced abort after probing the sink");
+  }
+
+ private:
+  std::string sink_path_;
+  std::atomic<int>* observed_;
+};
+
+std::string TempSinkPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".jsonl";
+}
+
+TEST(CampaignStreamTest, RecordsAreFlushedWhileTheCampaignRuns) {
+  const std::string path = TempSinkPath("stream_flush");
+  std::remove(path.c_str());
+
+  CampaignOptions options;
+  options.jobs = 1;  // serial: job 0 must be streamed before job 1 starts
+  options.progress = false;
+  options.jsonl_path = path;
+
+  std::atomic<int> observed{-1};
+  Campaign campaign("stream_test", options);
+  Job ok_job;
+  ok_job.workload = "gcc-small";
+  ok_job.variant = "CFS";
+  ok_job.model = SmallConfigure();
+  campaign.Add(ok_job);
+  Job probe_job;
+  probe_job.workload = "probe";
+  probe_job.variant = "CFS";
+  probe_job.model = std::make_shared<SinkProbeWorkload>(path, &observed);
+  campaign.Add(probe_job);
+
+  const std::vector<JobOutcome> outcomes = campaign.Run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_EQ(outcomes[1].status, JobStatus::kFailed);
+
+  // The probe saw the first job's record already on disk mid-campaign.
+  EXPECT_EQ(observed.load(), 1);
+}
+
+TEST(CampaignStreamTest, AbortedJobStillGetsAParseableOutcomeRow) {
+  const std::string path = TempSinkPath("stream_abort");
+  std::remove(path.c_str());
+
+  CampaignOptions options;
+  options.jobs = 1;
+  options.progress = false;
+  options.jsonl_path = path;
+
+  std::atomic<int> observed{-1};
+  Campaign campaign("abort_test", options);
+  Job probe_job;
+  probe_job.workload = "probe";
+  probe_job.variant = "CFS";
+  probe_job.model = std::make_shared<SinkProbeWorkload>(path, &observed);
+  campaign.Add(probe_job);
+  Job ok_job;
+  ok_job.workload = "gcc-small";
+  ok_job.variant = "CFS";
+  ok_job.model = SmallConfigure();
+  campaign.Add(ok_job);
+  campaign.Run();
+
+  // Both rows present — the failed one first — and every line is valid JSON
+  // (the partial-file contract for killed campaigns).
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    std::string error;
+    EXPECT_TRUE(JsonValid(line, &error)) << line << ": " << error;
+  }
+  EXPECT_NE(lines[0].find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(lines[0].find("forced abort"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(CampaignStreamTest, PooledRunStreamsInAddOrder) {
+  const std::string serial = TempSinkPath("stream_serial");
+  const std::string pooled = TempSinkPath("stream_pooled");
+  std::remove(serial.c_str());
+  std::remove(pooled.c_str());
+
+  auto run_with = [&](int jobs, const std::string& sink) {
+    CampaignOptions options;
+    options.jobs = jobs;
+    options.progress = false;
+    options.jsonl_path = sink;
+    Campaign campaign("order_test", options);
+    const auto model = SmallConfigure();
+    for (uint64_t seed : {1, 2, 3, 4, 5, 6}) {
+      Job job;
+      job.workload = "gcc-small";
+      job.variant = "seed-" + std::to_string(seed);
+      job.model = model;
+      job.base_seed = seed;
+      campaign.Add(job);
+    }
+    campaign.Run();
+  };
+  run_with(1, serial);
+  run_with(4, pooled);
+
+  // Streamed-while-running output matches the serial file byte-for-byte in
+  // every deterministic field (only the measured wall clock may differ).
+  EXPECT_EQ(ReadLinesNoWallClock(serial), ReadLinesNoWallClock(pooled));
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -54,5 +54,93 @@ TEST(JsonCheckTest, RejectsRunawayNesting) {
   EXPECT_FALSE(JsonValid(deep));
 }
 
+TEST(JsonParseTest, BuildsTheValueTree) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("{\"a\":[1,2.5,true,null,\"x\"],\"b\":{\"nested\":[]}}", &v));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members.size(), 2u);
+
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 5u);
+  EXPECT_TRUE(a->items[0].is_number());
+  EXPECT_DOUBLE_EQ(a->items[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->items[1].number, 2.5);
+  EXPECT_TRUE(a->items[2].is_bool());
+  EXPECT_TRUE(a->items[2].boolean);
+  EXPECT_TRUE(a->items[3].is_null());
+  EXPECT_TRUE(a->items[4].is_string());
+  EXPECT_EQ(a->items[4].string, "x");
+
+  const JsonValue* b = v.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_object());
+  EXPECT_NE(b->Find("nested"), nullptr);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, PreservesMemberOrderAndDuplicates) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("{\"z\":1,\"a\":2,\"z\":3}", &v));
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].first, "z");
+  EXPECT_EQ(v.members[1].first, "a");
+  // Find returns the first occurrence.
+  EXPECT_DOUBLE_EQ(v.Find("z")->number, 1.0);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("\"a\\\"b\\\\c\\/d\\n\\t\\u0041\\u00e9\"", &v));
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string, "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonParseTest, DecodesSurrogatePairs) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("\"\\ud83d\\ude00\"", &v));  // U+1F600
+  EXPECT_EQ(v.string, "\xf0\x9f\x98\x80");
+  // A lone surrogate decodes to the replacement character instead of garbage.
+  ASSERT_TRUE(JsonParse("\"\\ud83d!\"", &v));
+  EXPECT_EQ(v.string, "\xef\xbf\xbd!");
+}
+
+TEST(JsonParseTest, ParsesScalarsAndNumbers) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("-12.5e-3", &v));
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.number, -0.0125);
+  ASSERT_TRUE(JsonParse("false", &v));
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_FALSE(v.boolean);
+  ASSERT_TRUE(JsonParse("null", &v));
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonParseTest, RoundTripsSeventeenDigitDoubles) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("6.9179590801107187", &v));
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+  EXPECT_STREQ(buf, "6.9179590801107187");
+}
+
+TEST(JsonParseTest, FailureResetsTheSinkAndNamesTheError) {
+  JsonValue v;
+  ASSERT_TRUE(JsonParse("[1,2]", &v));
+  std::string error;
+  ASSERT_FALSE(JsonParse("[1,", &v, &error));
+  EXPECT_TRUE(v.is_null());  // no stale tree after a failed parse
+  EXPECT_TRUE(v.items.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParseTest, TypeNamesAreStable) {
+  EXPECT_STREQ(JsonTypeName(JsonValue::Type::kObject), "object");
+  EXPECT_STREQ(JsonTypeName(JsonValue::Type::kArray), "array");
+  EXPECT_STREQ(JsonTypeName(JsonValue::Type::kString), "string");
+}
+
 }  // namespace
 }  // namespace nestsim

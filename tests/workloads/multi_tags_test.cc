@@ -1,0 +1,99 @@
+// Composition invariants of MultiAppWorkload tagging (src/workloads/multi.cc):
+// members are re-tagged with their index on Add, Tags() reports one unique
+// tag per member, and spawned tasks carry exactly those tags through to the
+// per-tag makespans.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/core/experiment.h"
+#include "src/workloads/configure.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/multi.h"
+#include "src/workloads/nas.h"
+
+namespace nestsim {
+namespace {
+
+std::unique_ptr<ConfigureWorkload> SmallConfigure(const std::string& package, int tests) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec(package);
+  spec.num_tests = tests;
+  return std::make_unique<ConfigureWorkload>(spec);
+}
+
+TEST(MultiAppTagsTest, SingleWorkloadDefaultsToTagZero) {
+  const auto workload = SmallConfigure("gcc", 5);
+  EXPECT_EQ(workload->tag(), 0);
+  EXPECT_EQ(workload->Tags(), (std::vector<int>{0}));
+}
+
+TEST(MultiAppTagsTest, AddRetagsMembersByIndex) {
+  MultiAppWorkload multi;
+  for (int i = 0; i < 4; ++i) {
+    auto member = SmallConfigure("gcc", 5);
+    member->set_tag(99);  // whatever the member carried before, Add re-tags
+    multi.Add(std::move(member));
+  }
+  EXPECT_EQ(multi.Tags(), (std::vector<int>{0, 1, 2, 3}));
+  for (int i = 0; i < multi.size(); ++i) {
+    EXPECT_EQ(multi.member(i).tag(), i);
+  }
+}
+
+TEST(MultiAppTagsTest, TagsUniqueAcrossMixedFamilies) {
+  MultiAppWorkload multi;
+  multi.Add(SmallConfigure("gcc", 5));
+  NasSpec nas = NasWorkload::KernelSpec("ep");
+  nas.iterations = 5;
+  nas.threads = 4;
+  multi.Add(std::make_unique<NasWorkload>(nas));
+  HackbenchSpec hb;
+  hb.groups = 1;
+  hb.fan = 2;
+  hb.loops = 5;
+  multi.Add(std::make_unique<HackbenchWorkload>(hb));
+
+  const std::vector<int> tags = multi.Tags();
+  const std::set<int> unique(tags.begin(), tags.end());
+  EXPECT_EQ(unique.size(), tags.size());
+  EXPECT_EQ(tags, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(multi.name(), "multi(configure-gcc+nas-ep+hackbench)");
+}
+
+TEST(MultiAppTagsTest, OuterTagDoesNotDisturbMembers) {
+  MultiAppWorkload multi;
+  multi.Add(SmallConfigure("gcc", 5));
+  multi.Add(SmallConfigure("gdb", 5));
+  multi.set_tag(7);  // the composition's own tag is unused by Tags()
+  EXPECT_EQ(multi.Tags(), (std::vector<int>{0, 1}));
+}
+
+TEST(MultiAppTagsTest, SpawnedTasksCarryExactlyTheMemberTags) {
+  MultiAppWorkload multi;
+  multi.Add(SmallConfigure("gcc", 5));
+  multi.Add(SmallConfigure("gdb", 5));
+  multi.Add(SmallConfigure("php", 5));
+
+  ExperimentConfig config;
+  config.machine = "intel-6130-2s";
+  config.scheduler = SchedulerKind::kNest;
+  config.seed = 5;
+  const ExperimentResult r = RunExperiment(config, multi);
+  ASSERT_FALSE(r.hit_time_limit);
+
+  // Exactly the member tags show up — no member ran untagged, none leaked an
+  // extra tag.
+  std::set<int> seen;
+  for (const auto& [tag, makespan] : r.tag_makespan) {
+    EXPECT_GT(makespan, 0);
+    seen.insert(tag);
+  }
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(std::max({r.tag_makespan.at(0), r.tag_makespan.at(1), r.tag_makespan.at(2)}),
+            r.makespan);
+}
+
+}  // namespace
+}  // namespace nestsim

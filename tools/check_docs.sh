@@ -9,14 +9,19 @@
 #      README.md's "What's in the box";
 #   4. docs/OBSERVABILITY.md is linked from README.md and DESIGN.md;
 #   5. every trace event name and counter key the observability layer emits
-#      is documented in docs/OBSERVABILITY.md.
+#      is documented in docs/OBSERVABILITY.md;
+#   6. docs/SCENARIOS.md is linked from README.md and named in EXPERIMENTS.md;
+#   7. every scenario file under scenarios/ is named in the docs, and every
+#      scenario named in the docs exists;
+#   8. every config-override key the scenario engine accepts is documented in
+#      docs/SCENARIOS.md.
 
 set -u
 cd "$(dirname "$0")/.."
 fail=0
 
 # 1. Environment variables.
-for var in $(grep -rhoE 'getenv\("NESTSIM_[A-Z_]+"\)' src bench examples \
+for var in $(grep -rhoE 'getenv\("NESTSIM_[A-Z_]+"\)' src bench examples tools \
                | sed 's/getenv("//; s/")//' | sort -u); do
   if ! grep -q "$var" README.md; then
     echo "FAIL: $var is read by the code but not documented in README.md"
@@ -65,6 +70,40 @@ for key in $(grep -ohE 'AppendU64\(out, "[a-z_]+"' src/obs/sched_counters.cc \
                | sed 's/.*"\([a-z_]*\)"/\1/' | sort -u); do
   if ! grep -q "\`$key\`" docs/OBSERVABILITY.md; then
     echo "FAIL: counter key '$key' is emitted but not documented in docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+# 6. The scenario reference is reachable from the entry points.
+for doc in README.md EXPERIMENTS.md; do
+  if ! grep -q 'docs/SCENARIOS.md' "$doc"; then
+    echo "FAIL: $doc does not mention docs/SCENARIOS.md"
+    fail=1
+  fi
+done
+
+# 7. Scenario files and docs agree in both directions.
+for f in scenarios/*.json; do
+  name=$(basename "$f")
+  if ! grep -q "$name" docs/SCENARIOS.md && ! grep -q "$name" EXPERIMENTS.md; then
+    echo "FAIL: $f is not named in docs/SCENARIOS.md or EXPERIMENTS.md"
+    fail=1
+  fi
+done
+for name in $(grep -ohE 'scenarios/[a-z0-9_-]+\.json' \
+                README.md EXPERIMENTS.md docs/SCENARIOS.md | sort -u); do
+  if [ ! -f "$name" ]; then
+    echo "FAIL: docs name $name but the file does not exist"
+    fail=1
+  fi
+done
+
+# 8. Config-override keys. The override table in scenario.cc holds entries of
+#    the form {"key", "expected-type", ...}.
+for key in $(grep -ohE '\{"[a-z_]+(\.[a-z_]+)?", "(bool|string|number|integer)' \
+               src/scenario/scenario.cc | sed 's/{"//; s/".*//' | sort -u); do
+  if ! grep -q "\`$key\`" docs/SCENARIOS.md; then
+    echo "FAIL: config key '$key' is accepted by src/scenario/ but not documented in docs/SCENARIOS.md"
     fail=1
   fi
 done
