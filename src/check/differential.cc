@@ -1,0 +1,232 @@
+#include "src/check/differential.h"
+
+#include <cstdio>
+
+#include "src/scenario/baseline.h"
+#include "src/scenario/runner.h"
+
+namespace nestsim {
+
+namespace {
+
+// Expands and executes one pass of the grid with `jobs` workers, the
+// invariant checker forced on, and the caller's mutation applied.
+bool RunPass(const Scenario& scenario, int jobs, const DifferentialOptions& options,
+             ScenarioRun* run, ScenarioError* err) {
+  ScenarioRunOptions run_options;
+  run_options.campaign.jobs = jobs;
+  run_options.campaign.progress = false;
+  run_options.campaign.jsonl_path.clear();  // hermetic: ignore NESTSIM_JSONL
+  if (!ExpandScenario(scenario, run_options, run, err)) {
+    return false;
+  }
+  for (Job& job : run->jobs) {
+    job.config.check_invariants = true;
+    if (options.mutate_config) {
+      options.mutate_config(&job.config);
+    }
+  }
+  ExecuteScenario(run);
+  return true;
+}
+
+std::string JobLabel(const ScenarioRun& run, size_t machine, size_t row, size_t variant,
+                     size_t sweep) {
+  const Job& job = run.job(machine, row, variant, sweep);
+  std::string label = run.scenario.machines[machine] + " " + job.workload + "/" + job.variant;
+  if (!run.sweep_labels[sweep].empty()) {
+    label += " [" + run.sweep_labels[sweep] + "]";
+  }
+  return label;
+}
+
+void CheckDeterminism(const ScenarioRun& a, const ScenarioRun& b, DifferentialReport* report) {
+  for (size_t m = 0; m < a.num_machines(); ++m) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      for (size_t v = 0; v < a.num_variants(); ++v) {
+        for (size_t s = 0; s < a.num_sweeps(); ++s) {
+          const JobOutcome& oa = a.outcome(m, r, v, s);
+          const JobOutcome& ob = b.outcome(m, r, v, s);
+          const std::string label = JobLabel(a, m, r, v, s);
+          if (oa.status != ob.status) {
+            report->problems.push_back("nondeterminism: " + label + " is " +
+                                       JobStatusName(oa.status) + " on 1 worker but " +
+                                       JobStatusName(ob.status) + " on a pool");
+            continue;
+          }
+          if (!oa.ok()) {
+            continue;  // both failed identically; reported by CheckHealth
+          }
+          if (oa.result.runs.size() != ob.result.runs.size()) {
+            report->problems.push_back("nondeterminism: " + label + " repetition counts differ");
+            continue;
+          }
+          for (size_t i = 0; i < oa.result.runs.size(); ++i) {
+            const ExperimentResult& ra = oa.result.runs[i];
+            const ExperimentResult& rb = ob.result.runs[i];
+            if (ra.makespan != rb.makespan || ra.tasks_created != rb.tasks_created ||
+                ra.migrations != rb.migrations ||
+                SchedCountersDigest(ra.counters) != SchedCountersDigest(rb.counters)) {
+              char detail[160];
+              std::snprintf(detail, sizeof(detail),
+                            "rep %zu: makespan %lld vs %lld ns, digest %s vs %s",
+                            i, static_cast<long long>(ra.makespan),
+                            static_cast<long long>(rb.makespan),
+                            SchedCountersDigest(ra.counters).c_str(),
+                            SchedCountersDigest(rb.counters).c_str());
+              report->problems.push_back("nondeterminism: " + label + " " + detail);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void CheckHealth(const ScenarioRun& run, DifferentialReport* report) {
+  for (size_t m = 0; m < run.num_machines(); ++m) {
+    for (size_t r = 0; r < run.num_rows(); ++r) {
+      for (size_t v = 0; v < run.num_variants(); ++v) {
+        for (size_t s = 0; s < run.num_sweeps(); ++s) {
+          const JobOutcome& outcome = run.outcome(m, r, v, s);
+          if (outcome.ok()) {
+            continue;
+          }
+          std::string problem = std::string(JobStatusName(outcome.status)) + ": " +
+                                JobLabel(run, m, r, v, s);
+          if (!outcome.message.empty()) {
+            problem += "\n" + outcome.message;
+          }
+          report->problems.push_back(std::move(problem));
+        }
+      }
+    }
+  }
+}
+
+// Across variants of the same (machine, row, sweep) cell the workload model
+// and seed are identical, so the task population must be too.
+void CheckAccounting(const ScenarioRun& run, DifferentialReport* report) {
+  for (size_t m = 0; m < run.num_machines(); ++m) {
+    for (size_t r = 0; r < run.num_rows(); ++r) {
+      for (size_t s = 0; s < run.num_sweeps(); ++s) {
+        bool comparable = true;
+        for (size_t v = 0; v < run.num_variants() && comparable; ++v) {
+          const JobOutcome& outcome = run.outcome(m, r, v, s);
+          comparable = outcome.ok();
+          if (comparable) {
+            for (const ExperimentResult& rep : outcome.result.runs) {
+              comparable = comparable && !rep.hit_time_limit && !rep.aborted;
+            }
+          }
+        }
+        if (!comparable || run.num_variants() < 2) {
+          continue;
+        }
+        const JobOutcome& base = run.outcome(m, r, 0, s);
+        for (size_t v = 1; v < run.num_variants(); ++v) {
+          const JobOutcome& other = run.outcome(m, r, v, s);
+          for (size_t i = 0; i < base.result.runs.size(); ++i) {
+            if (base.result.runs[i].tasks_created != other.result.runs[i].tasks_created) {
+              char detail[128];
+              std::snprintf(detail, sizeof(detail), "rep %zu created %d tasks vs %d under %s", i,
+                            other.result.runs[i].tasks_created,
+                            base.result.runs[i].tasks_created,
+                            run.job(m, r, 0, s).variant.c_str());
+              report->problems.push_back("task accounting: " + JobLabel(run, m, r, v, s) + " " +
+                                         detail);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void CheckNeutrality(const ScenarioRun& run, double band, DifferentialReport* report) {
+  // Pair each Nest variant with the CFS variant sharing its governor.
+  for (size_t m = 0; m < run.num_machines(); ++m) {
+    for (size_t r = 0; r < run.num_rows(); ++r) {
+      for (size_t s = 0; s < run.num_sweeps(); ++s) {
+        for (size_t nest = 0; nest < run.num_variants(); ++nest) {
+          if (run.scenario.variants[nest].scheduler != SchedulerKind::kNest) {
+            continue;
+          }
+          for (size_t cfs = 0; cfs < run.num_variants(); ++cfs) {
+            if (run.scenario.variants[cfs].scheduler != SchedulerKind::kCfs ||
+                run.scenario.variants[cfs].governor != run.scenario.variants[nest].governor) {
+              continue;
+            }
+            const JobOutcome& oc = run.outcome(m, r, cfs, s);
+            const JobOutcome& on = run.outcome(m, r, nest, s);
+            if (!oc.ok() || !on.ok()) {
+              continue;
+            }
+            bool bounded = true;
+            for (const JobOutcome* o : {&oc, &on}) {
+              for (const ExperimentResult& rep : o->result.runs) {
+                bounded = bounded && !rep.hit_time_limit && !rep.aborted;
+              }
+            }
+            if (!bounded || oc.result.mean_seconds <= 0 || on.result.mean_seconds <= 0) {
+              continue;
+            }
+            const double ratio = on.result.mean_seconds / oc.result.mean_seconds;
+            if (ratio > 1.0 + band || ratio < 1.0 / (1.0 + band)) {
+              char detail[160];
+              std::snprintf(detail, sizeof(detail),
+                            "nest %.4fs vs cfs %.4fs (ratio %.3f outside +/-%.0f%%)",
+                            on.result.mean_seconds, oc.result.mean_seconds, ratio, band * 100);
+              report->problems.push_back("full-load neutrality: " +
+                                         JobLabel(run, m, r, nest, s) + " " + detail);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string DifferentialReport::Join() const {
+  std::string out;
+  for (const std::string& p : problems) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += p;
+  }
+  return out;
+}
+
+DifferentialReport RunDifferential(const JsonValue& spec, bool full_load,
+                                   const DifferentialOptions& options) {
+  DifferentialReport report;
+
+  Scenario scenario;
+  ScenarioError err;
+  if (!ParseScenario(spec, "generated", &scenario, &err)) {
+    report.problems.push_back("generated spec does not parse:\n" + err.Join());
+    return report;
+  }
+
+  ScenarioRun serial;
+  ScenarioRun parallel;
+  if (!RunPass(scenario, options.serial_jobs, options, &serial, &err) ||
+      !RunPass(scenario, options.parallel_jobs, options, &parallel, &err)) {
+    report.problems.push_back("scenario does not expand:\n" + err.Join());
+    return report;
+  }
+  report.jobs = serial.jobs.size();
+
+  CheckHealth(serial, &report);
+  CheckDeterminism(serial, parallel, &report);
+  CheckAccounting(serial, &report);
+  if (full_load) {
+    CheckNeutrality(serial, options.neutrality_band, &report);
+  }
+  return report;
+}
+
+}  // namespace nestsim

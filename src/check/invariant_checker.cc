@@ -1,0 +1,355 @@
+#include "src/check/invariant_checker.h"
+
+#include <cstdio>
+
+namespace nestsim {
+
+namespace {
+
+// Frequency / utilisation tolerance: the hardware integrates in doubles.
+constexpr double kEps = 1e-6;
+
+std::string FormatViolation(Invariant invariant, SimTime now, const std::string& detail) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[invariant] %s @%lldns: ", InvariantName(invariant),
+                static_cast<long long>(now));
+  return head + detail;
+}
+
+}  // namespace
+
+std::vector<std::string> InvariantNames() {
+  std::vector<std::string> names;
+  names.reserve(kNumInvariants);
+  for (int i = 0; i < kNumInvariants; ++i) {
+    names.push_back(InvariantName(static_cast<Invariant>(i)));
+  }
+  return names;
+}
+
+InvariantChecker::InvariantChecker(Kernel* kernel, Options options)
+    : kernel_(kernel),
+      options_(options),
+      check_work_conservation_(options.check_work_conservation &&
+                               kernel->params().enable_periodic_balance &&
+                               kernel->params().enable_newidle_balance),
+      reservations_in_use_(kernel->policy().UsesPlacementReservation()),
+      res_claim_time_(static_cast<size_t>(kernel->topology().num_cpus()), -1),
+      ql_streak_(static_cast<size_t>(kernel->topology().num_cpus()), 0),
+      ql_reported_(static_cast<size_t>(kernel->topology().num_cpus()), 0),
+      rq_util_update_(static_cast<size_t>(kernel->topology().num_cpus()), 0) {}
+
+void InvariantChecker::Observe(SimTime now) {
+  if (now < last_now_) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "observed %lldns after %lldns",
+                  static_cast<long long>(now), static_cast<long long>(last_now_));
+    Violate(Invariant::kTimeMonotonicity, now, detail);
+  }
+  last_now_ = now;
+}
+
+void InvariantChecker::Violate(Invariant invariant, SimTime now, const std::string& detail) {
+  ++counts_[static_cast<int>(invariant)];
+  ++total_violations_;
+  if (messages_.size() < options_.max_messages) {
+    messages_.push_back(FormatViolation(invariant, now, detail));
+  }
+}
+
+std::string InvariantChecker::Report() const {
+  std::string out;
+  for (const std::string& message : messages_) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += message;
+  }
+  const uint64_t shown = static_cast<uint64_t>(messages_.size());
+  if (total_violations_ > shown) {
+    char more[64];
+    std::snprintf(more, sizeof(more), "\n[invariant] ... and %llu more violations",
+                  static_cast<unsigned long long>(total_violations_ - shown));
+    out += more;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-event callbacks
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::OnTaskCreated(SimTime now, const Task& task) {
+  (void)task;
+  Observe(now);
+}
+
+void InvariantChecker::OnTaskEnqueued(SimTime now, const Task& task, int cpu) {
+  (void)task;
+  Observe(now);
+  // Every enqueue clears the CPU's reservation claim (EnqueueTask calls
+  // ClearClaim unconditionally — placements, migrations, balancer pulls).
+  if (reservations_in_use_) {
+    res_claim_time_[cpu] = -1;
+  }
+}
+
+void InvariantChecker::OnContextSwitch(SimTime now, int cpu, const Task* prev,
+                                       const Task* next) {
+  (void)prev;
+  Observe(now);
+  if (next != nullptr && kernel_->rq(cpu).Queued(next)) {
+    Violate(Invariant::kQueueLiveness, now,
+            "running task tid " + std::to_string(next->tid) + " is still queued on cpu " +
+                std::to_string(cpu));
+  }
+}
+
+void InvariantChecker::OnTaskBlocked(SimTime now, const Task& task, int cpu) {
+  (void)task;
+  (void)cpu;
+  Observe(now);
+}
+
+void InvariantChecker::OnTaskExit(SimTime now, const Task& task) {
+  (void)task;
+  Observe(now);
+}
+
+void InvariantChecker::OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) {
+  (void)is_fork;
+  Observe(now);
+  if (!reservations_in_use_) {
+    return;
+  }
+  // Replay the kernel's TryClaim against the mirrored claim state. Collisions
+  // themselves are legitimate — the §3.4 race the claim protocol exists to
+  // detect — but the kernel's verdict must match ours: a placement that lands
+  // while a live (unexpired, uncleared) claim is outstanding must have raised
+  // OnReservationCollision just before this callback, and a collision must
+  // never be reported when no live claim exists.
+  const bool collided =
+      pending_collision_cpu_ == cpu && pending_collision_tid_ == task.tid;
+  pending_collision_cpu_ = -1;
+  pending_collision_tid_ = -1;
+  const bool live =
+      res_claim_time_[cpu] >= 0 && now - res_claim_time_[cpu] < RunQueue::kClaimTimeout;
+  if (live && !collided) {
+    Violate(Invariant::kReservationExclusivity, now,
+            "placement of tid " + std::to_string(task.tid) + " was granted cpu " +
+                std::to_string(cpu) + " while the claim from " +
+                std::to_string(res_claim_time_[cpu]) + "ns was still live");
+  } else if (!live && collided) {
+    Violate(Invariant::kReservationExclusivity, now,
+            "placement of tid " + std::to_string(task.tid) + " collided on cpu " +
+                std::to_string(cpu) + " with no live claim (leaked or stale reservation)");
+  }
+  if (!collided) {
+    res_claim_time_[cpu] = now;  // the kernel granted this placement the claim
+  }
+}
+
+void InvariantChecker::OnReservationCollision(SimTime now, const Task& task, int cpu) {
+  Observe(now);
+  // Record only; OnTaskPlaced fires next for the same placement and judges
+  // the collision against the mirrored claim state.
+  pending_collision_cpu_ = cpu;
+  pending_collision_tid_ = task.tid;
+}
+
+void InvariantChecker::OnTaskMigrated(SimTime now, const Task& task, int from_cpu, int to_cpu,
+                                      MigrationReason reason) {
+  (void)task;
+  (void)from_cpu;
+  (void)to_cpu;
+  (void)reason;
+  Observe(now);
+}
+
+void InvariantChecker::OnNestEvent(SimTime now, NestEventKind kind, int cpu) {
+  (void)kind;
+  (void)cpu;
+  Observe(now);
+}
+
+void InvariantChecker::OnIdleSpinStart(SimTime now, int cpu, int max_ticks) {
+  (void)cpu;
+  (void)max_ticks;
+  Observe(now);
+}
+
+void InvariantChecker::OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) {
+  (void)cpu;
+  (void)became_busy;
+  Observe(now);
+}
+
+void InvariantChecker::OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) {
+  Observe(now);
+  const MachineSpec& spec = kernel_->hw().spec();
+  if (freq_ghz < spec.min_freq_ghz - kEps || freq_ghz > spec.turbo.MaxTurboGhz() + kEps) {
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "phys core %d moved to %.3f GHz, outside [%.3f, %.3f]", phys_core, freq_ghz,
+                  spec.min_freq_ghz, spec.turbo.MaxTurboGhz());
+    Violate(Invariant::kTurboAccounting, now, detail);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tick-granularity machine scans
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::OnTick(SimTime now) {
+  Observe(now);
+  if (check_work_conservation_) {
+    SampleWorkConservation(now);
+  }
+  SampleQueueLiveness(now);
+  SamplePeltBounds(now);
+  SampleTurboAccounting(now);
+}
+
+void InvariantChecker::SampleWorkConservation(SimTime now) {
+  // OnTick fires after the periodic balance pass pulled one waiter per idle
+  // CPU, so in a healthy kernel a queued-task-while-idle-core state never
+  // survives to this sample more than transiently. Persisting across
+  // `work_conservation_ticks` consecutive samples means the balancers and the
+  // wakeup path all failed to use an idle core.
+  const int num_cpus = kernel_->topology().num_cpus();
+  int queued = 0;
+  int idle = 0;
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    const RunQueue& rq = kernel_->rq(cpu);
+    queued += rq.QueuedCount();
+    idle += rq.Idle() ? 1 : 0;
+  }
+  const bool violating = queued > 0 && idle > 0;
+  if (!violating) {
+    wc_streak_ = 0;
+    wc_reported_ = false;
+    return;
+  }
+  ++wc_streak_;
+  if (wc_streak_ >= options_.work_conservation_ticks && !wc_reported_) {
+    wc_reported_ = true;
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "%d task(s) queued while %d core(s) idled for %d consecutive ticks", queued,
+                  idle, wc_streak_);
+    Violate(Invariant::kWorkConservation, now, detail);
+  }
+}
+
+void InvariantChecker::SampleQueueLiveness(SimTime now) {
+  // A run queue with waiters but no running task resolves within the same
+  // event in a healthy kernel (EnqueueTask dispatches; balancer pulls call
+  // ScheduleCpu). Unlike work conservation this holds with the balancers
+  // disabled too, so it stays armed for every configuration — it is the
+  // signature of a lost wakeup.
+  const int num_cpus = kernel_->topology().num_cpus();
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    const RunQueue& rq = kernel_->rq(cpu);
+    const bool stuck = rq.QueuedCount() > 0 && rq.curr() == nullptr;
+    if (!stuck) {
+      ql_streak_[cpu] = 0;
+      ql_reported_[cpu] = 0;
+      continue;
+    }
+    ++ql_streak_[cpu];
+    if (ql_streak_[cpu] >= options_.queue_liveness_ticks && !ql_reported_[cpu]) {
+      ql_reported_[cpu] = 1;
+      char detail[128];
+      std::snprintf(detail, sizeof(detail),
+                    "cpu %d has %d queued task(s) but nothing running for %d consecutive ticks",
+                    cpu, rq.QueuedCount(), ql_streak_[cpu]);
+      Violate(Invariant::kQueueLiveness, now, detail);
+    }
+  }
+}
+
+void InvariantChecker::SamplePeltBounds(SimTime now) {
+  const int num_cpus = kernel_->topology().num_cpus();
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    const PeltSignal& util = kernel_->rq(cpu).util();
+    if (util.raw() < -kEps || util.raw() > 1.0 + kEps) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "cpu %d rq utilisation %.6f outside [0, 1]", cpu,
+                    util.raw());
+      Violate(Invariant::kPeltBounds, now, detail);
+    }
+    if (util.last_update() > now) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "cpu %d rq utilisation updated at %lldns, future of now",
+                    cpu, static_cast<long long>(util.last_update()));
+      Violate(Invariant::kPeltBounds, now, detail);
+    }
+    if (util.last_update() < rq_util_update_[cpu]) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "cpu %d rq utilisation update went backwards to %lldns",
+                    cpu, static_cast<long long>(util.last_update()));
+      Violate(Invariant::kPeltBounds, now, detail);
+    }
+    rq_util_update_[cpu] = util.last_update();
+
+    const Task* curr = kernel_->rq(cpu).curr();
+    if (curr != nullptr &&
+        (curr->util.raw() < -kEps || curr->util.raw() > 1.0 + kEps)) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "tid %d utilisation %.6f outside [0, 1]", curr->tid,
+                    curr->util.raw());
+      Violate(Invariant::kPeltBounds, now, detail);
+    }
+  }
+}
+
+void InvariantChecker::SampleTurboAccounting(SimTime now) {
+  const HardwareModel& hw = kernel_->hw();
+  const Topology& topo = kernel_->topology();
+  const MachineSpec& spec = hw.spec();
+  for (int socket = 0; socket < topo.num_sockets(); ++socket) {
+    // Recount busy physical cores from the per-thread ground truth and compare
+    // against the hardware model's incrementally maintained count.
+    int recount = 0;
+    const int base = socket * topo.physical_cores_per_socket();
+    for (int phys = base; phys < base + topo.physical_cores_per_socket(); ++phys) {
+      bool busy = false;
+      for (int cpu : topo.CpusOfPhysCore(phys)) {
+        busy = busy || hw.ThreadBusy(cpu);
+      }
+      recount += busy ? 1 : 0;
+    }
+    const int active = hw.ActivePhysCoresOnSocket(socket);
+    if (active != recount) {
+      char detail[128];
+      std::snprintf(detail, sizeof(detail),
+                    "socket %d active-core count %d but %d cores have busy threads", socket,
+                    active, recount);
+      Violate(Invariant::kTurboAccounting, now, detail);
+    }
+    // Licenses cover every busy core (busy ⇒ licensed) and never exceed the
+    // socket's physical core count.
+    const int licenses = hw.TurboLicensesOnSocket(socket);
+    if (licenses < recount || licenses > topo.physical_cores_per_socket()) {
+      char detail[128];
+      std::snprintf(detail, sizeof(detail),
+                    "socket %d holds %d turbo licenses with %d busy cores (of %d physical)",
+                    socket, licenses, recount, topo.physical_cores_per_socket());
+      Violate(Invariant::kTurboAccounting, now, detail);
+    }
+  }
+  // Frequencies stay inside the machine's physical envelope. (The ladder cap
+  // for the *current* license count is not asserted: ramp-down is gradual, so
+  // a core may legitimately sit above a cap it is still descending toward.)
+  for (int phys = 0; phys < topo.num_physical_cores(); ++phys) {
+    const double f = hw.FreqGhz(topo.CpusOfPhysCore(phys).front());
+    if (f < spec.min_freq_ghz - kEps || f > spec.turbo.MaxTurboGhz() + kEps) {
+      char detail[128];
+      std::snprintf(detail, sizeof(detail), "phys core %d at %.3f GHz, outside [%.3f, %.3f]",
+                    phys, f, spec.min_freq_ghz, spec.turbo.MaxTurboGhz());
+      Violate(Invariant::kTurboAccounting, now, detail);
+    }
+  }
+}
+
+}  // namespace nestsim

@@ -1,0 +1,150 @@
+// Continuously validated scheduler invariants (docs/TESTING.md).
+//
+// InvariantChecker is a KernelObserver that cross-checks the simulator's
+// structural guarantees on every event it can see: work conservation,
+// placement-reservation exclusivity, turbo-license accounting against the
+// hardware model's ceilings, PELT signal bounds and update monotonicity, and
+// event-timestamp monotonicity. It is purely observational — attaching it
+// never changes simulation behaviour — and is wired into every experiment via
+// ExperimentConfig::check_invariants (or NESTSIM_CHECK_INVARIANTS=1, which the
+// test suite sets for every test).
+//
+// The whole-machine scans run at tick granularity (every 4 ms of simulated
+// time): transient states — a §3.4 collision window, one balancing pass of
+// latency — are legitimate, so the time-based invariants only fire when a bad
+// state *persists* across consecutive tick samples. OnTick observers fire
+// after the periodic balance pass, so every sample the checker sees is one the
+// balancer already had a chance to fix.
+
+#ifndef NESTSIM_SRC_CHECK_INVARIANT_CHECKER_H_
+#define NESTSIM_SRC_CHECK_INVARIANT_CHECKER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+
+namespace nestsim {
+
+// The checked invariants. Names are emitted in every violation message and
+// cross-checked against docs/TESTING.md by tools/check_docs.sh.
+enum class Invariant {
+  kWorkConservation = 0,   // runnable task queued while a core idles, persisting
+  kQueueLiveness,          // run queue non-empty but nothing running (lost wakeup)
+  kReservationExclusivity, // claim bookkeeping disagrees with a mirrored model
+  kTurboAccounting,        // active-core / turbo-license counts vs. recount
+  kPeltBounds,             // utilisation signals out of [0, 1] or updated backwards
+  kTimeMonotonicity,       // observer callbacks saw time run backwards
+};
+
+inline constexpr int kNumInvariants = 6;
+
+inline const char* InvariantName(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kWorkConservation:
+      return "work_conservation";
+    case Invariant::kQueueLiveness:
+      return "queue_liveness";
+    case Invariant::kReservationExclusivity:
+      return "reservation_exclusivity";
+    case Invariant::kTurboAccounting:
+      return "turbo_accounting";
+    case Invariant::kPeltBounds:
+      return "pelt_bounds";
+    case Invariant::kTimeMonotonicity:
+      return "time_monotonicity";
+  }
+  return "?";
+}
+
+// Every invariant name, in enum order (for docs and tooling).
+std::vector<std::string> InvariantNames();
+
+struct InvariantCheckerOptions {
+  // Consecutive violating tick samples before work conservation /
+  // queue liveness fire. 1 tick of latency is legitimate (one balancing
+  // pass, in-flight placements); a healthy kernel never sustains either
+  // state across multiple post-balance samples.
+  int work_conservation_ticks = 3;
+  int queue_liveness_ticks = 3;
+  // Keep at most this many violation messages (counts are always exact).
+  size_t max_messages = 16;
+  // Force the work-conservation check off (it auto-disables when either
+  // load-balancing pass is disabled in Kernel::Params — without the
+  // balancers, queued-while-idle states can legitimately persist).
+  bool check_work_conservation = true;
+};
+
+class InvariantChecker : public KernelObserver {
+ public:
+  using Options = InvariantCheckerOptions;
+
+  explicit InvariantChecker(Kernel* kernel, Options options = Options());
+
+  // ---- KernelObserver ----
+  void OnTaskCreated(SimTime now, const Task& task) override;
+  void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override;
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
+  void OnTaskBlocked(SimTime now, const Task& task, int cpu) override;
+  void OnTaskExit(SimTime now, const Task& task) override;
+  void OnTick(SimTime now) override;
+  void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override;
+  void OnReservationCollision(SimTime now, const Task& task, int cpu) override;
+  void OnTaskMigrated(SimTime now, const Task& task, int from_cpu, int to_cpu,
+                      MigrationReason reason) override;
+  void OnNestEvent(SimTime now, NestEventKind kind, int cpu) override;
+  void OnIdleSpinStart(SimTime now, int cpu, int max_ticks) override;
+  void OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) override;
+  void OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) override;
+
+  // ---- Verdict ----
+  bool ok() const { return total_violations_ == 0; }
+  uint64_t total_violations() const { return total_violations_; }
+  uint64_t violations(Invariant invariant) const {
+    return counts_[static_cast<int>(invariant)];
+  }
+  const std::vector<std::string>& messages() const { return messages_; }
+  // All messages, newline-joined; "" when ok().
+  std::string Report() const;
+
+  bool work_conservation_enabled() const { return check_work_conservation_; }
+
+ private:
+  void Observe(SimTime now);  // time monotonicity, shared by every callback
+  void Violate(Invariant invariant, SimTime now, const std::string& detail);
+  void SampleWorkConservation(SimTime now);
+  void SampleQueueLiveness(SimTime now);
+  void SamplePeltBounds(SimTime now);
+  void SampleTurboAccounting(SimTime now);
+
+  Kernel* kernel_;
+  Options options_;
+  bool check_work_conservation_;
+  bool reservations_in_use_;
+
+  SimTime last_now_ = 0;
+  // Mirrored reservation-claim state machine (paper §3.4): claim grant time
+  // per CPU (-1 = no claim), maintained purely from observer callbacks and
+  // compared against the kernel's TryClaim verdicts. A placement that lands
+  // while a mirrored claim is still live must raise a collision; a collision
+  // with no live mirrored claim means the kernel's bookkeeping leaked.
+  std::vector<SimTime> res_claim_time_;
+  int pending_collision_cpu_ = -1;
+  int pending_collision_tid_ = -1;
+  int wc_streak_ = 0;          // consecutive violating tick samples
+  bool wc_reported_ = false;   // current episode already reported
+  std::vector<int> ql_streak_;       // per CPU
+  std::vector<char> ql_reported_;    // per CPU
+  std::vector<SimTime> rq_util_update_;  // per CPU; PELT update monotonicity
+
+  std::array<uint64_t, kNumInvariants> counts_{};
+  uint64_t total_violations_ = 0;
+  std::vector<std::string> messages_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_CHECK_INVARIANT_CHECKER_H_

@@ -1,0 +1,224 @@
+#include "src/check/shrink.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+
+namespace nestsim {
+
+namespace {
+
+JsonValue* FindMutable(JsonValue& obj, const std::string& key) {
+  for (auto& [k, v] : obj.members) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void RemoveKey(JsonValue& obj, const std::string& key) {
+  for (size_t i = 0; i < obj.members.size(); ++i) {
+    if (obj.members[i].first == key) {
+      obj.members.erase(obj.members.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+// Candidate reductions of `spec`, most structural first. Each candidate is a
+// full spec copy; invalid ones are filtered by the oracle's parse step.
+std::vector<JsonValue> Candidates(const JsonValue& spec) {
+  std::vector<JsonValue> out;
+
+  // Keep only one machine.
+  if (const JsonValue* machines = spec.Find("machines");
+      machines != nullptr && machines->is_array() && machines->items.size() > 1) {
+    JsonValue cand = spec;
+    FindMutable(cand, "machines")->items.resize(1);
+    out.push_back(std::move(cand));
+  }
+
+  // Drop a variant (a cross-policy check needs at least two).
+  if (const JsonValue* variants = spec.Find("variants");
+      variants != nullptr && variants->is_array() && variants->items.size() > 2) {
+    for (size_t i = 0; i < variants->items.size(); ++i) {
+      JsonValue cand = spec;
+      JsonValue* v = FindMutable(cand, "variants");
+      v->items.erase(v->items.begin() + static_cast<long>(i));
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // Drop a sweep axis, or collapse an axis to its first value.
+  if (const JsonValue* sweep = spec.Find("sweep"); sweep != nullptr && sweep->is_object()) {
+    for (size_t i = 0; i < sweep->members.size(); ++i) {
+      JsonValue cand = spec;
+      JsonValue* s = FindMutable(cand, "sweep");
+      s->members.erase(s->members.begin() + static_cast<long>(i));
+      if (s->members.empty()) {
+        RemoveKey(cand, "sweep");
+      }
+      out.push_back(std::move(cand));
+      if (sweep->members[i].second.is_array() && sweep->members[i].second.items.size() > 1) {
+        JsonValue collapsed = spec;
+        FindMutable(*FindMutable(collapsed, "sweep"), sweep->members[i].first)
+            ->items.resize(1);
+        out.push_back(std::move(collapsed));
+      }
+    }
+  }
+
+  // Drop a config override (time_limit_s stays: it bounds the oracle's cost).
+  if (const JsonValue* config = spec.Find("config"); config != nullptr && config->is_object()) {
+    for (const auto& [key, value] : config->members) {
+      (void)value;
+      if (key == "time_limit_s") {
+        continue;
+      }
+      JsonValue cand = spec;
+      RemoveKey(*FindMutable(cand, "config"), key);
+      out.push_back(std::move(cand));
+    }
+  }
+
+  const JsonValue* workload = spec.Find("workload");
+  if (workload != nullptr && workload->is_object()) {
+    // Keep only one row / one preset.
+    for (const char* key : {"rows", "presets"}) {
+      if (const JsonValue* rows = workload->Find(key);
+          rows != nullptr && rows->is_array() && rows->items.size() > 1) {
+        for (size_t i = 0; i < rows->items.size(); ++i) {
+          JsonValue cand = spec;
+          JsonValue* r = FindMutable(*FindMutable(cand, "workload"), key);
+          JsonValue kept = r->items[i];
+          r->items.clear();
+          r->items.push_back(std::move(kept));
+          out.push_back(std::move(cand));
+        }
+      }
+    }
+
+    const JsonValue* family = workload->Find("family");
+    const JsonValue* params = workload->Find("params");
+    const bool is_multi = family != nullptr && family->is_string() && family->string == "multi";
+
+    if (is_multi && params != nullptr) {
+      if (const JsonValue* members = params->Find("members");
+          members != nullptr && members->is_array()) {
+        // Drop a member while at least two remain.
+        if (members->items.size() > 2) {
+          for (size_t i = 0; i < members->items.size(); ++i) {
+            JsonValue cand = spec;
+            JsonValue* m = FindMutable(*FindMutable(*FindMutable(cand, "workload"), "params"),
+                                       "members");
+            m->items.erase(m->items.begin() + static_cast<long>(i));
+            out.push_back(std::move(cand));
+          }
+        }
+        // Flatten a two-member composition to each single member.
+        if (members->items.size() == 2) {
+          for (const JsonValue& member : members->items) {
+            const JsonValue* mfamily = member.Find("family");
+            const JsonValue* mparams = member.Find("params");
+            if (mfamily == nullptr || member.Find("preset") != nullptr) {
+              continue;
+            }
+            JsonValue cand = spec;
+            JsonValue* w = FindMutable(cand, "workload");
+            w->members.clear();
+            w->members.emplace_back("family", *mfamily);
+            if (mparams != nullptr) {
+              w->members.emplace_back("params", *mparams);
+            }
+            out.push_back(std::move(cand));
+          }
+        }
+      }
+    } else if (params != nullptr && params->is_object()) {
+      // Halve numeric workload parameters (integers floor toward 1, doubles
+      // toward 0); out-of-range results fail the parse and are skipped.
+      for (size_t i = 0; i < params->members.size(); ++i) {
+        const JsonValue& value = params->members[i].second;
+        if (!value.is_number()) {
+          continue;
+        }
+        double halved;
+        if (std::floor(value.number) == value.number) {
+          if (value.number < 2) {
+            continue;
+          }
+          halved = std::floor(value.number / 2);
+        } else {
+          if (value.number < 0.02) {
+            continue;
+          }
+          halved = std::round(value.number * 500.0) / 1000.0;  // v/2 at 3 decimals
+        }
+        JsonValue cand = spec;
+        JsonValue* p = FindMutable(*FindMutable(cand, "workload"), "params");
+        p->members[i].second.number = halved;
+        out.push_back(std::move(cand));
+      }
+    }
+  }
+
+  // Single repetition.
+  if (const JsonValue* reps = spec.Find("repetitions");
+      reps != nullptr && reps->is_number() && reps->number > 1) {
+    JsonValue cand = spec;
+    FindMutable(cand, "repetitions")->number = 1;
+    out.push_back(std::move(cand));
+  }
+
+  return out;
+}
+
+bool Parses(const JsonValue& spec) {
+  Scenario scenario;
+  ScenarioError err;
+  return ParseScenario(spec, "shrink", &scenario, &err);
+}
+
+}  // namespace
+
+ShrinkOutcome ShrinkScenario(const JsonValue& failing_spec, bool full_load,
+                             const ShrinkOptions& options) {
+  ShrinkOutcome outcome;
+  outcome.spec = failing_spec;
+
+  auto fails = [&](const JsonValue& spec) {
+    ++outcome.attempts;
+    return !RunDifferential(spec, full_load, options.diff).ok();
+  };
+
+  if (!fails(outcome.spec)) {
+    outcome.json = JsonSerialize(outcome.spec, 2) + "\n";
+    return outcome;  // not actually failing; nothing to shrink
+  }
+
+  bool changed = true;
+  while (changed && outcome.attempts < options.max_attempts) {
+    changed = false;
+    for (JsonValue& cand : Candidates(outcome.spec)) {
+      if (outcome.attempts >= options.max_attempts) {
+        break;
+      }
+      if (!Parses(cand)) {
+        continue;
+      }
+      if (fails(cand)) {
+        outcome.spec = std::move(cand);
+        ++outcome.accepted;
+        changed = true;
+        break;  // regenerate candidates from the smaller spec
+      }
+    }
+  }
+
+  outcome.json = JsonSerialize(outcome.spec, 2) + "\n";
+  return outcome;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,42 @@
+// Greedy scenario minimisation for fuzz failures.
+//
+// Given a scenario spec that fails the differential runner, ShrinkScenario
+// repeatedly applies structural reductions — drop a variant, a sweep axis, a
+// config override, a multi member, a workload row; halve a numeric workload
+// parameter — keeping a candidate only when it still parses AND still fails.
+// The result is a minimal standard scenario file ready to commit under
+// scenarios/corpus/ as a repro. Deterministic: the same input spec and
+// options always shrink to the same output.
+
+#ifndef NESTSIM_SRC_CHECK_SHRINK_H_
+#define NESTSIM_SRC_CHECK_SHRINK_H_
+
+#include <string>
+
+#include "src/check/differential.h"
+#include "src/obs/json_check.h"
+
+namespace nestsim {
+
+struct ShrinkOptions {
+  // Oracle configuration; mutate_config carries fault injections through.
+  DifferentialOptions diff;
+  // Hard cap on oracle invocations (each one runs the whole grid twice).
+  int max_attempts = 150;
+};
+
+struct ShrinkOutcome {
+  JsonValue spec;    // the minimised scenario (== input when nothing shrank)
+  std::string json;  // pretty-printed spec + trailing newline
+  int attempts = 0;  // oracle invocations spent
+  int accepted = 0;  // reductions that kept the failure alive
+};
+
+// `failing_spec` must currently fail RunDifferential under `options.diff`;
+// when it does not, the input is returned unshrunk after one attempt.
+ShrinkOutcome ShrinkScenario(const JsonValue& failing_spec, bool full_load,
+                             const ShrinkOptions& options = ShrinkOptions());
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_CHECK_SHRINK_H_

@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 
 #include "src/cfs/cfs_policy.h"
+#include "src/check/invariant_checker.h"
 #include "src/governors/governors.h"
 #include "src/metrics/latency.h"
 #include "src/metrics/stats.h"
@@ -101,6 +103,16 @@ std::string SanitizeStem(const std::string& in) {
   return out;
 }
 
+// The config flag, overridable either way by NESTSIM_CHECK_INVARIANTS
+// ("1"/"0"); the test suite exports =1 so every test runs checked.
+bool CheckInvariantsEnabled(const ExperimentConfig& config) {
+  const char* env = std::getenv("NESTSIM_CHECK_INVARIANTS");
+  if (env != nullptr && env[0] != '\0') {
+    return env[0] != '0';
+  }
+  return config.check_invariants;
+}
+
 std::unique_ptr<SchedulerPolicy> MakePolicy(const ExperimentConfig& config) {
   switch (config.scheduler) {
     case SchedulerKind::kCfs:
@@ -149,6 +161,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
     latency = std::make_unique<WakeupLatencyTracker>();
     kernel.AddObserver(latency.get());
   }
+  std::unique_ptr<InvariantChecker> checker;
+  if (CheckInvariantsEnabled(config)) {
+    checker = std::make_unique<InvariantChecker>(&kernel);
+    kernel.AddObserver(checker.get());
+  }
 
   kernel.Start();
   Rng rng(config.seed);
@@ -168,10 +185,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
         result.aborted = true;
         break;
       }
+      if (checker != nullptr && !checker->ok()) {
+        break;  // fail fast; the throw below carries the report
+      }
     }
     if (!engine.Step()) {
       break;
     }
+  }
+  if (checker != nullptr && !checker->ok()) {
+    throw std::runtime_error("invariant violation (" + config.machine + ", " +
+                             SchedulerKindKey(config.scheduler) + "/" + config.governor +
+                             ", seed " + std::to_string(config.seed) + "):\n" +
+                             checker->Report());
   }
   result.hit_time_limit = kernel.live_tasks() > 0 && !result.aborted;
 

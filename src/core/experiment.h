@@ -56,6 +56,13 @@ struct ExperimentConfig {
   bool record_underload_series = false;
   bool record_latency = false;
 
+  // Attach the invariant checker (src/check/) and fail the run — with a
+  // std::runtime_error naming every violation — if any invariant breaks.
+  // NESTSIM_CHECK_INVARIANTS=1 forces this on for every run (the test suite
+  // sets it), =0 forces it off; unset defers to this flag. Checking is purely
+  // observational: results are bit-identical with it on or off.
+  bool check_invariants = false;
+
   // Perfetto capture (docs/OBSERVABILITY.md): when trace_dir is non-empty —
   // or the NESTSIM_TRACE environment variable names a directory — each run
   // writes a chrome trace-event JSON file into it. The filename stem is

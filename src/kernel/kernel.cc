@@ -155,6 +155,14 @@ void Kernel::EnqueueTask(Task* task, int cpu, bool wakeup) {
   }
   hw_->KickCpu(cpu);  // schedutil-style frequency kick on enqueue
 
+  // Fault injection (src/check/ self-tests): drop the dispatch that would
+  // make this enqueue visible — the "skipped wakeup" bug class the invariant
+  // checker exists to catch.
+  if (params_.test_skip_enqueue_dispatch_every > 0 &&
+      ++enqueue_count_ % static_cast<uint64_t>(params_.test_skip_enqueue_dispatch_every) == 0) {
+    return;
+  }
+
   if (rq.curr() == nullptr) {
     ScheduleCpu(cpu);
   } else {

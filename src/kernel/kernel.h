@@ -55,6 +55,11 @@ class Kernel {
     // correlates its hackbench slowdown with instruction-cache misses).
     double migration_cost_work = 80e3;        // same die, ~25 us at 3 GHz        // same die, ~25 us at 3 GHz
     double cross_die_migration_cost_work = 400e3;
+    // Fault injection for the invariant-checker self-tests (src/check/): when
+    // > 0, every Nth EnqueueTask skips the final dispatch/preemption step —
+    // a deliberate lost wakeup. 0 (the default) disables the hook; production
+    // code must never set it.
+    int test_skip_enqueue_dispatch_every = 0;
   };
 
   Kernel(Engine* engine, HardwareModel* hw, SchedulerPolicy* policy, Governor* governor);
@@ -202,6 +207,7 @@ class Kernel {
   std::vector<SimTime> task_enqueue_time_;  // by tid; for steal_min_wait
 
   int next_tid_ = 1;
+  uint64_t enqueue_count_ = 0;  // drives the test_skip_enqueue_dispatch hook
   int root_cpu_ = -1;
   int live_tasks_ = 0;
   int runnable_tasks_ = 0;

@@ -60,6 +60,10 @@ class RunQueue {
   void ClearClaim() { claimed_ = false; }
   bool claimed() const { return claimed_; }
 
+  // How long an unclear claim keeps excluding the CPU. Public so the
+  // invariant checker (src/check/) can mirror the claim state machine.
+  static constexpr SimDuration kClaimTimeout = 100 * kMicrosecond;
+
   // ---- Per-CPU utilisation (PELT-ish). ----
 
   PeltSignal& util() { return util_; }
@@ -96,7 +100,6 @@ class RunQueue {
   double placement_load_ = 0.0;
   SimTime placement_update_ = 0;
 
-  static constexpr SimDuration kClaimTimeout = 100 * kMicrosecond;
   static constexpr SimDuration kPlacementHalfLife = 10 * kMillisecond;
 };
 

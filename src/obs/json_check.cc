@@ -1,6 +1,7 @@
 #include "src/obs/json_check.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -391,6 +392,137 @@ bool JsonParse(const std::string& text, JsonValue* out, std::string* error) {
     return false;
   }
   return true;
+}
+
+namespace {
+
+void SerializeString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through byte for byte
+        }
+    }
+  }
+  out += '"';
+}
+
+void SerializeNumber(double number, std::string& out) {
+  char buf[32];
+  if (number == static_cast<double>(static_cast<long long>(number)) &&
+      std::fabs(number) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(number));
+  } else {
+    // Shortest precision that still round-trips, so 0.539 prints as "0.539"
+    // and not "0.53900000000000003".
+    for (int precision = 15; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, number);
+      if (std::strtod(buf, nullptr) == number) {
+        break;
+      }
+    }
+  }
+  out += buf;
+}
+
+void SerializeValue(const JsonValue& value, int indent, int depth, std::string& out) {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int levels) {
+    if (pretty) {
+      out += '\n';
+      out.append(static_cast<size_t>(levels * indent), ' ');
+    }
+  };
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      SerializeNumber(value.number, out);
+      break;
+    case JsonValue::Type::kString:
+      SerializeString(value.string, out);
+      break;
+    case JsonValue::Type::kObject: {
+      if (value.members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline_pad(depth + 1);
+        SerializeString(key, out);
+        out += pretty ? ": " : ":";
+        SerializeValue(member, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+    case JsonValue::Type::kArray: {
+      if (value.items.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : value.items) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline_pad(depth + 1);
+        SerializeValue(item, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonSerialize(const JsonValue& value, int indent) {
+  std::string out;
+  SerializeValue(value, indent, 0, out);
+  return out;
 }
 
 }  // namespace nestsim

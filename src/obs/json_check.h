@@ -50,6 +50,14 @@ const char* JsonTypeName(JsonValue::Type type);
 // false and describes the first problem in `error` (if non-null).
 bool JsonParse(const std::string& text, JsonValue* out, std::string* error = nullptr);
 
+// Serialises a JsonValue back to JSON text. Integral numbers print without a
+// decimal point, other numbers with enough digits to round-trip (%.17g).
+// `indent` > 0 pretty-prints with that many spaces per level (objects and
+// arrays one member per line, the style of the committed scenario files);
+// 0 emits the compact single-line form. The output always re-parses to an
+// equal tree, so generated scenarios are standard scenario files.
+std::string JsonSerialize(const JsonValue& value, int indent = 0);
+
 }  // namespace nestsim
 
 #endif  // NESTSIM_SRC_OBS_JSON_CHECK_H_

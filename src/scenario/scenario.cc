@@ -295,6 +295,15 @@ const std::vector<OverrideSpec>& Overrides() {
        [](ExperimentConfig* c, const JsonValue& v) {
          return OverrideBool(v, &c->nest.enable_placement_reservation);
        }},
+      {"governor", "string (a known governor name)",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         std::string name;
+         if (!OverrideString(v, &name) || !IsKnownGovernor(name)) {
+           return false;
+         }
+         c->governor = name;
+         return true;
+       }},
       {"smove.low_freq_fraction", "number in (0, 1]",
        [](ExperimentConfig* c, const JsonValue& v) {
          return OverrideDouble(v, 1e-9, 1.0, &c->smove.low_freq_fraction);

@@ -1,0 +1,159 @@
+// Edge-case coverage riding on the differential harness (docs/TESTING.md):
+// degenerate configurations that exercise rarely-hit paths — zero-delay
+// Smove, a single-core machine, time-limit expiry with migrations in flight,
+// and governor selection through a sweep axis.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/check/differential.h"
+#include "src/check/invariant_checker.h"
+#include "src/governors/governors.h"
+#include "src/nest/nest_policy.h"
+#include "src/obs/json_check.h"
+#include "src/scenario/runner.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+JsonValue ParseSpec(const std::string& text) {
+  JsonValue spec;
+  std::string error;
+  EXPECT_TRUE(JsonParse(text, &spec, &error)) << error;
+  return spec;
+}
+
+// Smove with move_delay_us = 0: the park-then-move window collapses to the
+// same instant, so arm and fire land on one timestamp. The run must stay
+// deterministic and invariant-clean.
+TEST(EdgeCaseTest, ZeroDelaySmoveIsCleanAndDeterministic) {
+  const JsonValue spec = ParseSpec(R"({
+    "name": "edge-smove-zero",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "cfs", "scheduler": "cfs", "governor": "schedutil"},
+      {"label": "smove", "scheduler": "smove", "governor": "schedutil"}
+    ],
+    "workload": {"family": "hackbench", "params": {"groups": 2, "fan": 2, "loops": 8}},
+    "repetitions": 1,
+    "base_seed": 5,
+    "config": {"time_limit_s": 20, "smove.move_delay_us": 0},
+    "table": {"style": "none"}
+  })");
+
+  // The override must actually reach the policy params.
+  Scenario scenario;
+  ScenarioError err;
+  ASSERT_TRUE(ParseScenario(spec, "edge", &scenario, &err)) << err.Join();
+  ScenarioRun run;
+  ASSERT_TRUE(ExpandScenario(scenario, ScenarioRunOptions(), &run, &err)) << err.Join();
+  EXPECT_EQ(run.job(0, 0, 1).config.smove.move_delay, 0);
+
+  const DifferentialReport report = RunDifferential(spec, /*full_load=*/false);
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+// Nest on a single-core machine: the primary mask can never expand beyond
+// CPU 0 and every wakeup lands on the one core. Fork/join must still
+// complete with the checker attached and silent.
+TEST(EdgeCaseTest, NestOnSingleCoreMachineCompletesClean) {
+  Engine engine;
+  HardwareModel hw(&engine, FixedFreqMachine(/*sockets=*/1, /*phys_per_socket=*/1,
+                                             /*threads_per_core=*/1));
+  NestPolicy policy;
+  SchedutilGovernor governor;
+  Kernel kernel(&engine, &hw, &policy, &governor);
+  InvariantChecker checker(&kernel);
+  kernel.AddObserver(&checker);
+  kernel.Start();
+
+  ProgramBuilder worker("w");
+  worker.ComputeMs(1.0).SleepMs(0.5).ComputeMs(1.0);
+  ProgramBuilder parent("p");
+  parent.ComputeMs(0.5).Fork(worker.Build()).Fork(worker.Build()).JoinChildren();
+  kernel.SpawnInitial(parent.Build(), "p", 0, 0);
+
+  while (kernel.live_tasks() > 0 && engine.Now() < kSecond) {
+    ASSERT_TRUE(engine.Step());
+  }
+  EXPECT_EQ(kernel.live_tasks(), 0);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+// A workload far larger than the time limit, under Smove with a long move
+// delay so armed migrations are routinely in flight when the limit expires.
+// Expiry must be reported per-repetition, not as a job failure, and the
+// cross-checks must still hold (accounting skips time-limited cells).
+TEST(EdgeCaseTest, TimeLimitExpiryWithMigrationsInFlightIsAccounted) {
+  const JsonValue spec = ParseSpec(R"({
+    "name": "edge-time-limit",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "smove", "scheduler": "smove", "governor": "schedutil"},
+      {"label": "nest", "scheduler": "nest", "governor": "schedutil"}
+    ],
+    "workload": {"family": "hackbench", "params": {"groups": 4, "fan": 4, "loops": 20000}},
+    "repetitions": 1,
+    "base_seed": 9,
+    "config": {"time_limit_s": 0.05, "smove.move_delay_us": 500},
+    "table": {"style": "none"}
+  })");
+
+  Scenario scenario;
+  ScenarioError err;
+  ASSERT_TRUE(ParseScenario(spec, "edge", &scenario, &err)) << err.Join();
+  ScenarioRunOptions options;
+  options.campaign.progress = false;
+  options.campaign.jsonl_path.clear();
+  ScenarioRun run;
+  ASSERT_TRUE(ExpandScenario(scenario, options, &run, &err)) << err.Join();
+  for (Job& job : run.jobs) {
+    job.config.check_invariants = true;
+  }
+  ExecuteScenario(&run);
+  for (size_t v = 0; v < run.num_variants(); ++v) {
+    const JobOutcome& outcome = run.outcome(0, 0, v);
+    ASSERT_TRUE(outcome.ok()) << outcome.message;
+    EXPECT_TRUE(outcome.result.runs[0].hit_time_limit)
+        << "variant " << v << " should run out of simulated time";
+  }
+
+  const DifferentialReport report = RunDifferential(spec, /*full_load=*/false);
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+// The governor override key works as a sweep axis: one grid covers both
+// governors and each job's config carries the right one.
+TEST(EdgeCaseTest, GovernorSweepOverrideSelectsPerSweepPoint) {
+  const JsonValue spec = ParseSpec(R"({
+    "name": "edge-governor-sweep",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "cfs", "scheduler": "cfs", "governor": "schedutil"},
+      {"label": "nest", "scheduler": "nest", "governor": "schedutil"}
+    ],
+    "workload": {"family": "hackbench", "params": {"groups": 1, "fan": 2, "loops": 6}},
+    "repetitions": 1,
+    "base_seed": 2,
+    "config": {"time_limit_s": 20},
+    "sweep": {"governor": ["schedutil", "performance"]},
+    "table": {"style": "none"}
+  })");
+
+  Scenario scenario;
+  ScenarioError err;
+  ASSERT_TRUE(ParseScenario(spec, "edge", &scenario, &err)) << err.Join();
+  ScenarioRun run;
+  ASSERT_TRUE(ExpandScenario(scenario, ScenarioRunOptions(), &run, &err)) << err.Join();
+  ASSERT_EQ(run.num_sweeps(), 2u);
+  EXPECT_EQ(run.job(0, 0, 0, 0).config.governor, "schedutil");
+  EXPECT_EQ(run.job(0, 0, 0, 1).config.governor, "performance");
+
+  const DifferentialReport report = RunDifferential(spec, /*full_load=*/false);
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,71 @@
+#include "src/check/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/scenario/scenario.h"
+
+namespace nestsim {
+namespace {
+
+TEST(GeneratorTest, EverySeedYieldsAValidScenario) {
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    const GeneratedScenario gen = GenerateScenario(seed);
+    Scenario scenario;
+    ScenarioError err;
+    ASSERT_TRUE(ParseScenario(gen.spec, "gen", &scenario, &err))
+        << "seed " << seed << ":\n" << err.Join() << "\n" << gen.json;
+    EXPECT_EQ(scenario.name, "fuzz-" + std::to_string(seed));
+    EXPECT_EQ(scenario.machines.size(), 1u);
+    EXPECT_GE(scenario.variants.size(), 2u);
+    EXPECT_EQ(scenario.repetitions, 1);
+    EXPECT_TRUE(scenario.has_config);
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeedAndDiverseAcrossSeeds) {
+  std::set<std::string> distinct;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const GeneratedScenario a = GenerateScenario(seed);
+    const GeneratedScenario b = GenerateScenario(seed);
+    EXPECT_EQ(a.json, b.json) << "seed " << seed;
+    EXPECT_EQ(a.full_load, b.full_load);
+    distinct.insert(a.json);
+  }
+  EXPECT_EQ(distinct.size(), 50u) << "seeds should not collide";
+}
+
+// The serialized form is a standard scenario file: it re-parses to the same
+// tree (spot-checked through a second serialization).
+TEST(GeneratorTest, JsonRoundTrips) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const GeneratedScenario gen = GenerateScenario(seed);
+    JsonValue reparsed;
+    std::string error;
+    ASSERT_TRUE(JsonParse(gen.json, &reparsed, &error)) << "seed " << seed << ": " << error;
+    EXPECT_EQ(JsonSerialize(reparsed, 2) + "\n", gen.json) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, FullLoadFlagMarksSaturatingNasRows) {
+  bool saw_full_load = false;
+  bool saw_partial = false;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const GeneratedScenario gen = GenerateScenario(seed);
+    if (gen.full_load) {
+      saw_full_load = true;
+      const JsonValue* workload = gen.spec.Find("workload");
+      ASSERT_NE(workload, nullptr);
+      EXPECT_EQ(workload->Find("family")->string, "nas");
+      EXPECT_EQ(workload->Find("params")->Find("threads")->number, 0);
+    } else {
+      saw_partial = true;
+    }
+  }
+  EXPECT_TRUE(saw_full_load);
+  EXPECT_TRUE(saw_partial);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,160 @@
+#include "src/check/invariant_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/core/experiment.h"
+#include "src/governors/governors.h"
+#include "src/nest/nest_policy.h"
+#include "src/workloads/micro.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+TEST(InvariantNamesTest, OnePerEnumeratorAllDistinct) {
+  const std::vector<std::string> names = InvariantNames();
+  ASSERT_EQ(names.size(), static_cast<size_t>(kNumInvariants));
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(), names.size());
+  EXPECT_EQ(names.front(), "work_conservation");
+  EXPECT_EQ(names.back(), "time_monotonicity");
+}
+
+// Kernel + checker over a tiny fixed-frequency machine, driven directly so
+// tests control Kernel::Params (RunExperiment only accepts preset machines).
+struct CheckerRig {
+  explicit CheckerRig(Kernel::Params params, int sockets = 1, int phys = 1)
+      : hw(&engine, FixedFreqMachine(sockets, phys, /*threads_per_core=*/1)),
+        policy(std::make_unique<CfsPolicy>()),
+        kernel(&engine, &hw, policy.get(), &governor, params),
+        checker(&kernel) {
+    kernel.AddObserver(&checker);
+    kernel.Start();
+  }
+
+  // Steps until every task exited or simulated time passes `limit`.
+  void Run(SimTime limit) {
+    while (kernel.live_tasks() > 0 && engine.Now() < limit) {
+      ASSERT_TRUE(engine.Step());
+    }
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  std::unique_ptr<SchedulerPolicy> policy;
+  PerformanceGovernor governor;
+  Kernel kernel;
+  InvariantChecker checker;
+};
+
+Kernel::Params NoBalanceParams() {
+  Kernel::Params p;
+  p.enable_newidle_balance = false;
+  p.enable_periodic_balance = false;
+  return p;
+}
+
+ProgramPtr ForkJoinProgram() {
+  ProgramBuilder worker("w");
+  worker.ComputeMs(2.0);
+  ProgramBuilder parent("p");
+  parent.ComputeMs(1.0).Fork(worker.Build()).JoinChildren().ComputeMs(1.0);
+  return parent.Build();
+}
+
+TEST(InvariantCheckerTest, CleanForkJoinRunReportsNothing) {
+  CheckerRig rig(NoBalanceParams());
+  rig.kernel.SpawnInitial(ForkJoinProgram(), "p", 0, 0);
+  rig.Run(kSecond);
+  EXPECT_EQ(rig.kernel.live_tasks(), 0);
+  EXPECT_TRUE(rig.checker.ok());
+  EXPECT_EQ(rig.checker.Report(), "");
+}
+
+TEST(InvariantCheckerTest, WorkConservationAutoDisablesWithoutBalancers) {
+  CheckerRig no_balance(NoBalanceParams());
+  EXPECT_FALSE(no_balance.checker.work_conservation_enabled());
+  CheckerRig balanced(Kernel::Params{});
+  EXPECT_TRUE(balanced.checker.work_conservation_enabled());
+}
+
+// The mutation self-test: a deliberately broken kernel (every 3rd enqueue
+// skips its dispatch step — a lost wakeup) must be caught. On one CPU with
+// the balancers off nothing can rescue the stuck queue, so the failure is
+// deterministic: the join-blocked parent's wakeup is the 3rd enqueue.
+TEST(InvariantCheckerTest, InjectedLostWakeupIsCaught) {
+  Kernel::Params params = NoBalanceParams();
+  params.test_skip_enqueue_dispatch_every = 3;
+  CheckerRig rig(params);
+  rig.kernel.SpawnInitial(ForkJoinProgram(), "p", 0, 0);
+  rig.Run(kSecond);
+  EXPECT_GT(rig.kernel.live_tasks(), 0) << "the fault injection should wedge the run";
+  EXPECT_FALSE(rig.checker.ok());
+  EXPECT_GT(rig.checker.violations(Invariant::kQueueLiveness), 0u);
+  EXPECT_NE(rig.checker.Report().find("queue_liveness"), std::string::npos);
+}
+
+// The same fault with the balancers on self-heals (the stuck CPU is a steal
+// source), so the multi-core differential tests must disable balancing to
+// make the mutation stick — this pins that reasoning down.
+TEST(InvariantCheckerTest, BalancersRescueTheLostWakeupOnMultiCore) {
+  Kernel::Params params;  // balancers on
+  params.test_skip_enqueue_dispatch_every = 3;
+  CheckerRig rig(params, /*sockets=*/1, /*phys=*/4);
+  rig.kernel.SpawnInitial(ForkJoinProgram(), "p", 0, 0);
+  rig.Run(kSecond);
+  EXPECT_EQ(rig.kernel.live_tasks(), 0);
+  EXPECT_EQ(rig.checker.violations(Invariant::kQueueLiveness), 0u);
+}
+
+// Observer callbacks can be driven directly: time running backwards.
+TEST(InvariantCheckerTest, TimeMonotonicityViolationIsReported) {
+  CheckerRig rig(NoBalanceParams());
+  rig.checker.OnTaskExit(100, *rig.kernel.SpawnInitial(ForkJoinProgram(), "p", 0, 0));
+  rig.checker.OnIdleSpinStart(40, 0, 1);
+  EXPECT_FALSE(rig.checker.ok());
+  EXPECT_GT(rig.checker.violations(Invariant::kTimeMonotonicity), 0u);
+  EXPECT_NE(rig.checker.Report().find("time_monotonicity"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, OutOfEnvelopeFrequencyIsReported) {
+  CheckerRig rig(NoBalanceParams());
+  rig.checker.OnCoreFreqChange(0, 0, 99.0);  // FixedFreqMachine tops out at 1 GHz
+  EXPECT_GT(rig.checker.violations(Invariant::kTurboAccounting), 0u);
+}
+
+TEST(InvariantCheckerTest, ReportTruncatesMessagesButCountsAll) {
+  InvariantChecker::Options options;
+  options.max_messages = 2;
+  Engine engine;
+  HardwareModel hw(&engine, FixedFreqMachine(1, 1, 1));
+  CfsPolicy policy;
+  PerformanceGovernor governor;
+  Kernel kernel(&engine, &hw, &policy, &governor, NoBalanceParams());
+  InvariantChecker checker(&kernel, options);
+  for (int i = 0; i < 5; ++i) {
+    checker.OnCoreFreqChange(0, 0, 99.0);
+  }
+  EXPECT_EQ(checker.total_violations(), 5u);
+  EXPECT_EQ(checker.messages().size(), 2u);
+  EXPECT_NE(checker.Report().find("and 3 more"), std::string::npos);
+}
+
+// Regression: Nest's §3.4 placement race produces claim collisions on idle
+// cores under wakeup-heavy load; those are legitimate and must not fire the
+// reservation-exclusivity invariant (only claim-bookkeeping disagreements do).
+TEST(InvariantCheckerTest, NestCollisionsUnderChurnAreNotViolations) {
+  ExperimentConfig config;
+  config.machine = "intel-5220-1s";
+  config.scheduler = SchedulerKind::kNest;
+  config.check_invariants = true;
+  HackbenchWorkload workload(HackbenchSpec{/*groups=*/2, /*fan=*/3, /*loops=*/10});
+  const ExperimentResult result = RunExperiment(config, workload);  // throws on violation
+  EXPECT_GT(result.tasks_created, 0);
+}
+
+}  // namespace
+}  // namespace nestsim

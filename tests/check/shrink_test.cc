@@ -1,0 +1,101 @@
+#include "src/check/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json_check.h"
+
+namespace nestsim {
+namespace {
+
+JsonValue ParseSpec(const std::string& text) {
+  JsonValue spec;
+  std::string error;
+  EXPECT_TRUE(JsonParse(text, &spec, &error)) << error;
+  return spec;
+}
+
+// Fault injection shared by every oracle call: the lost-wakeup mutation with
+// the balancers disabled so it cannot self-heal.
+DifferentialOptions FaultyOracle() {
+  DifferentialOptions options;
+  options.mutate_config = [](ExperimentConfig* config) {
+    config->kernel.enable_newidle_balance = false;
+    config->kernel.enable_periodic_balance = false;
+    config->kernel.test_skip_enqueue_dispatch_every = 50;
+  };
+  return options;
+}
+
+// A deliberately baggy failing scenario: extra variant, sweep axis, spare
+// config overrides, and a three-member composition. The shrinker must strip
+// the baggage while keeping the failure alive.
+JsonValue BaggyFailingSpec() {
+  return ParseSpec(R"({
+    "name": "shrinkme",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "cfs", "scheduler": "cfs", "governor": "schedutil"},
+      {"label": "nest", "scheduler": "nest", "governor": "schedutil"},
+      {"label": "smove", "scheduler": "smove", "governor": "schedutil"}
+    ],
+    "workload": {"family": "multi", "params": {"members": [
+      {"family": "hackbench", "params": {"groups": 2, "fan": 2, "loops": 8}},
+      {"family": "schbench",
+       "params": {"message_threads": 1, "workers_per_thread": 2, "rounds": 5, "work_ms": 0.5}},
+      {"family": "configure", "params": {"num_tests": 10, "child_work_ms": 0.5}}
+    ]}},
+    "repetitions": 1,
+    "base_seed": 7,
+    "config": {"time_limit_s": 20, "nest.r_max": 5, "nest.enable_spin": false},
+    "sweep": {"nest.r_impatient": [0, 2]},
+    "table": {"style": "none"}
+  })");
+}
+
+TEST(ShrinkTest, MinimisesAnInjectedFailureBelowThreeApps) {
+  ShrinkOptions options;
+  options.diff = FaultyOracle();
+  const JsonValue input = BaggyFailingSpec();
+  const ShrinkOutcome outcome = ShrinkScenario(input, /*full_load=*/false, options);
+
+  EXPECT_GE(outcome.accepted, 3) << outcome.json;
+  EXPECT_LT(outcome.json.size(), JsonSerialize(input, 2).size()) << outcome.json;
+
+  // Still a failing, parseable repro.
+  EXPECT_FALSE(RunDifferential(outcome.spec, false, options.diff).ok()) << outcome.json;
+
+  // The baggage is gone: no sweep, at most two variants, at most three apps.
+  EXPECT_EQ(outcome.spec.Find("sweep"), nullptr) << outcome.json;
+  const JsonValue* variants = outcome.spec.Find("variants");
+  ASSERT_NE(variants, nullptr);
+  EXPECT_LE(variants->items.size(), 2u) << outcome.json;
+  const JsonValue* workload = outcome.spec.Find("workload");
+  ASSERT_NE(workload, nullptr);
+  size_t apps = 1;
+  if (workload->Find("family")->string == "multi") {
+    apps = workload->Find("params")->Find("members")->items.size();
+  }
+  EXPECT_LE(apps, 3u) << outcome.json;
+}
+
+TEST(ShrinkTest, NonFailingSpecReturnsUnshrunk) {
+  const JsonValue spec = ParseSpec(R"({
+    "name": "healthy",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "cfs", "scheduler": "cfs", "governor": "schedutil"},
+      {"label": "nest", "scheduler": "nest", "governor": "schedutil"}
+    ],
+    "workload": {"family": "hackbench", "params": {"groups": 1, "fan": 2, "loops": 5}},
+    "repetitions": 1,
+    "config": {"time_limit_s": 20},
+    "table": {"style": "none"}
+  })");
+  const ShrinkOutcome outcome = ShrinkScenario(spec, false);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.accepted, 0);
+  EXPECT_EQ(outcome.json, JsonSerialize(spec, 2) + "\n");
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -249,7 +249,9 @@ TEST(ScenarioParseTest, ConfigOverrideKeysAreStable) {
     flag.boolean = true;
     JsonValue text;
     text.type = JsonValue::Type::kString;
-    text.string = "x";
+    // A governor name, so the domain-checked "governor" key applies too;
+    // the free-form string keys accept it like any other text.
+    text.string = "schedutil";
     const bool applied = ApplyConfigOverride(&config, key, num, "p", &err) ||
                          ApplyConfigOverride(&config, key, flag, "p", &err) ||
                          ApplyConfigOverride(&config, key, text, "p", &err);

@@ -14,7 +14,9 @@
 #   7. every scenario file under scenarios/ is named in the docs, and every
 #      scenario named in the docs exists;
 #   8. every config-override key the scenario engine accepts is documented in
-#      docs/SCENARIOS.md.
+#      docs/SCENARIOS.md;
+#   9. every invariant name the checker can emit is documented in
+#      docs/TESTING.md, and docs/TESTING.md is linked from README.md.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -107,6 +109,20 @@ for key in $(grep -ohE '\{"[a-z_]+(\.[a-z_]+)?", "(bool|string|number|integer)' 
     fail=1
   fi
 done
+
+# 9. Invariant names. InvariantName() returns quoted lowercase words; each
+#    must appear backticked in the testing reference, which README links.
+for name in $(grep -ohE 'return "[a-z_]+"' src/check/invariant_checker.h \
+                | sed 's/return "//; s/"//' | sort -u); do
+  if ! grep -q "\`$name\`" docs/TESTING.md; then
+    echo "FAIL: invariant '$name' is emitted but not documented in docs/TESTING.md"
+    fail=1
+  fi
+done
+if ! grep -q 'docs/TESTING.md' README.md; then
+  echo "FAIL: README.md does not link docs/TESTING.md"
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-consistency check FAILED"
