@@ -7,10 +7,23 @@
 
 namespace nestsim {
 
+void CfsPolicy::Attach(Kernel* kernel) {
+  SchedulerPolicy::Attach(kernel);
+  ql_memo_.assign(kernel->topology().num_cpus(), QuantisedLoadMemo{});
+}
+
 int CfsPolicy::QuantisedLoad(int cpu) {
+  const SimTime now = kernel_->engine().Now();
+  const RunQueue& rq = kernel_->rq(cpu);
+  QuantisedLoadMemo& memo = ql_memo_[cpu];
+  if (memo.now == now && memo.placement_gen == rq.placement_gen()) {
+    return memo.value;
+  }
   const double util = kernel_->CpuUtil(cpu);
-  const double placement = kernel_->rq(cpu).PlacementLoad(kernel_->engine().Now());
-  return static_cast<int>(std::lround((util + placement) * params_.load_resolution));
+  const double placement = rq.PlacementLoad(now);
+  const int value = static_cast<int>(std::lround((util + placement) * params_.load_resolution));
+  memo = {now, rq.placement_gen(), value};
+  return value;
 }
 
 int CfsPolicy::GroupLoad(const SchedGroup& group) {

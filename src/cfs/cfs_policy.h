@@ -17,6 +17,9 @@
 #ifndef NESTSIM_SRC_CFS_CFS_POLICY_H_
 #define NESTSIM_SRC_CFS_CFS_POLICY_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/kernel/kernel.h"
 #include "src/kernel/policy.h"
 
@@ -42,6 +45,8 @@ class CfsPolicy : public SchedulerPolicy {
   explicit CfsPolicy(Params params) : params_(params) {}
 
   const char* name() const override { return "cfs"; }
+
+  void Attach(Kernel* kernel) override;
 
   int SelectCpuFork(Task& child, int parent_cpu) override;
   int SelectCpuWake(Task& task, const WakeContext& ctx) override;
@@ -69,6 +74,17 @@ class CfsPolicy : public SchedulerPolicy {
   int ScanDieForIdle(int die, int origin, bool require_idle_core);
 
   Params params_;
+
+  // Fork's group descent asks the same CPUs for their quantised load many
+  // times per placement (group sums, then the winning group's CPU scan). The
+  // value is pure within one instant for a fixed placement generation — PELT
+  // updates are idempotent at dt == 0 — so cache it per CPU.
+  struct QuantisedLoadMemo {
+    SimTime now = -1;
+    uint64_t placement_gen = 0;
+    int value = 0;
+  };
+  std::vector<QuantisedLoadMemo> ql_memo_;
 };
 
 }  // namespace nestsim

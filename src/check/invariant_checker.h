@@ -85,6 +85,13 @@ class InvariantChecker : public KernelObserver {
   explicit InvariantChecker(Kernel* kernel, Options options = Options());
 
   // ---- KernelObserver ----
+  uint32_t InterestMask() const override {
+    return kObsTaskCreated | kObsTaskEnqueued | kObsContextSwitch | kObsTaskBlocked |
+           kObsTaskExit | kObsTick | kObsTaskPlaced | kObsReservationCollision |
+           kObsTaskMigrated | kObsNestEvent | kObsIdleSpinStart | kObsIdleSpinEnd |
+           kObsCoreFreqChange;
+  }
+
   void OnTaskCreated(SimTime now, const Task& task) override;
   void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override;
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;

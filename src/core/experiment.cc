@@ -66,6 +66,8 @@ namespace {
 // Observes task exits to record per-tag completion times.
 class CompletionObserver : public KernelObserver {
  public:
+  uint32_t InterestMask() const override { return kObsTaskExit; }
+
   void OnTaskExit(SimTime now, const Task& task) override {
     last_exit_ = std::max(last_exit_, now);
     auto [it, inserted] = tag_last_exit_.try_emplace(task.tag, now);
@@ -207,6 +209,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   result.underload_per_s = underload.UnderloadPerSecond(end);
   result.freq_hist = freq.Snapshot(end);
   result.cpus_used = underload.CpusEverUsed();
+  result.events_fired = engine.events_fired();
   result.context_switches = kernel.context_switches();
   result.migrations = kernel.total_migrations();
   result.tasks_created = static_cast<int>(kernel.tasks().size());

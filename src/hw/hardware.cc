@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace nestsim {
 
@@ -18,7 +19,11 @@ HardwareModel::HardwareModel(Engine* engine, const MachineSpec& spec)
       topology_(spec.num_sockets, spec.physical_cores_per_socket, spec.threads_per_core),
       cores_(topology_.num_physical_cores()),
       thread_busy_(topology_.num_cpus(), 0),
-      socket_active_(topology_.num_sockets(), 0) {
+      socket_active_(topology_.num_sockets(), 0),
+      turbo_memo_(topology_.num_sockets()),
+      socket_busy_gen_(topology_.num_sockets(), 0),
+      power_memo_(topology_.num_sockets()),
+      socket_power_gen_(topology_.num_sockets(), 0) {
   for (CoreState& core : cores_) {
     core.freq_ghz = spec_.min_freq_ghz;
     // Stale frequency observations start at nominal: the paper's runs follow
@@ -44,28 +49,34 @@ void HardwareModel::PeriodicUpdate() {
   engine_->ScheduleAfter(spec_.freq_update_period, [this] { PeriodicUpdate(); });
 }
 
-int HardwareModel::TurboLicensesOnSocket(int socket) const {
+int HardwareModel::CountTurboLicenses(int socket) const {
   const SimTime now = engine_->Now();
+  TurboMemo& memo = turbo_memo_[socket];
   const int base = socket * topology_.physical_cores_per_socket();
   int licenses = 0;
+  // The count holds until the earliest shallow-idle license expires; busy
+  // cores and already-expired idle cores cannot change the count without a
+  // busy transition, which bumps socket_busy_gen_ and invalidates the memo.
+  SimTime valid_until = std::numeric_limits<SimTime>::max();
   for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
     const CoreState& core = cores_[base + i];
-    if (core.busy_threads > 0 || now - core.idle_since < spec_.turbo_license_window) {
+    if (core.busy_threads > 0) {
       ++licenses;
+    } else if (now - core.idle_since < spec_.turbo_license_window) {
+      ++licenses;
+      valid_until = std::min(valid_until, core.idle_since + spec_.turbo_license_window);
     }
   }
+  memo.valid_from = now;
+  memo.valid_until = valid_until;
+  memo.gen = socket_busy_gen_[socket];
+  memo.licenses = licenses;
   return licenses;
 }
 
 double HardwareModel::TargetGhz(int phys) const {
   const CoreState& core = cores_[phys];
   const int socket = phys / topology_.physical_cores_per_socket();
-  // The ladder counts every core still holding a turbo license — this is how
-  // task dispersal lowers the ceiling for everyone even when only one or two
-  // tasks run at any instant.
-  const int licenses = std::max(1, TurboLicensesOnSocket(socket) + (core.busy_threads > 0 ? 0 : 1));
-  const double cap = spec_.turbo.CapGhz(licenses);
-
   if (core.busy_threads == 0) {
     const SimDuration idle_for = engine_->Now() - core.idle_since;
     if (idle_for >= spec_.idle_decay_delay) {
@@ -73,8 +84,14 @@ double HardwareModel::TargetGhz(int phys) const {
     }
     // Recently idle: hold near the current frequency (but within the cap) so
     // a task returning quickly finds the core still warm.
-    return std::clamp(core.freq_ghz, spec_.min_freq_ghz, cap);
+    const double idle_cap = spec_.turbo.CapGhz(std::max(1, TurboLicensesOnSocket(socket) + 1));
+    return std::clamp(core.freq_ghz, spec_.min_freq_ghz, idle_cap);
   }
+  // The ladder counts every core still holding a turbo license — this is how
+  // task dispersal lowers the ceiling for everyone even when only one or two
+  // tasks run at any instant.
+  const int licenses = std::max(1, TurboLicensesOnSocket(socket));
+  const double cap = spec_.turbo.CapGhz(licenses);
 
   double request = spec_.min_freq_ghz;
   if (freq_request_fn_) {
@@ -111,10 +128,26 @@ void HardwareModel::UpdateCoreFreq(int phys) {
   if (elapsed_ms <= 0.0) {
     return;
   }
+  // Absorbing state: a long-idle core with a fully drained activity EMA
+  // sitting at the floor frequency computes EMA' == +0.0, target == min, and
+  // moves nothing — only the timestamp (already advanced) matters. This makes
+  // the periodic sweep O(1) for the never-used cores of a lightly loaded
+  // machine.
+  if (core.busy_threads == 0 && core.activity_ema == 0.0 &&
+      core.freq_ghz == spec_.min_freq_ghz && now - core.idle_since >= spec_.idle_decay_delay) {
+    return;
+  }
   // Fold the elapsed interval into the C0-residency EMA before targeting.
   {
-    const double dt = elapsed_ms * static_cast<double>(kMillisecond);
-    const double decay = std::exp2(-dt / static_cast<double>(spec_.activity_halflife));
+    double decay;
+    if (elapsed_ms == ema_memo_ms_) {
+      decay = ema_memo_decay_;
+    } else {
+      const double dt = elapsed_ms * static_cast<double>(kMillisecond);
+      decay = std::exp2(-dt / static_cast<double>(spec_.activity_halflife));
+      ema_memo_ms_ = elapsed_ms;
+      ema_memo_decay_ = decay;
+    }
     const double busy_now = core.busy_threads > 0 ? 1.0 : 0.0;
     core.activity_ema = core.activity_ema * decay + busy_now * (1.0 - decay);
   }
@@ -143,6 +176,13 @@ void HardwareModel::UpdateCoreFreq(int phys) {
 }
 
 void HardwareModel::NotifyFreqChange(int phys) {
+  // Socket power depends on busy cores' frequencies only — an idle core
+  // contributes shallow_idle_watts or nothing regardless of its frequency,
+  // so idle decay drift doesn't invalidate the power memo. (Busy flips bump
+  // the generation in SetThreadBusy.)
+  if (cores_[phys].busy_threads > 0) {
+    ++socket_power_gen_[phys / topology_.physical_cores_per_socket()];
+  }
   if (freq_change_fn_) {
     freq_change_fn_(phys, cores_[phys].freq_ghz);
   }
@@ -180,6 +220,8 @@ void HardwareModel::SetThreadBusy(int cpu, bool busy) {
 
   if (was_busy_threads == 0 && core.busy_threads == 1) {
     ++socket_active_[socket];
+    ++socket_busy_gen_[socket];  // license predicate flipped for this core
+    ++socket_power_gen_[socket];
     // Instant P-state grant on wake: the PCU raises a newly busy core to the
     // arrival floor — or the governor's standing request (the `performance`
     // governor keeps even idle cores' requested P-state at nominal) — within
@@ -200,6 +242,8 @@ void HardwareModel::SetThreadBusy(int cpu, bool busy) {
     }
   } else if (was_busy_threads == 1 && core.busy_threads == 0) {
     --socket_active_[socket];
+    ++socket_busy_gen_[socket];  // idle_since moved; the window restarted
+    ++socket_power_gen_[socket];
     core.idle_since = engine_->Now();
   }
 
@@ -227,61 +271,45 @@ void HardwareModel::SampleTick() {
   }
 }
 
-double HardwareModel::EffectiveSpeedGhz(int cpu) const {
-  const int phys = topology_.PhysCoreOf(cpu);
-  const CoreState& core = cores_[phys];
-  double factor = 1.0;
-  const int sibling = topology_.SiblingOf(cpu);
-  if (sibling >= 0 && thread_busy_[cpu] && thread_busy_[sibling]) {
-    factor = spec_.smt_throughput;
-  }
-  return core.freq_ghz * factor;
-}
-
-double HardwareModel::SocketPowerWatts(int socket) const {
+double HardwareModel::ComputeSocketPower(int socket) const {
+  const SimTime now = engine_->Now();
+  PowerMemo& memo = power_memo_[socket];
+  double watts;
+  // Until when does this result hold? A generation bump invalidates early;
+  // otherwise only a shallow-idle core's license window running out changes
+  // the sum.
+  SimTime valid_until = std::numeric_limits<SimTime>::max();
   if (socket_active_[socket] == 0) {
-    return spec_.package_idle_watts;
-  }
-  // Shared voltage rail: the fastest active core on the socket sets V
-  // (paper §5.2: "the CPU energy consumption is determined by the consumption
-  // of the highest frequency core on the socket").
-  double hot_ghz = spec_.min_freq_ghz;
-  const int base_phys = socket * topology_.physical_cores_per_socket();
-  for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
-    const CoreState& core = cores_[base_phys + i];
-    if (core.busy_threads > 0) {
-      hot_ghz = std::max(hot_ghz, core.freq_ghz);
+    watts = spec_.package_idle_watts;
+  } else {
+    // Shared voltage rail: the fastest active core on the socket sets V
+    // (paper §5.2: "the CPU energy consumption is determined by the
+    // consumption of the highest frequency core on the socket").
+    double hot_ghz = spec_.min_freq_ghz;
+    const int base_phys = socket * topology_.physical_cores_per_socket();
+    for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
+      const CoreState& core = cores_[base_phys + i];
+      if (core.busy_threads > 0) {
+        hot_ghz = std::max(hot_ghz, core.freq_ghz);
+      }
+    }
+    const double volts = spec_.volt_base + spec_.volt_per_ghz * hot_ghz;
+    watts = spec_.uncore_watts;
+    for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
+      const CoreState& core = cores_[base_phys + i];
+      if (core.busy_threads > 0) {
+        watts += spec_.core_dyn_coeff * core.freq_ghz * volts * volts;
+      } else if (now - core.idle_since < spec_.turbo_license_window) {
+        watts += spec_.shallow_idle_watts;  // shallow C-state
+        valid_until = std::min(valid_until, core.idle_since + spec_.turbo_license_window);
+      }
     }
   }
-  const double volts = spec_.volt_base + spec_.volt_per_ghz * hot_ghz;
-  const SimTime now = engine_->Now();
-  double watts = spec_.uncore_watts;
-  for (int i = 0; i < topology_.physical_cores_per_socket(); ++i) {
-    const CoreState& core = cores_[base_phys + i];
-    if (core.busy_threads > 0) {
-      watts += spec_.core_dyn_coeff * core.freq_ghz * volts * volts;
-    } else if (now - core.idle_since < spec_.turbo_license_window) {
-      watts += spec_.shallow_idle_watts;  // shallow C-state
-    }
-  }
+  memo.watts = watts;
+  memo.valid_from = now;
+  memo.valid_until = valid_until;
+  memo.gen = socket_power_gen_[socket];
   return watts;
-}
-
-double HardwareModel::TotalPowerWatts() const {
-  double watts = 0.0;
-  for (int s = 0; s < topology_.num_sockets(); ++s) {
-    watts += SocketPowerWatts(s);
-  }
-  return watts;
-}
-
-void HardwareModel::AccumulateEnergy() {
-  const SimTime now = engine_->Now();
-  if (now <= last_energy_update_) {
-    return;
-  }
-  energy_joules_ += TotalPowerWatts() * ToSeconds(now - last_energy_update_);
-  last_energy_update_ = now;
 }
 
 double HardwareModel::EnergyJoules() {

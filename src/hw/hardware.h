@@ -71,23 +71,56 @@ class HardwareModel {
   void SampleTick();
 
   // freq * SMT factor: the execution speed a task on `cpu` gets right now.
-  double EffectiveSpeedGhz(int cpu) const;
+  // Inline: queried on every compute-segment start and speed change.
+  double EffectiveSpeedGhz(int cpu) const {
+    const CoreState& core = cores_[topology_.PhysCoreOf(cpu)];
+    double factor = 1.0;
+    const int sibling = topology_.SiblingOf(cpu);
+    if (sibling >= 0 && thread_busy_[cpu] && thread_busy_[sibling]) {
+      factor = spec_.smt_throughput;
+    }
+    return core.freq_ghz * factor;
+  }
 
   bool ThreadBusy(int cpu) const { return thread_busy_[cpu]; }
   int ActivePhysCoresOnSocket(int socket) const { return socket_active_[socket]; }
 
   // Physical cores on the socket holding a turbo license: busy, or idle for
   // less than spec().turbo_license_window (still in a shallow C-state).
-  int TurboLicensesOnSocket(int socket) const;
+  // Memo hit is the overwhelmingly common case; keep it inline.
+  int TurboLicensesOnSocket(int socket) const {
+    const SimTime now = engine_->Now();
+    const TurboMemo& memo = turbo_memo_[socket];
+    if (memo.gen == socket_busy_gen_[socket] && now >= memo.valid_from &&
+        now < memo.valid_until) {
+      return memo.licenses;
+    }
+    return CountTurboLicenses(socket);
+  }
 
   // Total CPU energy consumed so far, accumulated to Now().
   double EnergyJoules();
 
-  // Instantaneous power draw of one socket, watts.
-  double SocketPowerWatts(int socket) const;
+  // Instantaneous power draw of one socket, watts. Served from the
+  // piecewise-constant memo when valid (see PowerMemo below).
+  double SocketPowerWatts(int socket) const {
+    const SimTime now = engine_->Now();
+    const PowerMemo& memo = power_memo_[socket];
+    if (memo.gen == socket_power_gen_[socket] && now >= memo.valid_from &&
+        now < memo.valid_until) {
+      return memo.watts;
+    }
+    return ComputeSocketPower(socket);
+  }
 
   // Instantaneous power of the whole package set.
-  double TotalPowerWatts() const;
+  double TotalPowerWatts() const {
+    double watts = 0.0;
+    for (int s = 0; s < topology_.num_sockets(); ++s) {
+      watts += SocketPowerWatts(s);
+    }
+    return watts;
+  }
 
  private:
   struct CoreState {
@@ -105,9 +138,21 @@ class HardwareModel {
   void UpdateCoreFreq(int phys);
   double TargetGhz(int phys) const;
   void PeriodicUpdate();
-  void AccumulateEnergy();
   void NotifySpeedChange(int phys);
   void NotifyFreqChange(int phys);
+  int CountTurboLicenses(int socket) const;   // slow path; fills turbo_memo_
+  double ComputeSocketPower(int socket) const;  // slow path; fills power_memo_
+
+  // Integrates power over [last_energy_update_, now); must run before any
+  // state change that affects power.
+  void AccumulateEnergy() {
+    const SimTime now = engine_->Now();
+    if (now <= last_energy_update_) {
+      return;
+    }
+    energy_joules_ += TotalPowerWatts() * ToSeconds(now - last_energy_update_);
+    last_energy_update_ = now;
+  }
 
   Engine* engine_;
   MachineSpec spec_;
@@ -119,6 +164,43 @@ class HardwareModel {
   std::vector<CoreState> cores_;      // indexed by physical core
   std::vector<char> thread_busy_;     // indexed by logical cpu
   std::vector<int> socket_active_;    // active physical cores per socket
+
+  // TurboLicensesOnSocket scans every core on the socket; TargetGhz calls it
+  // for each core it updates, so a periodic sweep is quadratic in socket
+  // width. The count is piecewise constant: it only changes when a core flips
+  // busy<->idle (bumps socket_busy_gen_) or a shallow-idle license window
+  // expires — so cache it with its validity interval, like PowerMemo below.
+  struct TurboMemo {
+    SimTime valid_from = 0;
+    SimTime valid_until = 0;  // exclusive; earliest shallow-idle expiry
+    uint64_t gen = 0;
+    int licenses = 0;
+  };
+  mutable std::vector<TurboMemo> turbo_memo_;  // indexed by socket
+  std::vector<uint64_t> socket_busy_gen_;      // bumped on 0<->1 transitions
+
+  // SocketPowerWatts is evaluated at every energy-accumulation point — one or
+  // more times per scheduling event — and scans every core on the socket.
+  // But power is piecewise constant: it only moves when a core's frequency
+  // changes, a core flips busy<->idle, or a shallow-idle license window
+  // expires. Cache the computed watts with its validity interval; within it a
+  // fresh scan would re-derive the bit-identical double, so the energy
+  // integral is unchanged.
+  struct PowerMemo {
+    double watts = 0.0;
+    SimTime valid_from = 0;
+    SimTime valid_until = 0;  // exclusive; first shallow-idle window expiry
+    uint64_t gen = 0;
+  };
+  mutable std::vector<PowerMemo> power_memo_;  // indexed by socket
+  // Bumped on busy flips, idle_since moves, and every freq_ghz change.
+  std::vector<uint64_t> socket_power_gen_;
+
+  // One-entry memo for the activity-EMA decay in UpdateCoreFreq: nearly all
+  // updates happen a whole freq_update_period apart, so the same elapsed_ms
+  // (and hence the bit-identical exp2 result) repeats constantly.
+  double ema_memo_ms_ = -1.0;
+  double ema_memo_decay_ = 1.0;
 
   SimTime last_energy_update_ = 0;
   double energy_joules_ = 0.0;

@@ -28,11 +28,4 @@ Topology::Topology(int num_sockets, int physical_cores_per_socket, int threads_p
   }
 }
 
-int Topology::SiblingOf(int cpu) const {
-  if (smt_ == 1) {
-    return -1;
-  }
-  return IsFirstThread(cpu) ? cpu + num_physical_ : cpu - num_physical_;
-}
-
 }  // namespace nestsim

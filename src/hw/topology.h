@@ -37,8 +37,13 @@ class Topology {
   int PhysCoreOf(int cpu) const { return cpu % num_physical_; }
 
   // The other hardware thread on the same physical core, or -1 when SMT is
-  // off.
-  int SiblingOf(int cpu) const;
+  // off. Inline: this sits on the context-switch and speed-query hot paths.
+  int SiblingOf(int cpu) const {
+    if (smt_ == 1) {
+      return -1;
+    }
+    return IsFirstThread(cpu) ? cpu + num_physical_ : cpu - num_physical_;
+  }
 
   // True for the thread-0 CPU of each physical core.
   bool IsFirstThread(int cpu) const { return cpu < num_physical_; }

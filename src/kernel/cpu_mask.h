@@ -1,0 +1,87 @@
+// Fixed-size CPU bitmask.
+//
+// The kernel tracks which CPUs are idle and which have waiting tasks. Those
+// sets used to be a std::set<int>, which put a red-black-tree walk (and a
+// node allocation) on the enqueue/dequeue path; a four-word bitmask makes
+// membership updates single-bit stores, emptiness a word OR, and iteration a
+// countr_zero loop that visits CPUs in ascending order — the same order the
+// std::set iterated, which load balancing depends on.
+
+#ifndef NESTSIM_SRC_KERNEL_CPU_MASK_H_
+#define NESTSIM_SRC_KERNEL_CPU_MASK_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace nestsim {
+
+class CpuMask {
+ public:
+  // Largest machine in src/hw/machine_spec.cc is 160 CPUs; leave headroom.
+  static constexpr int kMaxCpus = 256;
+
+  void Set(int cpu) { words_[Word(cpu)] |= Bit(cpu); }
+  void Clear(int cpu) { words_[Word(cpu)] &= ~Bit(cpu); }
+  void Assign(int cpu, bool value) {
+    if (value) {
+      Set(cpu);
+    } else {
+      Clear(cpu);
+    }
+  }
+
+  bool Test(int cpu) const { return (words_[Word(cpu)] & Bit(cpu)) != 0; }
+
+  bool Any() const { return (words_[0] | words_[1] | words_[2] | words_[3]) != 0; }
+  bool Empty() const { return !Any(); }
+
+  int Count() const {
+    return std::popcount(words_[0]) + std::popcount(words_[1]) + std::popcount(words_[2]) +
+           std::popcount(words_[3]);
+  }
+
+  // Ascending-order iteration: for (int cpu : mask) { ... }
+  class Iterator {
+   public:
+    Iterator(const uint64_t* words, int word) : words_(words), word_(word) { Advance(); }
+
+    int operator*() const { return word_ * 64 + std::countr_zero(current_); }
+
+    Iterator& operator++() {
+      current_ &= current_ - 1;  // clear lowest set bit
+      Advance();
+      return *this;
+    }
+
+    bool operator!=(const Iterator& other) const {
+      return word_ != other.word_ || current_ != other.current_;
+    }
+
+   private:
+    void Advance() {
+      while (current_ == 0 && word_ < kWords) {
+        if (++word_ < kWords) {
+          current_ = words_[word_];
+        }
+      }
+    }
+
+    const uint64_t* words_;
+    int word_;
+    uint64_t current_ = 0;
+  };
+
+  Iterator begin() const { return Iterator(words_, -1); }
+  Iterator end() const { return Iterator(words_, kWords); }
+
+ private:
+  static constexpr int kWords = 4;
+  static int Word(int cpu) { return cpu >> 6; }
+  static uint64_t Bit(int cpu) { return uint64_t{1} << (cpu & 63); }
+
+  uint64_t words_[kWords] = {0, 0, 0, 0};
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_KERNEL_CPU_MASK_H_

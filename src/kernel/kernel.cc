@@ -21,6 +21,19 @@ Kernel::Kernel(Engine* engine, HardwareModel* hw, SchedulerPolicy* policy, Gover
       domains_(hw->topology()),
       cpus_(hw->topology().num_cpus()) {
   policy_->Attach(this);
+  for (int cpu = 0; cpu < hw->topology().num_cpus(); ++cpu) {
+    idle_cpus_.Set(cpu);  // every run queue starts empty
+  }
+}
+
+void Kernel::AddObserver(KernelObserver* observer) {
+  observers_.push_back(observer);
+  const uint32_t mask = observer->InterestMask();
+  for (int bit = 0; bit < kNumObserverEvents; ++bit) {
+    if ((mask & (1u << bit)) != 0) {
+      dispatch_[bit].push_back(observer);
+    }
+  }
 }
 
 void Kernel::Start() {
@@ -29,7 +42,7 @@ void Kernel::Start() {
   hw_->set_freq_request_fn([this](int cpu) { return GovernorRequestGhz(cpu); });
   hw_->set_speed_change_fn([this](int cpu) { OnSpeedChange(cpu); });
   hw_->set_freq_change_fn([this](int phys, double ghz) {
-    for (KernelObserver* obs : observers_) {
+    for (KernelObserver* obs : observers_for(kObsCoreFreqChange)) {
       obs->OnCoreFreqChange(engine_->Now(), phys, ghz);
     }
   });
@@ -58,7 +71,7 @@ Task* Kernel::NewTask(ProgramPtr program, std::string name, int tag, Task* paren
   if (parent != nullptr) {
     ++parent->live_children;
   }
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTaskCreated)) {
     obs->OnTaskCreated(engine_->Now(), *raw);
   }
   return raw;
@@ -71,7 +84,7 @@ Task* Kernel::SpawnInitial(ProgramPtr program, std::string name, int tag, int cp
   }
   Task* task = NewTask(std::move(program), std::move(name), tag, /*parent=*/nullptr);
   task->placement_path = PlacementPath::kInitial;
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTaskPlaced)) {
     obs->OnTaskPlaced(engine_->Now(), *task, cpu, /*is_fork=*/true);
   }
   EnqueueTask(task, cpu, /*wakeup=*/false);
@@ -107,13 +120,13 @@ void Kernel::PlaceTask(Task* task, int cpu, bool is_fork) {
     // Best effort: the policy normally avoided claimed CPUs already; a failed
     // claim here means a collision the reservation could not prevent.
     if (!cpus_[cpu].rq.TryClaim(engine_->Now())) {
-      for (KernelObserver* obs : observers_) {
+      for (KernelObserver* obs : observers_for(kObsReservationCollision)) {
         obs->OnReservationCollision(engine_->Now(), *task, cpu);
       }
     }
   }
   task->cpu = cpu;
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTaskPlaced)) {
     obs->OnTaskPlaced(engine_->Now(), *task, cpu, is_fork);
   }
   const bool wakeup = !is_fork;
@@ -145,12 +158,10 @@ void Kernel::EnqueueTask(Task* task, int cpu, bool wakeup) {
 
   rq.Enqueue(task);
   rq.BumpPlacement(engine_->Now());
-  if (rq.QueuedCount() > 0) {
-    overloaded_cpus_.insert(cpu);
-  }
+  UpdateCpuMasks(cpu);
 
   policy_->OnTaskEnqueued(*task, cpu);
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTaskEnqueued)) {
     obs->OnTaskEnqueued(engine_->Now(), *task, cpu);
   }
   hw_->KickCpu(cpu);  // schedutil-style frequency kick on enqueue
@@ -193,7 +204,8 @@ void Kernel::BlockCurrent(int cpu, BlockReason reason) {
 
   cs.rq.set_curr(nullptr);
   cs.rq.UpdateMinVruntime();
-  for (KernelObserver* obs : observers_) {
+  UpdateCpuMasks(cpu);
+  for (KernelObserver* obs : observers_for(kObsTaskBlocked)) {
     obs->OnTaskBlocked(engine_->Now(), *task, cpu);
   }
   NotifyContextSwitch(cpu, task, nullptr);
@@ -219,9 +231,10 @@ void Kernel::ExitCurrent(int cpu) {
   --runnable_tasks_;
   cs.rq.set_curr(nullptr);
   cs.rq.UpdateMinVruntime();
+  UpdateCpuMasks(cpu);
   sync_.ForgetTask(task);
 
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTaskExit)) {
     obs->OnTaskExit(engine_->Now(), *task);
   }
   NotifyContextSwitch(cpu, task, nullptr);
@@ -267,10 +280,8 @@ void Kernel::StartRunning(Task* task, int cpu) {
   cs.rq.util().Update(engine_->Now(), 0.0);
 
   cs.rq.Dequeue(task);
-  if (cs.rq.QueuedCount() == 0) {
-    overloaded_cpus_.erase(cpu);
-  }
   cs.rq.set_curr(task);
+  UpdateCpuMasks(cpu);
 
   const SimTime now = engine_->Now();
   // Reset segment bookkeeping before anything (speed-change callbacks fired
@@ -322,10 +333,8 @@ void Kernel::StopRunning(int cpu, bool requeue) {
   if (requeue) {
     task_enqueue_time_[task->tid - 1] = engine_->Now();
     cs.rq.Enqueue(task);
-    if (cs.rq.QueuedCount() > 0) {
-      overloaded_cpus_.insert(cpu);
-    }
   }
+  UpdateCpuMasks(cpu);
   NotifyContextSwitch(cpu, task, nullptr);
 }
 
@@ -357,7 +366,7 @@ void Kernel::EnterIdle(int cpu) {
       hw_->SetThreadBusy(cpu, true);  // no-op if it was already busy
     }
     const uint64_t gen = ++cs.dispatch_gen;
-    for (KernelObserver* obs : observers_) {
+    for (KernelObserver* obs : observers_for(kObsIdleSpinStart)) {
       obs->OnIdleSpinStart(engine_->Now(), cpu, spin_ticks);
     }
     cs.spin_end = engine_->ScheduleAfter(spin_ticks * kTickPeriod, [this, cpu, gen] {
@@ -386,7 +395,7 @@ void Kernel::StopSpin(int cpu, bool because_busy) {
     hw_->SetThreadBusy(cpu, false);
   }
   // When the spin ends because a task starts here, the thread stays busy.
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsIdleSpinEnd)) {
     obs->OnIdleSpinEnd(engine_->Now(), cpu, because_busy);
   }
 }
@@ -472,7 +481,7 @@ void Kernel::OnSpeedChange(int cpu) {
     // begun its segment yet — StartRunning will interpret it.)
     ExecuteTask(cpu);
   }
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsCpuSpeedChange)) {
     obs->OnCpuSpeedChange(engine_->Now(), cpu);
   }
 }
@@ -665,7 +674,7 @@ void Kernel::Tick() {
   if (params_.enable_periodic_balance) {
     PeriodicBalance();
   }
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTick)) {
     obs->OnTick(now);
   }
   engine_->ScheduleAfter(kTickPeriod, [this] { Tick(); });
@@ -717,27 +726,23 @@ void Kernel::MigrateQueued(Task* task, int dst_cpu, MigrationReason reason) {
   RunQueue& src = cpus_[src_cpu].rq;
   assert(src.Queued(task));
   src.Dequeue(task);
-  if (src.QueuedCount() == 0) {
-    overloaded_cpus_.erase(src_cpu);
-  }
+  UpdateCpuMasks(src_cpu);
   task->vruntime -= src.min_vruntime();
   RunQueue& dst = cpus_[dst_cpu].rq;
   task->cpu = dst_cpu;
   task->vruntime = dst.min_vruntime() + std::max(task->vruntime, 0.0);
   dst.Enqueue(task);
   task_enqueue_time_[task->tid - 1] = engine_->Now();
-  if (dst.QueuedCount() > 0) {
-    overloaded_cpus_.insert(dst_cpu);
-  }
+  UpdateCpuMasks(dst_cpu);
   ++migrations_;
   ++task->migrations;
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsTaskMigrated)) {
     obs->OnTaskMigrated(engine_->Now(), *task, src_cpu, dst_cpu, reason);
   }
 }
 
 void Kernel::NotifyNestEvent(NestEventKind kind, int cpu) {
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsNestEvent)) {
     obs->OnNestEvent(engine_->Now(), kind, cpu);
   }
 }
@@ -749,7 +754,7 @@ void Kernel::KickIfIdle(int cpu) {
 }
 
 void Kernel::NewIdleBalance(int cpu) {
-  if (overloaded_cpus_.empty()) {
+  if (overloaded_cpus_.Empty()) {
     return;
   }
   Task* task = FindStealableTask(cpu, /*same_die_only=*/false, /*ignore_hotness=*/false);
@@ -759,12 +764,12 @@ void Kernel::NewIdleBalance(int cpu) {
 }
 
 void Kernel::PeriodicBalance() {
-  if (overloaded_cpus_.empty()) {
+  if (overloaded_cpus_.Empty()) {
     return;
   }
   // One pull per idle CPU per tick, same-die first — an approximation of the
   // periodic/nohz-idle balancing pass.
-  for (int cpu = 0; cpu < topology().num_cpus() && !overloaded_cpus_.empty(); ++cpu) {
+  for (int cpu = 0; cpu < topology().num_cpus() && !overloaded_cpus_.Empty(); ++cpu) {
     if (!cpus_[cpu].rq.Idle()) {
       continue;
     }
@@ -786,12 +791,6 @@ void Kernel::PeriodicBalance() {
 // ---------------------------------------------------------------------------
 // Misc
 // ---------------------------------------------------------------------------
-
-double Kernel::CpuUtil(int cpu) {
-  RunQueue& rq = cpus_[cpu].rq;
-  rq.util().Update(engine_->Now(), rq.curr() != nullptr ? 1.0 : 0.0);
-  return rq.util().raw();
-}
 
 double Kernel::GovernorRequestGhz(int cpu) {
   RunQueue& rq = cpus_[cpu].rq;
@@ -815,7 +814,7 @@ int Kernel::live_tasks_for_tag(int tag) const {
 }
 
 void Kernel::NotifyContextSwitch(int cpu, const Task* prev, const Task* next) {
-  for (KernelObserver* obs : observers_) {
+  for (KernelObserver* obs : observers_for(kObsContextSwitch)) {
     obs->OnContextSwitch(engine_->Now(), cpu, prev, next);
   }
 }

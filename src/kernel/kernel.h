@@ -13,12 +13,13 @@
 #ifndef NESTSIM_SRC_KERNEL_KERNEL_H_
 #define NESTSIM_SRC_KERNEL_KERNEL_H_
 
+#include <array>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "src/hw/hardware.h"
+#include "src/kernel/cpu_mask.h"
 #include "src/kernel/domains.h"
 #include "src/kernel/governor.h"
 #include "src/kernel/observer.h"
@@ -104,8 +105,13 @@ class Kernel {
   }
 
   // The CPU's decayed utilisation in [0, 1], updated to now. This is the
-  // "recent load" CFS consults and the signal schedutil sees.
-  double CpuUtil(int cpu);
+  // "recent load" CFS consults and the signal schedutil sees. Inline: every
+  // placement scan calls it per candidate CPU.
+  double CpuUtil(int cpu) {
+    RunQueue& rq = cpus_[cpu].rq;
+    rq.util().Update(engine_->Now(), rq.curr() != nullptr ? 1.0 : 0.0);
+    return rq.util().raw();
+  }
 
   // Claims `cpu` for an in-flight placement; false if already claimed.
   bool TryClaimCpu(int cpu) { return cpus_[cpu].rq.TryClaim(engine_->Now()); }
@@ -118,7 +124,17 @@ class Kernel {
 
   const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
 
-  void AddObserver(KernelObserver* observer) { observers_.push_back(observer); }
+  // Registers an observer. Its InterestMask() is read here (once) to build
+  // the per-event dispatch lists; notification order within an event follows
+  // registration order.
+  void AddObserver(KernelObserver* observer);
+
+  // O(1) work-conservation check: some CPU idle while some CPU has waiting
+  // tasks. The two masks are maintained on every run-queue mutation, so this
+  // matches a full scan of the run queues at any observer notification point.
+  bool WorkConservationViolated() const {
+    return idle_cpus_.Any() && overloaded_cpus_.Any();
+  }
 
   // Count of tasks in state kRunnable/kRunning/kPlacing, machine-wide.
   // Maintained incrementally; used by the underload metric.
@@ -192,6 +208,22 @@ class Kernel {
   double GovernorRequestGhz(int cpu);
   void NotifyContextSwitch(int cpu, const Task* prev, const Task* next);
 
+  // Re-derives `cpu`'s bits in idle_cpus_/overloaded_cpus_ from its run
+  // queue. Must run after every Enqueue/Dequeue/set_curr and before the
+  // observer notifications that follow (the work-conservation metric samples
+  // the masks from inside those callbacks).
+  void UpdateCpuMasks(int cpu) {
+    const RunQueue& rq = cpus_[cpu].rq;
+    idle_cpus_.Assign(cpu, rq.Idle());
+    overloaded_cpus_.Assign(cpu, rq.QueuedCount() > 0);
+  }
+
+  // Observers subscribed to `event` (one ObserverEvent bit), in registration
+  // order.
+  const std::vector<KernelObserver*>& observers_for(ObserverEvent event) const {
+    return dispatch_[std::countr_zero(static_cast<uint32_t>(event))];
+  }
+
   Engine* engine_;
   HardwareModel* hw_;
   SchedulerPolicy* policy_;
@@ -203,7 +235,10 @@ class Kernel {
   std::vector<CpuState> cpus_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<KernelObserver*> observers_;
-  std::set<int> overloaded_cpus_;  // cpus with queued (waiting) tasks
+  // Per-event dispatch lists, indexed by ObserverEvent bit position.
+  std::array<std::vector<KernelObserver*>, kNumObserverEvents> dispatch_;
+  CpuMask overloaded_cpus_;  // cpus with queued (waiting) tasks
+  CpuMask idle_cpus_;        // cpus with nothing running or queued
   std::vector<SimTime> task_enqueue_time_;  // by tid; for steal_min_wait
 
   int next_tid_ = 1;

@@ -57,9 +57,40 @@ inline const char* NestEventKindName(NestEventKind kind) {
   return "?";
 }
 
+// One bit per KernelObserver callback. The kernel keeps a dispatch list per
+// event, built from each observer's InterestMask() at registration, so firing
+// a callback only walks observers that actually override it — an event nobody
+// subscribed to costs one empty-vector check.
+enum ObserverEvent : uint32_t {
+  kObsTaskCreated = 1u << 0,
+  kObsTaskEnqueued = 1u << 1,
+  kObsContextSwitch = 1u << 2,
+  kObsCpuSpeedChange = 1u << 3,
+  kObsTaskBlocked = 1u << 4,
+  kObsTaskExit = 1u << 5,
+  kObsTick = 1u << 6,
+  kObsTaskPlaced = 1u << 7,
+  kObsReservationCollision = 1u << 8,
+  kObsTaskMigrated = 1u << 9,
+  kObsNestEvent = 1u << 10,
+  kObsIdleSpinStart = 1u << 11,
+  kObsIdleSpinEnd = 1u << 12,
+  kObsCoreFreqChange = 1u << 13,
+};
+
+inline constexpr int kNumObserverEvents = 14;
+inline constexpr uint32_t kObsAllEvents = (1u << kNumObserverEvents) - 1;
+
 class KernelObserver {
  public:
   virtual ~KernelObserver() = default;
+
+  // Which callbacks this observer wants, as an OR of ObserverEvent bits.
+  // Consulted once, when the observer is added to the kernel. The default
+  // subscribes to everything so subclasses that don't override it (tests,
+  // one-off probes) keep working; the built-in observers narrow it to what
+  // they implement.
+  virtual uint32_t InterestMask() const { return kObsAllEvents; }
 
   virtual void OnTaskCreated(SimTime now, const Task& task) {
     (void)now;

@@ -3,26 +3,19 @@
 #include <cmath>
 
 namespace nestsim {
+namespace pelt_detail {
 
-double PeltSignal::DecayFactor(SimDuration dt) {
-  if (dt <= 0) {
-    return 1.0;
-  }
-  return std::exp2(-static_cast<double>(dt) / static_cast<double>(kHalfLife));
+double Exp2Decay(SimDuration dt) {
+  return std::exp2(-static_cast<double>(dt) / static_cast<double>(PeltSignal::kHalfLife));
 }
 
-void PeltSignal::Update(SimTime now, double active_fraction) {
-  const SimDuration dt = now - last_update_;
-  if (dt > 0) {
-    const double d = DecayFactor(dt);
-    avg_ = avg_ * d + active_fraction * (1.0 - d);
-    last_update_ = now;
+DecayMsTable::DecayMsTable() {
+  for (int n = 0; n < kMsTableSize; ++n) {
+    factor[static_cast<size_t>(n)] = Exp2Decay(static_cast<SimDuration>(n) * kMillisecond);
   }
 }
 
-double PeltSignal::ValueAt(SimTime now) const {
-  const SimDuration dt = now - last_update_;
-  return avg_ * DecayFactor(dt);
-}
+const DecayMsTable kDecayMsTable;
 
+}  // namespace pelt_detail
 }  // namespace nestsim

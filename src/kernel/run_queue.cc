@@ -10,6 +10,10 @@ void RunQueue::Enqueue(Task* task) {
   auto [it, inserted] = queue_.insert({task->vruntime, task});
   (void)it;
   assert(inserted && "task already queued");
+  if (leftmost_ == nullptr ||
+      ByVruntime()({task->vruntime, task}, {leftmost_->vruntime, leftmost_})) {
+    leftmost_ = task;
+  }
   UpdateMinVruntime();
 }
 
@@ -17,14 +21,15 @@ void RunQueue::Dequeue(Task* task) {
   const size_t erased = queue_.erase({task->vruntime, task});
   assert(erased == 1 && "task not queued");
   (void)erased;
+  if (task == leftmost_) {
+    leftmost_ = queue_.empty() ? nullptr : queue_.begin()->second;
+  }
   UpdateMinVruntime();
 }
 
 bool RunQueue::Queued(const Task* task) const {
   return queue_.count({task->vruntime, const_cast<Task*>(task)}) != 0;
 }
-
-Task* RunQueue::Leftmost() const { return queue_.empty() ? nullptr : queue_.begin()->second; }
 
 Task* RunQueue::Rightmost() const { return queue_.empty() ? nullptr : queue_.rbegin()->second; }
 
@@ -39,23 +44,21 @@ std::vector<Task*> RunQueue::QueuedTasks() const {
 }
 
 void RunQueue::UpdateMinVruntime() {
+  // leftmost_->vruntime is exactly queue_.begin()->first, without the tree
+  // descent; this runs after every enqueue/dequeue.
   double candidate = min_vruntime_;
   if (curr_ != nullptr) {
     candidate = std::max(candidate, curr_->vruntime);
-    if (!queue_.empty()) {
-      candidate = std::max(min_vruntime_, std::min(curr_->vruntime, queue_.begin()->first));
+    if (leftmost_ != nullptr) {
+      candidate = std::max(min_vruntime_, std::min(curr_->vruntime, leftmost_->vruntime));
     }
-  } else if (!queue_.empty()) {
-    candidate = std::max(min_vruntime_, queue_.begin()->first);
+  } else if (leftmost_ != nullptr) {
+    candidate = std::max(min_vruntime_, leftmost_->vruntime);
   }
   min_vruntime_ = candidate;
 }
 
-double RunQueue::PlacementLoad(SimTime now) const {
-  const SimDuration dt = now - placement_update_;
-  if (dt <= 0) {
-    return placement_load_;
-  }
+double RunQueue::DecayedPlacementLoad(SimDuration dt) const {
   return placement_load_ * std::exp2(-static_cast<double>(dt) / static_cast<double>(kPlacementHalfLife));
 }
 

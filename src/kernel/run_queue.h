@@ -6,6 +6,7 @@
 #ifndef NESTSIM_SRC_KERNEL_RUN_QUEUE_H_
 #define NESTSIM_SRC_KERNEL_RUN_QUEUE_H_
 
+#include <cstdint>
 #include <set>
 #include <utility>
 #include <vector>
@@ -25,8 +26,10 @@ class RunQueue {
   void Dequeue(Task* task);
   bool Queued(const Task* task) const;
 
-  // The queued task with the smallest vruntime, or nullptr.
-  Task* Leftmost() const;
+  // The queued task with the smallest vruntime, or nullptr. O(1): the
+  // leftmost task is cached across Enqueue/Dequeue (vruntime is immutable
+  // while a task is queued, so the cache only changes on those two ops).
+  Task* Leftmost() const { return leftmost_; }
   // The queued task with the *largest* vruntime (what load balancing steals
   // first: it has waited least recently), or nullptr.
   Task* Rightmost() const;
@@ -78,8 +81,34 @@ class RunQueue {
   void BumpPlacement(SimTime now) {
     placement_load_ = PlacementLoad(now) + 1.0;
     placement_update_ = now;
+    placement_memo_now_ = -1;  // state changed; drop the cached decay
+    ++placement_gen_;
   }
-  double PlacementLoad(SimTime now) const;
+  // Bumped on every placement change; lets callers memoise derived loads per
+  // instant (the utilisation signal cannot change twice within one instant —
+  // PELT updates are no-ops at dt == 0 — so (now, placement_gen) keys the
+  // full load state of this queue).
+  uint64_t placement_gen() const { return placement_gen_; }
+  // Placement scans ask every candidate CPU for this, often several times at
+  // the same instant; cache the last (now -> value) pair so only the first
+  // call per instant pays the exp2.
+  double PlacementLoad(SimTime now) const {
+    // 0 * 2^x == +0.0 for any finite x, so a drained signal skips the exp2.
+    if (placement_load_ == 0.0) {
+      return placement_load_;
+    }
+    const SimDuration dt = now - placement_update_;
+    if (dt <= 0) {
+      return placement_load_;
+    }
+    if (now == placement_memo_now_) {
+      return placement_memo_value_;
+    }
+    const double value = DecayedPlacementLoad(dt);
+    placement_memo_now_ = now;
+    placement_memo_value_ = value;
+    return value;
+  }
 
  private:
   struct ByVruntime {
@@ -92,13 +121,19 @@ class RunQueue {
   };
 
   std::set<std::pair<double, Task*>, ByVruntime> queue_;
+  Task* leftmost_ = nullptr;  // == queue_.begin()->second (nullptr if empty)
   Task* curr_ = nullptr;
   double min_vruntime_ = 0.0;
   bool claimed_ = false;
   SimTime claim_time_ = 0;
   PeltSignal util_;
+  double DecayedPlacementLoad(SimDuration dt) const;
+
   double placement_load_ = 0.0;
   SimTime placement_update_ = 0;
+  uint64_t placement_gen_ = 0;
+  mutable SimTime placement_memo_now_ = -1;
+  mutable double placement_memo_value_ = 0.0;
 
   static constexpr SimDuration kPlacementHalfLife = 10 * kMillisecond;
 };

@@ -36,6 +36,8 @@ class FreqResidencyTracker : public KernelObserver {
  public:
   FreqResidencyTracker(Kernel* kernel, std::vector<double> edges);
 
+  uint32_t InterestMask() const override { return kObsContextSwitch | kObsCpuSpeedChange; }
+
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
   void OnCpuSpeedChange(SimTime now, int cpu) override;
 

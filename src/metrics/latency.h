@@ -16,6 +16,8 @@ class WakeupLatencyTracker : public KernelObserver {
  public:
   WakeupLatencyTracker() = default;
 
+  uint32_t InterestMask() const override { return kObsContextSwitch; }
+
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override {
     (void)cpu;
     (void)prev;

@@ -27,6 +27,8 @@ class TraceRecorder : public KernelObserver {
  public:
   explicit TraceRecorder(Kernel* kernel, size_t max_segments = 2'000'000);
 
+  uint32_t InterestMask() const override { return kObsContextSwitch | kObsCpuSpeedChange; }
+
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
   void OnCpuSpeedChange(SimTime now, int cpu) override;
 

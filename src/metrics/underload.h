@@ -22,6 +22,10 @@ class UnderloadTracker : public KernelObserver {
   // `record_series` keeps the per-interval values (Figure 3-style timeline).
   explicit UnderloadTracker(Kernel* kernel, bool record_series = false);
 
+  uint32_t InterestMask() const override {
+    return kObsTaskCreated | kObsTaskEnqueued | kObsContextSwitch | kObsTaskExit | kObsTick;
+  }
+
   void OnTaskCreated(SimTime now, const Task& task) override;
   void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override;
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;

@@ -19,6 +19,10 @@ class WorkConservationTracker : public KernelObserver {
  public:
   explicit WorkConservationTracker(Kernel* kernel) : kernel_(kernel) {}
 
+  uint32_t InterestMask() const override {
+    return kObsTaskEnqueued | kObsContextSwitch | kObsTick;
+  }
+
   void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override {
     (void)task;
     (void)cpu;
@@ -56,19 +60,10 @@ class WorkConservationTracker : public KernelObserver {
     violating_ = violating_now;
   }
 
-  bool Violating() const {
-    bool any_idle = false;
-    bool any_waiting = false;
-    for (int cpu = 0; cpu < kernel_->topology().num_cpus(); ++cpu) {
-      const RunQueue& rq = kernel_->rq(cpu);
-      any_idle |= rq.Idle();
-      any_waiting |= rq.QueuedCount() > 0;
-      if (any_idle && any_waiting) {
-        return true;
-      }
-    }
-    return false;
-  }
+  // The kernel maintains idle/overloaded CPU masks on every run-queue
+  // mutation, so the violation test is two word-ORs instead of the full
+  // per-CPU scan this used to do at every scheduling event.
+  bool Violating() const { return kernel_->WorkConservationViolated(); }
 
   Kernel* kernel_;
   bool violating_ = false;

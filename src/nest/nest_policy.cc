@@ -121,28 +121,47 @@ int NestPolicy::SearchPrimary(int anchor) {
   const int anchor_die = topo.SocketOf(anchor);
   const int num_cpus = topo.num_cpus();
 
-  // Two passes: the anchor's die first, then everything else; each pass in
-  // numerical order starting from the anchor (§3.1).
-  for (int pass = 0; pass < 2; ++pass) {
-    for (int i = 0; i < num_cpus; ++i) {
-      const int cpu = (anchor + i) % num_cpus;
-      const bool same_die = topo.SocketOf(cpu) == anchor_die;
-      if ((pass == 0) != same_die) {
-        continue;
+  // Visit order (§3.1): the anchor's die first, then everything else; each
+  // group in numerical order starting from the anchor. A single wrapped
+  // traversal handles the on-die group inline and defers off-die cpus to a
+  // scratch list — identical visit order, half the scanning. Deferral is
+  // sound because the on-die side effects (compaction demotes) only mutate
+  // the visited core, and deferred cores are re-examined at their turn.
+  offdie_scratch_.clear();
+  for (int i = 0; i < num_cpus; ++i) {
+    const int cpu = anchor + i < num_cpus ? anchor + i : anchor + i - num_cpus;
+    if (topo.SocketOf(cpu) != anchor_die) {
+      if (cores_[cpu].in_primary) {
+        offdie_scratch_.push_back(cpu);
       }
-      CoreInfo& core = cores_[cpu];
-      if (!core.in_primary) {
-        continue;
-      }
-      if (core.compaction_eligible) {
-        // A task touched an expired core: compaction happens now (§3.1).
-        kernel_->NotifyNestEvent(NestEventKind::kCompact, cpu);
-        DemoteFromPrimary(cpu);
-        continue;
-      }
-      if (kernel_->CpuIdleUnclaimed(cpu)) {
-        return cpu;
-      }
+      continue;
+    }
+    CoreInfo& core = cores_[cpu];
+    if (!core.in_primary) {
+      continue;
+    }
+    if (core.compaction_eligible) {
+      // A task touched an expired core: compaction happens now (§3.1).
+      kernel_->NotifyNestEvent(NestEventKind::kCompact, cpu);
+      DemoteFromPrimary(cpu);
+      continue;
+    }
+    if (kernel_->CpuIdleUnclaimed(cpu)) {
+      return cpu;
+    }
+  }
+  for (int cpu : offdie_scratch_) {
+    CoreInfo& core = cores_[cpu];
+    if (!core.in_primary) {  // re-check: unchanged by on-die demotes, but cheap
+      continue;
+    }
+    if (core.compaction_eligible) {
+      kernel_->NotifyNestEvent(NestEventKind::kCompact, cpu);
+      DemoteFromPrimary(cpu);
+      continue;
+    }
+    if (kernel_->CpuIdleUnclaimed(cpu)) {
+      return cpu;
     }
   }
   return -1;
@@ -159,19 +178,25 @@ int NestPolicy::SearchReserve(int anchor) {
   // started — to limit dispersal (§3.1).
   const int fixed = kernel_->root_cpu() >= 0 ? kernel_->root_cpu() : 0;
 
-  for (int pass = 0; pass < 2; ++pass) {
-    for (int i = 0; i < num_cpus; ++i) {
-      const int cpu = (fixed + i) % num_cpus;
-      const bool same_die = topo.SocketOf(cpu) == anchor_die;
-      if ((pass == 0) != same_die) {
-        continue;
-      }
-      if (!cores_[cpu].in_reserve) {
-        continue;
-      }
-      if (kernel_->CpuIdleUnclaimed(cpu)) {
-        return cpu;
-      }
+  // Same single-traversal structure as SearchPrimary; the reserve scan has
+  // no side effects at all, so deferring off-die cpus is trivially exact.
+  offdie_scratch_.clear();
+  for (int i = 0; i < num_cpus; ++i) {
+    const int cpu = fixed + i < num_cpus ? fixed + i : fixed + i - num_cpus;
+    if (!cores_[cpu].in_reserve) {
+      continue;
+    }
+    if (topo.SocketOf(cpu) != anchor_die) {
+      offdie_scratch_.push_back(cpu);
+      continue;
+    }
+    if (kernel_->CpuIdleUnclaimed(cpu)) {
+      return cpu;
+    }
+  }
+  for (int cpu : offdie_scratch_) {
+    if (kernel_->CpuIdleUnclaimed(cpu)) {
+      return cpu;
     }
   }
   return -1;

@@ -105,6 +105,9 @@ class NestPolicy : public SchedulerPolicy {
   NestParams params_;
   CfsPolicy cfs_;
   std::vector<CoreInfo> cores_;
+  // Reused by SearchPrimary/SearchReserve for the deferred off-die pass;
+  // member to avoid a per-search allocation.
+  std::vector<int> offdie_scratch_;
   int reserve_size_ = 0;
 };
 

@@ -37,6 +37,12 @@ class PerfettoTraceWriter : public KernelObserver {
 
   explicit PerfettoTraceWriter(Kernel* kernel, size_t max_events = 2'000'000);
 
+  uint32_t InterestMask() const override {
+    return kObsContextSwitch | kObsTaskPlaced | kObsTaskEnqueued | kObsReservationCollision |
+           kObsTaskMigrated | kObsNestEvent | kObsIdleSpinStart | kObsIdleSpinEnd |
+           kObsCoreFreqChange | kObsTick;
+  }
+
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
   void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override;
   void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override;

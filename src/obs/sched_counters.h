@@ -84,6 +84,12 @@ class SchedCounterRecorder : public KernelObserver {
       : wc_(kernel),
         prev_freq_ghz_(kernel->topology().num_physical_cores(), -1.0) {}
 
+  uint32_t InterestMask() const override {
+    return kObsTaskPlaced | kObsReservationCollision | kObsTaskMigrated | kObsNestEvent |
+           kObsIdleSpinStart | kObsIdleSpinEnd | kObsCoreFreqChange | kObsTaskEnqueued |
+           kObsContextSwitch | kObsTick;
+  }
+
   void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override {
     (void)now;
     (void)cpu;

@@ -1,0 +1,137 @@
+#include "src/perf/bench_harness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "src/campaign/jsonl_sink.h"
+#include "src/obs/json_check.h"
+
+namespace nestsim {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+std::string BenchFormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+BenchRecord MeasureMedian(const std::string& name, const BenchOptions& options,
+                          const std::function<uint64_t()>& body) {
+  BenchRecord record;
+  record.name = name;
+  for (int i = 0; i < options.warmup; ++i) {
+    body();
+  }
+  std::vector<double> seconds;
+  const int samples = std::max(1, options.samples);
+  seconds.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t ops = body();
+    const double s = SecondsSince(start);
+    assert(ops > 0 && "benchmark body reported zero operations");
+    record.ops = ops;
+    seconds.push_back(s);
+  }
+  std::sort(seconds.begin(), seconds.end());
+  record.samples = samples;
+  record.median_s = seconds[static_cast<size_t>(samples) / 2];
+  if (record.median_s > 0.0 && record.ops > 0) {
+    record.ns_per_op = record.median_s * 1e9 / static_cast<double>(record.ops);
+    record.ops_per_sec = static_cast<double>(record.ops) / record.median_s;
+  }
+  return record;
+}
+
+const BenchRecord* BenchReport::Find(const std::string& name) const {
+  for (const BenchRecord& r : records_) {
+    if (r.name == name) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void BenchReport::PrintTable(FILE* out) const {
+  std::fprintf(out, "%-36s %14s %14s %14s %8s\n", "benchmark", "ops", "ns/op", "ops/sec",
+               "samples");
+  for (const BenchRecord& r : records_) {
+    std::fprintf(out, "%-36s %14llu %14.1f %14.0f %8d\n", r.name.c_str(),
+                 static_cast<unsigned long long>(r.ops), r.ns_per_op, r.ops_per_sec, r.samples);
+  }
+}
+
+std::string BenchReport::ToJson(const std::string& mode,
+                                const std::string& reference_json) const {
+  // Reference ops/sec by record name, when a prior report was supplied.
+  JsonValue reference;
+  bool have_reference = false;
+  if (!reference_json.empty()) {
+    std::string error;
+    have_reference = JsonParse(reference_json, &reference, &error);
+  }
+  auto reference_ops_per_sec = [&](const std::string& name) -> const JsonValue* {
+    if (!have_reference) {
+      return nullptr;
+    }
+    const JsonValue* records = reference.Find("records");
+    if (records == nullptr || !records->is_array()) {
+      return nullptr;
+    }
+    for (const JsonValue& r : records->items) {
+      const JsonValue* rname = r.Find("name");
+      if (rname != nullptr && rname->is_string() && rname->string == name) {
+        const JsonValue* ops = r.Find("ops_per_sec");
+        return ops != nullptr && ops->is_number() ? ops : nullptr;
+      }
+    }
+    return nullptr;
+  };
+
+  std::string out = "{\"schema\":\"nestsim-bench-core-v1\",\"mode\":\"";
+  out += JsonEscape(mode);
+  out += "\",\"records\":[";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"name\":\"";
+    out += JsonEscape(r.name);
+    out += "\",\"ops\":";
+    out += std::to_string(r.ops);
+    out += ",\"samples\":";
+    out += std::to_string(r.samples);
+    out += ",\"median_s\":";
+    out += BenchFormatDouble(r.median_s);
+    out += ",\"ns_per_op\":";
+    out += BenchFormatDouble(r.ns_per_op);
+    out += ",\"ops_per_sec\":";
+    out += BenchFormatDouble(r.ops_per_sec);
+    if (const JsonValue* ref = reference_ops_per_sec(r.name);
+        ref != nullptr && ref->number > 0.0) {
+      out += ",\"speedup_vs_reference\":";
+      out += BenchFormatDouble(r.ops_per_sec / ref->number);
+    }
+    out += '}';
+  }
+  out += ']';
+  if (!reference_json.empty() && have_reference) {
+    out += ",\"reference\":";
+    // Embed the prior report verbatim; it is already a JSON document.
+    out += reference_json;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,285 @@
+#include "src/perf/core_benches.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "src/kernel/pelt.h"
+#include "src/kernel/run_queue.h"
+#include "src/kernel/task.h"
+#include "src/obs/json_check.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/scenario.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace nestsim {
+
+namespace {
+
+// Batch sizes chosen so each micro sample runs a few milliseconds — long
+// enough to swamp clock granularity, short enough for --quick CI runs.
+constexpr int kQueueBatch = 1 << 16;
+constexpr int kHotWindowOps = 1 << 18;
+constexpr int kRunQueueOps = 1 << 17;
+constexpr int kPeltOps = 1 << 18;
+
+// Pending events per push/pop round-trip in the steady-state benchmark;
+// roughly the live-event population of a mid-size simulated machine.
+constexpr int kHotWindowDepth = 1024;
+
+uint64_t EventQueuePushPop(Rng& rng) {
+  EventQueue queue;
+  uint64_t sink = 0;
+  for (int i = 0; i < kQueueBatch; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.NextBounded(1000000000));
+    queue.Push(t, [&sink] { ++sink; });
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  return static_cast<uint64_t>(kQueueBatch) * 2 + (sink - sink);
+}
+
+uint64_t EventQueuePushCancelPop(Rng& rng) {
+  EventQueue queue;
+  uint64_t sink = 0;
+  std::vector<EventId> ids;
+  ids.reserve(kQueueBatch);
+  for (int i = 0; i < kQueueBatch; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.NextBounded(1000000000));
+    ids.push_back(queue.Push(t, [&sink] { ++sink; }));
+  }
+  // The kernel cancels roughly a third of what it schedules (completion
+  // events outlived by blocks/preemptions); cancel a random 3rd here.
+  uint64_t cancelled = 0;
+  for (const EventId id : ids) {
+    if (rng.NextBounded(3) == 0) {
+      cancelled += queue.Cancel(id) ? 1 : 0;
+    }
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  return static_cast<uint64_t>(kQueueBatch) * 2 + cancelled;
+}
+
+uint64_t EventQueueHotWindow(Rng& rng) {
+  EventQueue queue;
+  uint64_t sink = 0;
+  SimTime now = 0;
+  for (int i = 0; i < kHotWindowDepth; ++i) {
+    queue.Push(now + static_cast<SimTime>(rng.NextBounded(1000000)), [&sink] { ++sink; });
+  }
+  for (int i = 0; i < kHotWindowOps; ++i) {
+    EventQueue::Fired fired = queue.Pop();
+    now = fired.time;
+    fired.fn();
+    queue.Push(now + 1 + static_cast<SimTime>(rng.NextBounded(1000000)), [&sink] { ++sink; });
+  }
+  queue.Clear();
+  return static_cast<uint64_t>(kHotWindowOps) * 2 + (sink - sink);
+}
+
+uint64_t RunQueueChurn(Rng& rng) {
+  RunQueue rq;
+  std::vector<Task> tasks(64);
+  std::vector<Task*> queued;
+  std::vector<Task*> idle;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].tid = static_cast<int>(i) + 1;
+    tasks[i].vruntime = rng.NextDouble(0.0, 1e6);
+    idle.push_back(&tasks[i]);
+  }
+  uint64_t ops = 0;
+  const Task* sink = nullptr;
+  for (int i = 0; i < kRunQueueOps; ++i) {
+    const bool enqueue = queued.empty() || (!idle.empty() && rng.NextBool(0.5));
+    if (enqueue) {
+      Task* task = idle.back();
+      idle.pop_back();
+      task->vruntime += rng.NextDouble(0.0, 1e4);
+      rq.Enqueue(task);
+      queued.push_back(task);
+    } else {
+      Task* task = rq.Leftmost();
+      rq.Dequeue(task);
+      for (size_t j = 0; j < queued.size(); ++j) {
+        if (queued[j] == task) {
+          queued[j] = queued.back();
+          queued.pop_back();
+          break;
+        }
+      }
+      idle.push_back(task);
+    }
+    sink = rq.Leftmost();
+    rq.UpdateMinVruntime();
+    ++ops;
+  }
+  return ops + (sink == nullptr ? 0 : 0);
+}
+
+uint64_t PeltUpdates(Rng& rng) {
+  PeltSignal signal;
+  SimTime now = 0;
+  double sink = 0.0;
+  for (int i = 0; i < kPeltOps; ++i) {
+    // Half the updates land on exact tick boundaries (idle CPUs decay in
+    // 4 ms steps), half at ragged event timestamps.
+    now += (i % 2 == 0) ? 4 * kMillisecond
+                        : static_cast<SimDuration>(1 + rng.NextBounded(4 * kMillisecond));
+    signal.Update(now, (i % 4 == 0) ? 1.0 : 0.0);
+    sink += signal.ValueAt(now + static_cast<SimDuration>(rng.NextBounded(kMillisecond)));
+  }
+  return static_cast<uint64_t>(kPeltOps) + (sink < 0.0 ? 1 : 0);
+}
+
+std::string FileStem(const std::string& file) {
+  const size_t slash = file.find_last_of('/');
+  std::string stem = slash == std::string::npos ? file : file.substr(slash + 1);
+  const size_t dot = stem.rfind(".json");
+  if (dot != std::string::npos) {
+    stem.resize(dot);
+  }
+  return stem;
+}
+
+}  // namespace
+
+void RunMicroBenches(const CoreBenchOptions& options, BenchReport* report) {
+  BenchOptions bench;
+  bench.samples = options.micro_samples;
+  struct MicroBench {
+    const char* name;
+    uint64_t (*body)(Rng&);
+  };
+  const MicroBench benches[] = {
+      {"event_queue/push_pop", &EventQueuePushPop},
+      {"event_queue/push_cancel_pop", &EventQueuePushCancelPop},
+      {"event_queue/hot_window", &EventQueueHotWindow},
+      {"run_queue/churn", &RunQueueChurn},
+      {"pelt/update", &PeltUpdates},
+  };
+  for (const MicroBench& b : benches) {
+    report->Add(MeasureMedian(b.name, bench, [&b] {
+      Rng rng(42);  // same op sequence for every sample and every build
+      return b.body(rng);
+    }));
+  }
+}
+
+bool RunGridBench(const std::string& scenario_file, const CoreBenchOptions& options,
+                  BenchReport* report) {
+  const std::string path = ResolveScenarioPath(scenario_file);
+  Scenario scenario;
+  ScenarioError err;
+  if (!LoadScenario(path, &scenario, &err)) {
+    std::fprintf(stderr, "%s\n", err.Join().c_str());
+    return false;
+  }
+  if (options.quick) {
+    // CI-sized slice: one machine, at most 12 evenly spaced rows, same
+    // variants. Quick numbers are only ever compared to other quick numbers
+    // (the record name differs), so the slice just has to be stable.
+    if (scenario.machines.size() > 1) {
+      scenario.machines.resize(1);
+    }
+    constexpr size_t kQuickRows = 12;
+    if (scenario.rows.size() > kQuickRows) {
+      std::vector<ScenarioRow> rows;
+      rows.reserve(kQuickRows);
+      const size_t stride = scenario.rows.size() / kQuickRows;
+      for (size_t i = 0; i < scenario.rows.size() && rows.size() < kQuickRows; i += stride) {
+        rows.push_back(scenario.rows[i]);
+      }
+      scenario.rows = std::move(rows);
+    }
+  }
+
+  ScenarioRunOptions ropts;
+  ropts.repetitions_override = 1;
+  ropts.campaign.jobs = 1;  // serial: wall time must mean per-core throughput
+  ropts.campaign.progress = false;
+  ropts.campaign.jsonl_path.clear();
+  ScenarioRun run;
+  if (!ExpandScenario(scenario, ropts, &run, &err)) {
+    std::fprintf(stderr, "%s\n", err.Join().c_str());
+    return false;
+  }
+
+  bool jobs_ok = true;
+  auto body = [&run, &jobs_ok]() -> uint64_t {
+    ExecuteScenario(&run);
+    uint64_t events = 0;
+    for (const JobOutcome& outcome : run.outcomes) {
+      if (!outcome.ok()) {
+        jobs_ok = false;
+      }
+      for (const ExperimentResult& r : outcome.result.runs) {
+        events += r.events_fired;
+      }
+    }
+    return events > 0 ? events : 1;
+  };
+
+  BenchOptions bench;
+  bench.samples = options.grid_samples > 0 ? options.grid_samples : (options.quick ? 3 : 1);
+  bench.warmup = options.quick ? 1 : 0;
+  std::string name = "grid/" + FileStem(scenario_file);
+  if (options.quick) {
+    name += ":quick";
+  }
+  BenchRecord record = MeasureMedian(name, bench, body);
+  if (!jobs_ok) {
+    std::fprintf(stderr, "nestsim_bench: a job in %s failed\n", path.c_str());
+    return false;
+  }
+  report->Add(std::move(record));
+  return true;
+}
+
+bool CheckPerfFloor(const BenchReport& report, const std::string& floor_json,
+                    std::string* problems) {
+  JsonValue floor;
+  std::string error;
+  if (!JsonParse(floor_json, &floor, &error)) {
+    *problems += "perf floor file is not valid JSON: " + error + "\n";
+    return false;
+  }
+  double max_regression_pct = 25.0;
+  if (const JsonValue* pct = floor.Find("max_regression_pct");
+      pct != nullptr && pct->is_number()) {
+    max_regression_pct = pct->number;
+  }
+  const JsonValue* floors = floor.Find("floors");
+  if (floors == nullptr || !floors->is_object()) {
+    *problems += "perf floor file lacks a \"floors\" object\n";
+    return false;
+  }
+  bool ok = true;
+  for (const auto& [name, value] : floors->members) {
+    if (!value.is_number() || value.number <= 0.0) {
+      *problems += "floor for " + name + " is not a positive number\n";
+      ok = false;
+      continue;
+    }
+    const BenchRecord* record = report.Find(name);
+    if (record == nullptr) {
+      *problems += "floored benchmark " + name + " was not run\n";
+      ok = false;
+      continue;
+    }
+    const double minimum = value.number * (1.0 - max_regression_pct / 100.0);
+    if (record->ops_per_sec < minimum) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s regressed: %.0f ops/sec is more than %.0f%% below the floor %.0f\n",
+                    name.c_str(), record->ops_per_sec, max_regression_pct, value.number);
+      *problems += buf;
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,45 @@
+// The core benchmark suite behind tools/nestsim_bench (docs/BENCHMARKS.md).
+//
+// Microbenchmarks cover the three structures the discrete-event hot path
+// lives in — the cancellable event queue, the vruntime run queue, and the
+// PELT decay math — and grid benchmarks run whole committed scenarios
+// (table4, fig12) end to end, reporting fired simulation events per second.
+// Quick mode shrinks the grids to CI size; the record names gain a ":quick"
+// suffix so quick and full measurements are never compared to each other.
+
+#ifndef NESTSIM_SRC_PERF_CORE_BENCHES_H_
+#define NESTSIM_SRC_PERF_CORE_BENCHES_H_
+
+#include <string>
+
+#include "src/perf/bench_harness.h"
+
+namespace nestsim {
+
+struct CoreBenchOptions {
+  bool quick = false;  // CI-sized grids (first machine, sampled rows)
+  int micro_samples = 5;
+  int grid_samples = 0;  // 0 = default (3 quick, 1 full)
+};
+
+// Event-queue, run-queue, and PELT microbenchmarks.
+void RunMicroBenches(const CoreBenchOptions& options, BenchReport* report);
+
+// Runs the scenario grid in `scenario_file` (resolved via the standard
+// scenario search path) serially on this thread and records fired events per
+// second as "grid/<scenario name>" (":quick" appended in quick mode).
+// Returns false — with a message on stderr — when the scenario cannot be
+// loaded or a job fails.
+bool RunGridBench(const std::string& scenario_file, const CoreBenchOptions& options,
+                  BenchReport* report);
+
+// The regression gate for CI: `floor_json` is baselines/perf_floor.json.
+// Every floored benchmark must be present in `report` with ops_per_sec no
+// more than max_regression_pct below its floor. Returns true when everything
+// holds; otherwise appends one line per problem to `problems`.
+bool CheckPerfFloor(const BenchReport& report, const std::string& floor_json,
+                    std::string* problems);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_PERF_CORE_BENCHES_H_

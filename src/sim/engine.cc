@@ -5,11 +5,6 @@
 
 namespace nestsim {
 
-EventId Engine::ScheduleAt(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule events in the past");
-  return queue_.Push(t, std::move(fn));
-}
-
 bool Engine::Step() {
   if (queue_.Empty()) {
     return false;

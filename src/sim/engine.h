@@ -9,8 +9,10 @@
 #define NESTSIM_SRC_SIM_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <limits>
+
+#include "src/sim/event_fn.h"
+#include <cassert>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/time.h"
@@ -26,10 +28,13 @@ class Engine {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` at absolute time `t`. `t` must be >= Now().
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  EventId ScheduleAt(SimTime t, EventFn fn) {
+    assert(t >= now_ && "cannot schedule events in the past");
+    return queue_.Push(t, std::move(fn));
+  }
 
   // Schedules `fn` to run `delay` from now. `delay` must be >= 0.
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  EventId ScheduleAfter(SimDuration delay, EventFn fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 

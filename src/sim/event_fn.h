@@ -1,0 +1,111 @@
+// Move-only callable for simulation events.
+//
+// Every scheduled event used to carry a std::function<void()>. The kernel's
+// event lambdas capture 16-24 bytes (this + a task pointer + a cpu or
+// generation), which exceeds libstdc++'s 16-byte small-object buffer, so each
+// of the tens of millions of events in a run paid a heap allocation. EventFn
+// is the same idea with a buffer sized for those lambdas: anything up to
+// kInlineSize bytes lives inside the event-queue slot, and only oversized
+// callables fall back to the heap.
+
+#ifndef NESTSIM_SRC_SIM_EVENT_FN_H_
+#define NESTSIM_SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nestsim {
+
+class EventFn {
+ public:
+  // Big enough for every lambda the kernel and hardware schedule today;
+  // larger callables are heap-backed, not rejected.
+  static constexpr size_t kInlineSize = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->move_destroy(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->move_destroy(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  // Drops the callable (and its captures) without invoking it.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move_destroy)(void* src, void* dst);  // src is left destroyed
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* src, void* dst) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* src, void* dst) { *static_cast<D**>(dst) = *static_cast<D**>(src); },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_SIM_EVENT_FN_H_

@@ -1,53 +1,39 @@
 #include "src/sim/event_queue.h"
 
-#include <cassert>
-#include <utility>
-
 namespace nestsim {
 
-EventId EventQueue::Push(SimTime t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
-}
-
 bool EventQueue::Cancel(EventId id) {
-  // Only ids currently in the heap can be cancelled; already-fired and
-  // already-cancelled ids are clean no-ops.
-  return pending_.erase(id) != 0;
-}
-
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
-    heap_.pop();
+  // Only ids currently live can be cancelled; already-fired and
+  // already-cancelled ids fail the generation check and are clean no-ops.
+  if (id == kInvalidEventId) {
+    return false;
   }
-}
-
-SimTime EventQueue::NextTime() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  return heap_.top().time;
-}
-
-EventQueue::Fired EventQueue::Pop() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  // priority_queue::top() returns const&; move out via const_cast is the
-  // standard workaround for move-only payloads. The entry is popped
-  // immediately after, so the moved-from state is never observed.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, top.id, std::move(top.fn)};
-  pending_.erase(fired.id);
-  heap_.pop();
-  return fired;
+  const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) {
+    return false;
+  }
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) {
+    return false;
+  }
+  s.live = false;
+  s.fn.Reset();  // free captures now; the heap entry lingers until popped
+  --live_;
+  return true;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) {
-    heap_.pop();
+  // Every heap entry still owns its slot (slots are released only when their
+  // entry leaves the heap), so release them all.
+  for (const HeapEntry& entry : heap_) {
+    Slot& s = slots_[entry.slot];
+    s.fn.Reset();
+    s.live = false;
+    ReleaseSlot(entry.slot);
   }
-  pending_.clear();
+  heap_.clear();
+  live_ = 0;
 }
 
 }  // namespace nestsim

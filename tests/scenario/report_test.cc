@@ -1,0 +1,72 @@
+#include "src/scenario/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace nestsim {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+TEST(ReportPrintersTest, PrintHeaderFramesTitleAndDescription) {
+  ::testing::internal::CaptureStdout();
+  PrintHeader("Table 4", "per-machine skips/sec");
+  const std::vector<std::string> lines = SplitLines(::testing::internal::GetCapturedStdout());
+  ASSERT_EQ(lines.size(), 4u);
+  // The frame rules are equal-length and identical; title and description
+  // sit between them on their own lines.
+  EXPECT_EQ(lines[0], lines[3]);
+  EXPECT_EQ(lines[0], std::string(62, '='));
+  EXPECT_EQ(lines[1], "Table 4");
+  EXPECT_EQ(lines[2], "per-machine skips/sec");
+}
+
+TEST(ReportPrintersTest, MachineBannerShowsTopologyTriple) {
+  MachineSpec spec;
+  spec.name = "dual_socket_xeon";
+  spec.cpu_model = "Xeon Gold 6130";
+  spec.num_sockets = 2;
+  spec.physical_cores_per_socket = 16;
+  spec.threads_per_core = 2;
+  ::testing::internal::CaptureStdout();
+  PrintMachineBanner(spec);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("dual_socket_xeon"), std::string::npos);
+  EXPECT_NE(out.find("Xeon Gold 6130"), std::string::npos);
+  EXPECT_NE(out.find("2x16x2"), std::string::npos);
+}
+
+TEST(ReportPrintersTest, FormatSpeedupMarksOutsideNoiseBand) {
+  // Within the paper's +/-5% band: padded, no marker (two trailing spaces so
+  // table cells stay the same width in all three cases).
+  EXPECT_EQ(FormatSpeedup(0.0), "  +0.0%  ");
+  EXPECT_EQ(FormatSpeedup(4.9), "  +4.9%  ");
+  EXPECT_EQ(FormatSpeedup(-5.0), "  -5.0%  ");
+  // Outside the band: improvement gets '*', regression gets '!'.
+  EXPECT_EQ(FormatSpeedup(12.3), " +12.3% *");
+  EXPECT_EQ(FormatSpeedup(-9.1), "  -9.1% !");
+}
+
+TEST(ReportPrintersTest, FormatSpeedupCellsShareWidth) {
+  for (double pct : {-123.4, -5.1, -0.1, 0.0, 4.2, 5.1, 99.9}) {
+    EXPECT_EQ(FormatSpeedup(pct).size(), 9u) << pct;
+  }
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -4,6 +4,9 @@
 
 #include <vector>
 
+#include "src/sim/random.h"
+#include "tests/testing/reference_event_queue.h"
+
 namespace nestsim {
 namespace {
 
@@ -141,6 +144,148 @@ TEST(EventQueueTest, ManyCancellationsInterleaved) {
     queue.Pop().fn();
   }
   EXPECT_EQ(fired, 500);
+}
+
+TEST(EventQueueTest, PopAfterCancelSkipsTombstoneAndFiresNextLive) {
+  // Cancelling the heap's front leaves a tombstone; the next Pop must skip it
+  // and return the earliest *live* event with its original time and id.
+  EventQueue queue;
+  const EventId front = queue.Push(10, [] { FAIL() << "cancelled event fired"; });
+  int fired_token = 0;
+  const EventId next = queue.Push(15, [&] { fired_token = 15; });
+  queue.Push(20, [&] { fired_token = 20; });
+  ASSERT_TRUE(queue.Cancel(front));
+  EventQueue::Fired fired = queue.Pop();
+  EXPECT_EQ(fired.time, 15);
+  EXPECT_EQ(fired.id, next);
+  fired.fn();
+  EXPECT_EQ(fired_token, 15);
+  EXPECT_EQ(queue.Size(), 1u);
+}
+
+TEST(EventQueueTest, StaleIdAfterSlotReuseIsNotCancellable) {
+  // Exhaust and refill the queue so internal storage gets recycled; the ids
+  // of long-fired events must stay dead even if their storage was reused.
+  EventQueue queue;
+  std::vector<EventId> old_ids;
+  for (int i = 0; i < 16; ++i) {
+    old_ids.push_back(queue.Push(i, [] {}));
+  }
+  while (!queue.Empty()) {
+    queue.Pop();
+  }
+  std::vector<EventId> new_ids;
+  for (int i = 0; i < 16; ++i) {
+    new_ids.push_back(queue.Push(100 + i, [] {}));
+  }
+  for (EventId id : old_ids) {
+    EXPECT_FALSE(queue.Cancel(id));
+  }
+  EXPECT_EQ(queue.Size(), 16u);
+  for (EventId id : new_ids) {
+    EXPECT_TRUE(queue.Cancel(id));
+  }
+}
+
+TEST(EventQueueTest, SameTimeFifoSurvivesInterleavedPops) {
+  // FIFO stability at one timestamp must hold even when pops and pushes
+  // interleave (the heap reorders internally on every operation).
+  EventQueue queue;
+  std::vector<int> order;
+  int token = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const int t = token++;
+      queue.Push(7, [&order, t] { order.push_back(t); });
+    }
+    queue.Pop().fn();  // pop two, leaving a partial batch behind
+    queue.Pop().fn();
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  ASSERT_EQ(order.size(), static_cast<size_t>(token));
+  for (int i = 0; i < token; ++i) {
+    EXPECT_EQ(order[i], i) << "insertion order broken at position " << i;
+  }
+}
+
+// Randomized differential test: drive the production queue and the
+// pre-optimisation reference implementation with the same operation sequence
+// and require identical observable behaviour — sizes, next-fire times, pop
+// order (including FIFO among equal timestamps), and cancel results.
+TEST(EventQueueTest, RandomizedDifferentialAgainstReference) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    EventQueue queue;
+    nestsim::testing::ReferenceEventQueue reference;
+    // Live handle pairs, indexed by insertion token.
+    std::vector<std::pair<EventId, nestsim::testing::ReferenceEventQueue::Id>> handles;
+    std::vector<bool> handle_live;
+    int next_token = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.5 || queue.Empty()) {
+        // Push at a clustered timestamp so equal times are common.
+        const SimTime t = static_cast<SimTime>(rng.NextBounded(64));
+        const int token = next_token++;
+        (void)token;
+        handles.push_back({queue.Push(t, [] {}), reference.Push(t, [] {})});
+        handle_live.push_back(true);
+      } else if (roll < 0.7) {
+        // Cancel a random handle (possibly already dead).
+        const size_t pick = rng.NextBounded(handles.size());
+        const bool ours = queue.Cancel(handles[pick].first);
+        const bool theirs = reference.Cancel(handles[pick].second);
+        ASSERT_EQ(ours, theirs) << "cancel disagreement at step " << step;
+        if (ours) {
+          handle_live[pick] = false;
+        }
+      } else {
+        ASSERT_EQ(queue.NextTime(), reference.NextTime());
+        const EventQueue::Fired ours = queue.Pop();
+        const auto theirs = reference.Pop();
+        ASSERT_EQ(ours.time, theirs.time) << "pop time diverged at step " << step;
+        // The implementations issue different id encodings, but the *ordinal*
+        // they pop must match: find the token each id belongs to.
+        size_t our_token = handles.size();
+        size_t their_token = handles.size();
+        for (size_t i = 0; i < handles.size(); ++i) {
+          if (handles[i].first == ours.id) {
+            our_token = i;
+          }
+          if (handles[i].second == theirs.id) {
+            their_token = i;
+          }
+        }
+        ASSERT_EQ(our_token, their_token) << "pop order diverged at step " << step;
+        handle_live[our_token] = false;
+      }
+      ASSERT_EQ(queue.Empty(), reference.Empty());
+      ASSERT_EQ(queue.Size(), reference.Size());
+    }
+    // Drain: the full remaining sequence must match.
+    while (!queue.Empty()) {
+      ASSERT_FALSE(reference.Empty());
+      ASSERT_EQ(queue.NextTime(), reference.NextTime());
+      const EventQueue::Fired ours = queue.Pop();
+      const auto theirs = reference.Pop();
+      ASSERT_EQ(ours.time, theirs.time);
+      size_t our_token = handles.size();
+      size_t their_token = handles.size();
+      for (size_t i = 0; i < handles.size(); ++i) {
+        if (handles[i].first == ours.id) {
+          our_token = i;
+        }
+        if (handles[i].second == theirs.id) {
+          their_token = i;
+        }
+      }
+      ASSERT_EQ(our_token, their_token);
+    }
+    EXPECT_TRUE(reference.Empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// The pre-optimisation event queue, kept verbatim as a differential-test
+// oracle. src/sim/event_queue.h replaced this binary-heap-over-
+// std::priority_queue implementation with a 4-ary heap and slot+generation
+// handles; the randomized tests in tests/sim/event_queue_test.cc drive both
+// with the same operation sequence and require identical (time, FIFO) firing
+// order. Do not "fix" or optimise this copy — its value is being the old
+// semantics.
+
+#ifndef NESTSIM_TESTS_TESTING_REFERENCE_EVENT_QUEUE_H_
+#define NESTSIM_TESTS_TESTING_REFERENCE_EVENT_QUEUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nestsim::testing {
+
+// Ids count up from 1, exactly like the original EventId issue order.
+class ReferenceEventQueue {
+ public:
+  using Id = uint64_t;
+
+  Id Push(SimTime t, std::function<void()> fn) {
+    const Id id = next_id_++;
+    heap_.push(Entry{t, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+  }
+
+  bool Cancel(Id id) { return pending_.erase(id) != 0; }
+
+  bool Empty() const { return pending_.empty(); }
+  size_t Size() const { return pending_.size(); }
+
+  SimTime NextTime() {
+    SkipCancelled();
+    assert(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  struct Fired {
+    SimTime time;
+    Id id;
+    std::function<void()> fn;
+  };
+
+  Fired Pop() {
+    SkipCancelled();
+    assert(!heap_.empty());
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Fired fired{top.time, top.id, std::move(top.fn)};
+    pending_.erase(fired.id);
+    heap_.pop();
+    return fired;
+  }
+
+  void Clear() {
+    while (!heap_.empty()) {
+      heap_.pop();
+    }
+    pending_.clear();
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    Id id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() {
+    while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<Id> pending_;
+  Id next_id_ = 1;
+};
+
+}  // namespace nestsim::testing
+
+#endif  // NESTSIM_TESTS_TESTING_REFERENCE_EVENT_QUEUE_H_

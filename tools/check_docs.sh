@@ -16,7 +16,9 @@
 #   8. every config-override key the scenario engine accepts is documented in
 #      docs/SCENARIOS.md;
 #   9. every invariant name the checker can emit is documented in
-#      docs/TESTING.md, and docs/TESTING.md is linked from README.md.
+#      docs/TESTING.md, and docs/TESTING.md is linked from README.md;
+#  10. docs/BENCHMARKS.md is linked from README.md, and every benchmark
+#      record name the perf suite emits is documented there.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -123,6 +125,26 @@ if ! grep -q 'docs/TESTING.md' README.md; then
   echo "FAIL: README.md does not link docs/TESTING.md"
   fail=1
 fi
+
+# 10. The benchmark reference is reachable, and every microbenchmark name in
+#     the suite (quoted "family/name" literals) plus the grid record prefix is
+#     documented.
+if ! grep -q 'docs/BENCHMARKS.md' README.md; then
+  echo "FAIL: README.md does not link docs/BENCHMARKS.md"
+  fail=1
+fi
+for name in $(grep -ohE '"[a-z_]+/[a-z_]+"' src/perf/core_benches.cc                 | sed 's/"//g' | sort -u); do
+  if ! grep -q "\`$name\`" docs/BENCHMARKS.md; then
+    echo "FAIL: benchmark '$name' is emitted but not documented in docs/BENCHMARKS.md"
+    fail=1
+  fi
+done
+for name in "grid/table4" "grid/fig12"; do
+  if ! grep -q "$name" docs/BENCHMARKS.md; then
+    echo "FAIL: grid record '$name' is not documented in docs/BENCHMARKS.md"
+    fail=1
+  fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-consistency check FAILED"

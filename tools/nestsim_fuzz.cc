@@ -25,6 +25,7 @@
 #include "src/check/differential.h"
 #include "src/check/generator.h"
 #include "src/check/shrink.h"
+#include "tools/cli_num.h"
 
 using namespace nestsim;
 
@@ -88,7 +89,9 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (arg == "--runs") {
       const char* v = next();
-      if (v == nullptr || (runs = std::atol(v)) <= 0) {
+      if (v == nullptr || !ParseCliInt(v, 1, LONG_MAX, &runs)) {
+        std::fprintf(stderr, "nestsim_fuzz: --runs needs a positive integer, got '%s'\n",
+                     v == nullptr ? "" : v);
         return Usage(argv[0]);
       }
     } else if (arg == "--base-seed") {
@@ -107,12 +110,16 @@ int main(int argc, char** argv) {
       repro_dir = v;
     } else if (arg == "--jobs") {
       const char* v = next();
-      if (v == nullptr || (diff.parallel_jobs = std::atoi(v)) <= 0) {
+      if (v == nullptr || !ParseCliPositiveInt(v, &diff.parallel_jobs)) {
+        std::fprintf(stderr, "nestsim_fuzz: --jobs needs a positive integer, got '%s'\n",
+                     v == nullptr ? "" : v);
         return Usage(argv[0]);
       }
     } else if (arg == "--band") {
       const char* v = next();
-      if (v == nullptr || (diff.neutrality_band = std::atof(v)) <= 0) {
+      if (v == nullptr || !ParseCliPositiveDouble(v, &diff.neutrality_band)) {
+        std::fprintf(stderr, "nestsim_fuzz: --band needs a positive number, got '%s'\n",
+                     v == nullptr ? "" : v);
         return Usage(argv[0]);
       }
     } else if (arg == "--mutate") {
@@ -126,7 +133,9 @@ int main(int argc, char** argv) {
       };
     } else if (arg == "--gen-corpus") {
       const char* v = next();
-      if (v == nullptr || (gen_corpus = std::atol(v)) <= 0) {
+      if (v == nullptr || !ParseCliInt(v, 1, LONG_MAX, &gen_corpus)) {
+        std::fprintf(stderr, "nestsim_fuzz: --gen-corpus needs a positive integer, got '%s'\n",
+                     v == nullptr ? "" : v);
         return Usage(argv[0]);
       }
     } else {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/governors/governors.h"
+#include "tools/cli_num.h"
 #include "src/hw/machine_spec.h"
 #include "src/scenario/baseline.h"
 #include "src/scenario/registry.h"
@@ -124,16 +125,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--wall-tolerance") {
       wall_tolerance = std::atof(value("--wall-tolerance"));
     } else if (arg == "--reps") {
-      options.repetitions_override = std::atoi(value("--reps"));
-      if (options.repetitions_override <= 0) {
-        std::fprintf(stderr, "--reps needs a positive integer\n");
+      const char* v = value("--reps");
+      if (!ParseCliPositiveInt(v, &options.repetitions_override)) {
+        std::fprintf(stderr, "--reps needs a positive integer, got '%s'\n", v);
         return 2;
       }
     } else if (arg == "--base-seed") {
       options.has_base_seed = true;
       options.base_seed = std::strtoull(value("--base-seed"), nullptr, 10);
     } else if (arg == "--timeout") {
-      options.timeout_override_s = std::atof(value("--timeout"));
+      const char* v = value("--timeout");
+      if (!ParseCliPositiveDouble(v, &options.timeout_override_s)) {
+        std::fprintf(stderr, "--timeout needs a positive number of seconds, got '%s'\n", v);
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage(argv[0]);
