@@ -58,7 +58,8 @@ JobOutcome ExecuteJob(const Job& job) {
       if (timed) {
         config.should_abort = [deadline] { return Clock::now() >= deadline; };
       }
-      ExperimentResult r = RunExperiment(config, *job.model);
+      ExperimentResult r =
+          job.runner ? job.runner(config, *job.model) : RunExperiment(config, *job.model);
       timed_out = r.aborted;
       if (!timed_out) {
         runs.push_back(std::move(r));

@@ -8,6 +8,7 @@
 #ifndef NESTSIM_SRC_CAMPAIGN_JOB_H_
 #define NESTSIM_SRC_CAMPAIGN_JOB_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -38,6 +39,11 @@ struct Job {
   int repetitions = 1;
   uint64_t base_seed = 1;
   double timeout_s = 0.0;  // wall-clock budget for the whole job; 0 = unlimited
+
+  // Optional alternative runner (the cluster layer installs
+  // RunClusterExperiment here); empty means plain RunExperiment. Must be
+  // thread-safe across concurrent jobs, like the workload model.
+  std::function<ExperimentResult(const ExperimentConfig&, const Workload&)> runner;
 };
 
 struct JobOutcome {

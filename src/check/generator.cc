@@ -154,6 +154,29 @@ JsonValue PhoronixParams(Rng& rng) {
   return p;
 }
 
+// Open-loop request traffic for cluster scenarios; rates and durations are
+// kept low so a fleet of up to 4 machines stays cheap per fuzz iteration.
+JsonValue RequestsParams(Rng& rng) {
+  JsonValue p = Obj();
+  Add(p, "rate_per_s", Num(Uniform(rng, 50.0, 400.0)));
+  Add(p, "arrivals", Str(rng.NextBool(0.3) ? "bursty" : "poisson"));
+  Add(p, "duration_s", Num(Uniform(rng, 0.05, 0.3)));
+  Add(p, "service_ms", Num(Uniform(rng, 0.1, 2.0)));
+  Add(p, "service_sigma", Num(Uniform(rng, 0.0, 1.0)));
+  if (rng.NextBool(0.3)) {
+    Add(p, "io_pause_ms", Num(Uniform(rng, 0.0, 1.0)));
+  }
+  if (rng.NextBool(0.3)) {
+    Add(p, "fanout", Num(IntIn(rng, 1, 3)));
+    Add(p, "fanout_service_ms", Num(Uniform(rng, 0.05, 0.5)));
+  }
+  if (rng.NextBool(0.2)) {
+    Add(p, "diurnal_depth", Num(Uniform(rng, 0.1, 0.8)));
+    Add(p, "diurnal_period_s", Num(Uniform(rng, 0.05, 0.2)));
+  }
+  return p;
+}
+
 JsonValue ServerParams(Rng& rng) {
   static const char* kStyles[] = {"thread_per_request", "event_loop", "key_value_store"};
   JsonValue p = Obj();
@@ -275,9 +298,17 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   }
   Add(spec, "variants", variants);
 
+  // A quarter of the scenarios run as a cluster (src/cluster/): the fleet
+  // requires the open-loop "requests" family, so the cluster draw happens
+  // before the workload draw and pins the family when it fires.
+  const bool cluster = rng.NextBool(0.25);
+
   // Workload: one custom row; occasionally a multi composition.
   JsonValue workload = Obj();
-  if (rng.NextBool(0.15)) {
+  if (cluster) {
+    Add(workload, "family", Str("requests"));
+    Add(workload, "params", RequestsParams(rng));
+  } else if (rng.NextBool(0.15)) {
     JsonValue members = Arr();
     const int count = IntIn(rng, 2, 3);
     for (int i = 0; i < count; ++i) {
@@ -298,6 +329,14 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
     Add(workload, "params", params);
   }
   Add(spec, "workload", workload);
+
+  if (cluster) {
+    static const char* kRouters[] = {"passthrough", "round-robin", "least-loaded", "power-aware"};
+    JsonValue block = Obj();
+    Add(block, "machines", Num(IntIn(rng, 1, 4)));
+    Add(block, "router", Str(kRouters[IntIn(rng, 0, 3)]));
+    Add(spec, "cluster", block);
+  }
 
   Add(spec, "repetitions", Num(1));
   Add(spec, "base_seed", Num(1 + static_cast<double>(rng.NextBounded(1000000))));

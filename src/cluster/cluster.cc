@@ -1,0 +1,395 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/check/invariant_checker.h"
+#include "src/cluster/router.h"
+#include "src/metrics/freq_hist.h"
+#include "src/metrics/latency.h"
+#include "src/metrics/stats.h"
+#include "src/metrics/underload.h"
+#include "src/obs/perfetto_trace.h"
+#include "src/workloads/requests.h"
+
+namespace nestsim {
+
+ClusterModel::ClusterModel(Engine* engine, const ExperimentConfig& config, int machines) {
+  const MachineSpec& spec = MachineByName(config.machine);
+  machines_.reserve(static_cast<size_t>(machines));
+  for (int m = 0; m < machines; ++m) {
+    machines_.push_back(std::make_unique<MachineModel>(engine, spec, config));
+  }
+  for (const auto& machine : machines_) {
+    kernels_.push_back(&machine->kernel);
+    hardware_.push_back(&machine->hw);
+  }
+}
+
+namespace {
+
+// Per-tag/per-machine last task exit (the same observer RunExperiment uses).
+class CompletionObserver : public KernelObserver {
+ public:
+  uint32_t InterestMask() const override { return kObsTaskExit; }
+
+  void OnTaskExit(SimTime now, const Task& task) override {
+    last_exit_ = std::max(last_exit_, now);
+    auto [it, inserted] = tag_last_exit_.try_emplace(task.tag, now);
+    if (!inserted) {
+      it->second = std::max(it->second, now);
+    }
+  }
+
+  SimTime last_exit() const { return last_exit_; }
+  const std::map<int, SimDuration>& tag_last_exit() const { return tag_last_exit_; }
+
+ private:
+  SimTime last_exit_ = 0;
+  std::map<int, SimDuration> tag_last_exit_;
+};
+
+// Progress of one injected request part, shared between the per-machine
+// trackers and the final report.
+struct PartProgress {
+  SimTime first_run = -1;  // first time the part's task got a CPU
+  SimTime exit = -1;       // task exit
+};
+
+// Maps this machine's injected tids to plan part indices and records when
+// each part first ran and when it exited. Purely observational.
+class RequestTracker : public KernelObserver {
+ public:
+  explicit RequestTracker(std::vector<PartProgress>* progress) : progress_(progress) {}
+
+  uint32_t InterestMask() const override { return kObsContextSwitch | kObsTaskExit; }
+
+  void Track(int tid, size_t part_index) { parts_by_tid_[tid] = part_index; }
+
+  void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override {
+    (void)cpu;
+    (void)prev;
+    if (next == nullptr) {
+      return;
+    }
+    const auto it = parts_by_tid_.find(next->tid);
+    if (it != parts_by_tid_.end() && (*progress_)[it->second].first_run < 0) {
+      (*progress_)[it->second].first_run = now;
+    }
+  }
+
+  void OnTaskExit(SimTime now, const Task& task) override {
+    const auto it = parts_by_tid_.find(task.tid);
+    if (it != parts_by_tid_.end()) {
+      (*progress_)[it->second].exit = now;
+    }
+  }
+
+ private:
+  std::vector<PartProgress>* progress_;
+  std::unordered_map<int, size_t> parts_by_tid_;
+};
+
+std::string TraceDir(const ExperimentConfig& config) {
+  if (!config.trace_dir.empty()) {
+    return config.trace_dir;
+  }
+  const char* env = std::getenv("NESTSIM_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string SanitizeStem(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += ok ? c : '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const ExperimentConfig& config,
+                                      const Workload& workload) {
+  const auto* requests = dynamic_cast<const RequestWorkload*>(&workload);
+  if (requests == nullptr) {
+    throw std::runtime_error("cluster runs need a \"requests\" workload, got " + workload.name());
+  }
+  std::unique_ptr<RequestRouter> router = MakeRouter(cluster.router);
+  if (router == nullptr) {
+    throw std::runtime_error("unknown cluster router \"" + cluster.router + "\"");
+  }
+  if (cluster.machines < 1) {
+    throw std::runtime_error("cluster needs at least one machine");
+  }
+
+  Engine engine;
+  const MachineSpec& spec = MachineByName(config.machine);
+  const int n = cluster.machines;
+  ClusterModel model(&engine, config, n);
+
+  // Per-machine observers, mirroring RunExperiment's set so a 1-machine
+  // cluster measures exactly what the single-machine path measures.
+  std::vector<PartProgress> progress;
+  std::vector<CompletionObserver> completion(static_cast<size_t>(n));
+  std::vector<std::unique_ptr<UnderloadTracker>> underload;
+  std::vector<std::unique_ptr<FreqResidencyTracker>> freq;
+  std::vector<std::unique_ptr<SchedCounterRecorder>> counters;
+  std::vector<std::unique_ptr<RequestTracker>> trackers;
+  std::vector<std::unique_ptr<PerfettoTraceWriter>> perfetto;
+  std::vector<std::unique_ptr<WakeupLatencyTracker>> latency;
+  std::vector<std::unique_ptr<InvariantChecker>> checkers;
+  const std::string trace_dir = TraceDir(config);
+  const bool check = CheckInvariantsEnabled(config);
+  for (int m = 0; m < n; ++m) {
+    Kernel& kernel = model.machine(m).kernel;
+    kernel.AddObserver(&completion[static_cast<size_t>(m)]);
+    underload.push_back(std::make_unique<UnderloadTracker>(&kernel, config.record_underload_series));
+    kernel.AddObserver(underload.back().get());
+    freq.push_back(std::make_unique<FreqResidencyTracker>(&kernel, FreqBucketEdgesFor(spec)));
+    kernel.AddObserver(freq.back().get());
+    counters.push_back(std::make_unique<SchedCounterRecorder>(&kernel));
+    kernel.AddObserver(counters.back().get());
+    trackers.push_back(std::make_unique<RequestTracker>(&progress));
+    kernel.AddObserver(trackers.back().get());
+    if (!trace_dir.empty()) {
+      perfetto.push_back(std::make_unique<PerfettoTraceWriter>(&kernel));
+      kernel.AddObserver(perfetto.back().get());
+    }
+    if (config.record_latency) {
+      latency.push_back(std::make_unique<WakeupLatencyTracker>());
+      kernel.AddObserver(latency.back().get());
+    }
+    if (check) {
+      checkers.push_back(std::make_unique<InvariantChecker>(&kernel));
+      kernel.AddObserver(checkers.back().get());
+    }
+    kernel.Start();
+  }
+
+  // Same stream the single-machine Setup path uses: one Fork() off the seed.
+  Rng rng(config.seed);
+  Rng wl_rng = rng.Fork();
+  const RequestPlan plan = requests->BuildPlan(wl_rng);
+  progress.resize(plan.parts.size());
+
+  // One engine event per part, scheduled in plan (arrival) order — the same
+  // insertion order Kernel::ScheduleInjection would produce, so a 1-machine
+  // passthrough cluster replays the exact single-machine event sequence. The
+  // router runs inside the arrival event so load-aware policies see live
+  // state; the traffic itself was drawn above and cannot be perturbed.
+  int64_t pending = static_cast<int64_t>(plan.parts.size());
+  std::vector<uint64_t> routed(static_cast<size_t>(n), 0);
+  const int tag = requests->tag();
+  for (size_t i = 0; i < plan.parts.size(); ++i) {
+    const RequestPart& part = plan.parts[i];
+    engine.ScheduleAt(part.arrival, [&model, &plan, &routed, &trackers, &router, &pending, tag,
+                                     i] {
+      --pending;
+      const RequestPart& p = plan.parts[i];
+      const int m = router->Route(model.kernels(), model.hardware());
+      ++routed[static_cast<size_t>(m)];
+      Task* task = model.machine(m).kernel.InjectTask(p.program, p.name, tag);
+      trackers[static_cast<size_t>(m)]->Track(task->tid, i);
+    });
+  }
+
+  auto fleet_live = [&] {
+    if (pending > 0) {
+      return true;
+    }
+    for (int m = 0; m < n; ++m) {
+      if (model.machine(m).kernel.live_tasks() > 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto checkers_ok = [&] {
+    for (const auto& checker : checkers) {
+      if (!checker->ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  ExperimentResult result;
+  constexpr int kAbortCheckStride = 2048;
+  int until_abort_check = kAbortCheckStride;
+  while (fleet_live() && engine.Now() < config.time_limit) {
+    if (--until_abort_check <= 0) {
+      until_abort_check = kAbortCheckStride;
+      if (config.should_abort && config.should_abort()) {
+        result.aborted = true;
+        break;
+      }
+      if (!checkers.empty() && !checkers_ok()) {
+        break;  // fail fast; the throw below carries the report
+      }
+    }
+    if (!engine.Step()) {
+      break;
+    }
+  }
+  for (size_t m = 0; m < checkers.size(); ++m) {
+    if (!checkers[m]->ok()) {
+      throw std::runtime_error("invariant violation (cluster machine " + std::to_string(m) +
+                               ", " + config.machine + ", " +
+                               SchedulerKindKey(config.scheduler) + "/" + config.governor +
+                               ", seed " + std::to_string(config.seed) + "):\n" +
+                               checkers[m]->Report());
+    }
+  }
+  result.hit_time_limit = fleet_live() && !result.aborted;
+
+  SimTime last_exit = 0;
+  for (int m = 0; m < n; ++m) {
+    last_exit = std::max(last_exit, completion[static_cast<size_t>(m)].last_exit());
+  }
+  const SimTime end = last_exit > 0 ? last_exit : engine.Now();
+  result.makespan = end;
+  result.events_fired = engine.events_fired();
+
+  const int cpus_per_machine = model.machine(0).hw.topology().num_cpus();
+  std::vector<FreqHistogram> machine_hist;
+  for (int m = 0; m < n; ++m) {
+    MachineModel& machine = model.machine(m);
+    result.energy_joules += machine.hw.EnergyJoules();
+    result.context_switches += machine.kernel.context_switches();
+    result.migrations += machine.kernel.total_migrations();
+    result.tasks_created += static_cast<int>(machine.kernel.tasks().size());
+    for (const auto& [t, when] : completion[static_cast<size_t>(m)].tag_last_exit()) {
+      auto [it, inserted] = result.tag_makespan.try_emplace(t, when);
+      if (!inserted) {
+        it->second = std::max(it->second, when);
+      }
+    }
+    machine_hist.push_back(freq[static_cast<size_t>(m)]->Snapshot(end));
+    if (m == 0) {
+      result.freq_hist = machine_hist.back();
+    } else {
+      for (size_t b = 0; b < result.freq_hist.seconds.size(); ++b) {
+        result.freq_hist.seconds[b] += machine_hist.back().seconds[b];
+      }
+    }
+    for (const int cpu : underload[static_cast<size_t>(m)]->CpusEverUsed()) {
+      result.cpus_used.push_back(m * cpus_per_machine + cpu);
+    }
+    result.counters.Add(counters[static_cast<size_t>(m)]->Finish(end));
+    if (config.scheduler == SchedulerKind::kSmove) {
+      const auto* smove = static_cast<const SmovePolicy*>(machine.policy.get());
+      result.smove_moves_armed += smove->moves_armed();
+      result.smove_moves_fired += smove->moves_fired();
+    }
+  }
+  {
+    std::vector<double> per_machine_underload;
+    for (int m = 0; m < n; ++m) {
+      per_machine_underload.push_back(
+          underload[static_cast<size_t>(m)]->UnderloadPerSecond(end));
+    }
+    result.underload_per_s = Mean(per_machine_underload);
+  }
+  if (config.record_underload_series) {
+    result.underload_series = underload[0]->series();
+  }
+  if (config.record_latency) {
+    LatencyDistribution wakeups;
+    for (const auto& tracker : latency) {
+      for (const double us : tracker->samples_us()) {
+        wakeups.Add(us);
+      }
+    }
+    result.p50_wakeup_latency_us = wakeups.PercentileAt(50.0);
+    result.p99_wakeup_latency_us = wakeups.PercentileAt(99.0);
+  }
+  for (size_t m = 0; m < perfetto.size(); ++m) {
+    perfetto[m]->Finish(end);
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    std::string stem = config.trace_label;
+    if (stem.empty()) {
+      stem = config.machine;
+      stem += '-';
+      stem += SchedulerKindName(config.scheduler);
+      stem += '-';
+      stem += config.governor;
+    }
+    stem += "-m" + std::to_string(m);
+    const std::string path = trace_dir + "/" + SanitizeStem(stem) + "-seed" +
+                             std::to_string(config.seed) + ".json";
+    if (perfetto[m]->WriteFile(path)) {
+      if (result.trace_file.empty()) {
+        result.trace_file = path;
+      }
+    } else {
+      std::fprintf(stderr, "[trace] cannot write %s\n", path.c_str());
+    }
+  }
+
+  // ---- Serving metrics. ----
+  ClusterStats& stats = result.cluster;
+  stats.num_machines = n;
+  stats.router = router->name();
+  stats.requests_offered = plan.requests;
+
+  // A request completes when every part (parent + fan-out subs) exited.
+  // Parts are plan-ordered request-major, so one linear walk groups them.
+  LatencyDistribution e2e_ms;
+  std::vector<double> queue_ms;
+  std::vector<double> service_ms;
+  size_t i = 0;
+  while (i < plan.parts.size()) {
+    const uint64_t req = plan.parts[i].request;
+    const SimTime arrival = plan.parts[i].arrival;
+    bool complete = true;
+    SimTime req_last_exit = 0;
+    while (i < plan.parts.size() && plan.parts[i].request == req) {
+      const PartProgress& p = progress[i];
+      if (p.exit < 0) {
+        complete = false;
+      } else {
+        req_last_exit = std::max(req_last_exit, p.exit);
+        if (p.first_run >= 0) {
+          queue_ms.push_back(ToMilliseconds(p.first_run - arrival));
+          service_ms.push_back(ToMilliseconds(p.exit - p.first_run));
+        }
+      }
+      ++i;
+    }
+    if (complete) {
+      ++stats.requests_completed;
+      e2e_ms.Add(ToMilliseconds(req_last_exit - arrival));
+    }
+  }
+  stats.p50_ms = e2e_ms.PercentileAt(50.0);
+  stats.p99_ms = e2e_ms.PercentileAt(99.0);
+  stats.p999_ms = e2e_ms.PercentileAt(99.9);
+  stats.mean_ms = e2e_ms.mean();
+  stats.max_ms = e2e_ms.max();
+  stats.mean_queue_ms = Mean(queue_ms);
+  stats.mean_service_ms = Mean(service_ms);
+
+  const double horizon_s = ToSeconds(end);
+  for (int m = 0; m < n; ++m) {
+    ClusterMachineStats ms;
+    ms.requests_routed = routed[static_cast<size_t>(m)];
+    if (horizon_s > 0.0 && cpus_per_machine > 0) {
+      ms.utilisation = machine_hist[static_cast<size_t>(m)].TotalSeconds() /
+                       (static_cast<double>(cpus_per_machine) * horizon_s);
+    }
+    ms.underload_per_s = underload[static_cast<size_t>(m)]->UnderloadPerSecond(end);
+    stats.machines.push_back(ms);
+  }
+  return result;
+}
+
+}  // namespace nestsim

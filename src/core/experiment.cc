@@ -105,8 +105,8 @@ std::string SanitizeStem(const std::string& in) {
   return out;
 }
 
-// The config flag, overridable either way by NESTSIM_CHECK_INVARIANTS
-// ("1"/"0"); the test suite exports =1 so every test runs checked.
+}  // namespace
+
 bool CheckInvariantsEnabled(const ExperimentConfig& config) {
   const char* env = std::getenv("NESTSIM_CHECK_INVARIANTS");
   if (env != nullptr && env[0] != '\0') {
@@ -115,7 +115,7 @@ bool CheckInvariantsEnabled(const ExperimentConfig& config) {
   return config.check_invariants;
 }
 
-std::unique_ptr<SchedulerPolicy> MakePolicy(const ExperimentConfig& config) {
+std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(const ExperimentConfig& config) {
   switch (config.scheduler) {
     case SchedulerKind::kCfs:
       return std::make_unique<CfsPolicy>();
@@ -127,13 +127,11 @@ std::unique_ptr<SchedulerPolicy> MakePolicy(const ExperimentConfig& config) {
   return nullptr;
 }
 
-}  // namespace
-
 ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& workload) {
   Engine engine;
   const MachineSpec& spec = MachineByName(config.machine);
   HardwareModel hw(&engine, spec);
-  std::unique_ptr<SchedulerPolicy> policy = MakePolicy(config);
+  std::unique_ptr<SchedulerPolicy> policy = MakeSchedulerPolicy(config);
   std::unique_ptr<Governor> governor = MakeGovernor(config.governor);
   Kernel kernel(&engine, &hw, policy.get(), governor.get(), config.kernel);
 
@@ -174,13 +172,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   workload.Setup(kernel, rng);
 
   ExperimentResult result;
-  // Pump events until every task exited. The hardware's periodic updates keep
-  // the queue non-empty forever, so the live-task count is the loop
-  // condition. The abort hook is polled on a stride so the steady-clock read
-  // stays off the per-event path.
+  // Pump events until every task exited and no open-loop arrival is still in
+  // flight. The hardware's periodic updates keep the queue non-empty forever,
+  // so the live-task count is the loop condition. The abort hook is polled on
+  // a stride so the steady-clock read stays off the per-event path.
   constexpr int kAbortCheckStride = 2048;
   int until_abort_check = kAbortCheckStride;
-  while (kernel.live_tasks() > 0 && engine.Now() < config.time_limit) {
+  while ((kernel.live_tasks() > 0 || kernel.pending_injections() > 0) &&
+         engine.Now() < config.time_limit) {
     if (--until_abort_check <= 0) {
       until_abort_check = kAbortCheckStride;
       if (config.should_abort && config.should_abort()) {
@@ -201,7 +200,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
                              ", seed " + std::to_string(config.seed) + "):\n" +
                              checker->Report());
   }
-  result.hit_time_limit = kernel.live_tasks() > 0 && !result.aborted;
+  result.hit_time_limit =
+      (kernel.live_tasks() > 0 || kernel.pending_injections() > 0) && !result.aborted;
 
   const SimTime end = completion.last_exit() > 0 ? completion.last_exit() : engine.Now();
   result.makespan = end;

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,39 @@ struct ExperimentConfig {
   std::string Label() const;
 };
 
+// Per-machine slice of a cluster run (src/cluster/). Plain data so results
+// stay copyable across the campaign worker pool.
+struct ClusterMachineStats {
+  uint64_t requests_routed = 0;   // parts the router sent to this machine
+  double utilisation = 0.0;       // busy-cpu-time / (cpus * horizon)
+  double underload_per_s = 0.0;
+};
+
+// Cluster-level serving metrics. num_machines == 0 means "not a cluster run"
+// and every consumer (tables, baselines, JSONL) skips the block entirely, so
+// single-machine results and their golden digests are untouched.
+struct ClusterStats {
+  int num_machines = 0;
+  std::string router;
+
+  uint64_t requests_offered = 0;    // arrivals scheduled (parent requests)
+  uint64_t requests_completed = 0;  // all parts exited before the horizon
+
+  // End-to-end request latency (arrival to last-part exit), milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  // Queueing-vs-service breakdown, means across completed parts: wait is
+  // arrival to first run, service is first run to exit.
+  double mean_queue_ms = 0.0;
+  double mean_service_ms = 0.0;
+
+  std::vector<ClusterMachineStats> machines;
+};
+
 struct ExperimentResult {
   SimDuration makespan = 0;       // last task exit (all tags)
   double energy_joules = 0.0;     // CPU energy over the run
@@ -119,11 +153,22 @@ struct ExperimentResult {
   int64_t smove_moves_armed = 0;
   int64_t smove_moves_fired = 0;
 
+  // Cluster-only (src/cluster/): populated when num_machines > 0.
+  ClusterStats cluster;
+
   double seconds() const { return ToSeconds(makespan); }
 };
 
 // Runs one seeded simulation of `workload` under `config`.
 ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& workload);
+
+// Builds the policy instance the config names. Exposed so the cluster runner
+// (src/cluster/) constructs per-machine stacks exactly like RunExperiment.
+std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(const ExperimentConfig& config);
+
+// The config flag, overridable either way by NESTSIM_CHECK_INVARIANTS
+// ("1"/"0"); the test suite exports =1 so every test runs checked.
+bool CheckInvariantsEnabled(const ExperimentConfig& config);
 
 struct RepeatedResult {
   std::vector<ExperimentResult> runs;

@@ -91,6 +91,29 @@ Task* Kernel::SpawnInitial(ProgramPtr program, std::string name, int tag, int cp
   return task;
 }
 
+Task* Kernel::InjectTask(ProgramPtr program, std::string name, int tag) {
+  assert(started_ && "call Start() before injecting tasks");
+  // A request arrives via interrupt on the boot CPU; placement history starts
+  // there, mirroring how a fork starts at the parent's core.
+  if (root_cpu_ < 0) {
+    root_cpu_ = 0;
+  }
+  Task* task = NewTask(std::move(program), std::move(name), tag, /*parent=*/nullptr);
+  task->prev_cpu = root_cpu_;
+  const int cpu = policy_->SelectCpuFork(*task, task->prev_cpu);
+  PlaceTask(task, cpu, /*is_fork=*/true);
+  return task;
+}
+
+void Kernel::ScheduleInjection(SimTime when, ProgramPtr program, std::string name, int tag) {
+  ++pending_injections_;
+  // ProgramPtr is a shared_ptr, so the capture keeps the program alive.
+  engine_->ScheduleAt(when, [this, program = std::move(program), name = std::move(name), tag]() mutable {
+    --pending_injections_;
+    InjectTask(std::move(program), std::move(name), tag);
+  });
+}
+
 void Kernel::ForkChild(Task& parent, ProgramPtr program) {
   Task* child = NewTask(program, parent.name + "+" + std::to_string(next_tid_), parent.tag, &parent);
   // A forked task starts its placement history at the parent's core.

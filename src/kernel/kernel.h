@@ -80,6 +80,21 @@ class Kernel {
   // for reserve-nest searches.
   Task* SpawnInitial(ProgramPtr program, std::string name, int tag, int cpu = 0);
 
+  // Creates a detached task through the *policy* fork path — this is how an
+  // external request (network IRQ on the boot CPU) enters the machine. Unlike
+  // SpawnInitial, the policy chooses the CPU, so Nest/Smove placement applies
+  // from the first instruction. Used by the open-loop request workloads and
+  // the cluster serving layer (src/cluster/).
+  Task* InjectTask(ProgramPtr program, std::string name, int tag);
+
+  // Schedules InjectTask at absolute simulated time `when`. The pending count
+  // keeps experiment run loops alive while arrivals are still in flight even
+  // if the machine is momentarily empty (open-loop traffic).
+  void ScheduleInjection(SimTime when, ProgramPtr program, std::string name, int tag);
+
+  // Injections scheduled via ScheduleInjection that have not yet fired.
+  int pending_injections() const { return pending_injections_; }
+
   // Declares a reusable barrier with `parties` participants.
   void CreateBarrier(int id, int parties) { sync_.CreateBarrier(id, parties); }
 
@@ -244,6 +259,7 @@ class Kernel {
   int next_tid_ = 1;
   uint64_t enqueue_count_ = 0;  // drives the test_skip_enqueue_dispatch hook
   int root_cpu_ = -1;
+  int pending_injections_ = 0;
   int live_tasks_ = 0;
   int runnable_tasks_ = 0;
   uint64_t context_switches_ = 0;

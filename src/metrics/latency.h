@@ -1,14 +1,45 @@
-// Wakeup-latency sampling (schbench-style tail latencies, §5.6).
+// Wakeup-latency sampling (schbench-style tail latencies, §5.6) and the
+// general latency distribution used by cluster end-to-end request metrics.
 
 #ifndef NESTSIM_SRC_METRICS_LATENCY_H_
 #define NESTSIM_SRC_METRICS_LATENCY_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/kernel/observer.h"
 #include "src/metrics/stats.h"
 
 namespace nestsim {
+
+// A sample set with percentile queries and merge support. Cluster runs keep
+// one per machine and merge them for the fleet-wide report; merging N
+// distributions is exactly equivalent to adding every sample to one (the
+// percentile is computed from the raw pooled samples, not from sketches).
+class LatencyDistribution {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+
+  void Merge(const LatencyDistribution& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double mean() const { return Mean(samples_); }
+
+  double max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Linear-interpolation percentile, pct in [0, 100]; 0 on an empty set.
+  double PercentileAt(double pct) const { return Percentile(samples_, pct); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
 
 // Records, for every wakeup, the delay between the wakeup and the task first
 // getting a CPU.
@@ -30,6 +61,7 @@ class WakeupLatencyTracker : public KernelObserver {
 
   double PercentileUs(double pct) const { return Percentile(samples_us_, pct); }
   size_t sample_count() const { return samples_us_.size(); }
+  const std::vector<double>& samples_us() const { return samples_us_; }
 
  private:
   // Deduplicates "first run after wakeup" per task with a small slot table;

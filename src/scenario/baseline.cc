@@ -78,6 +78,20 @@ std::string BaselineJobRecord(const Job& job, const JobOutcome& outcome) {
       AppendU64(out, "tasks_created", static_cast<uint64_t>(r.tasks_created));
       out += ',';
       AppendString(out, "counters", SchedCountersDigest(r.counters));
+      if (r.cluster.num_machines > 0) {
+        // Cluster fields are appended only for cluster runs so single-machine
+        // goldens stay byte-identical to pre-cluster recordings.
+        out += ',';
+        AppendU64(out, "requests_offered", r.cluster.requests_offered);
+        out += ',';
+        AppendU64(out, "requests_completed", r.cluster.requests_completed);
+        out += ',';
+        AppendDouble(out, "latency_p50_ms", r.cluster.p50_ms);
+        out += ',';
+        AppendDouble(out, "latency_p99_ms", r.cluster.p99_ms);
+        out += ',';
+        AppendDouble(out, "latency_p999_ms", r.cluster.p999_ms);
+      }
       out += '}';
     }
     out += ']';
@@ -304,6 +318,13 @@ BaselineCheck CheckBaseline(const ScenarioRun& run, const std::string& dir,
       cmp.ExpectU64(grun, "migrations", fresh.migrations);
       cmp.ExpectU64(grun, "tasks_created", static_cast<uint64_t>(fresh.tasks_created));
       cmp.ExpectString(grun, "counters", SchedCountersDigest(fresh.counters));
+      if (fresh.cluster.num_machines > 0) {
+        cmp.ExpectU64(grun, "requests_offered", fresh.cluster.requests_offered);
+        cmp.ExpectU64(grun, "requests_completed", fresh.cluster.requests_completed);
+        cmp.ExpectDouble(grun, "latency_p50_ms", fresh.cluster.p50_ms);
+        cmp.ExpectDouble(grun, "latency_p99_ms", fresh.cluster.p99_ms);
+        cmp.ExpectDouble(grun, "latency_p999_ms", fresh.cluster.p999_ms);
+      }
     }
   }
   return check;

@@ -8,6 +8,7 @@
 #include "src/workloads/multi.h"
 #include "src/workloads/nas.h"
 #include "src/workloads/phoronix.h"
+#include "src/workloads/requests.h"
 #include "src/workloads/server.h"
 
 namespace nestsim {
@@ -242,6 +243,37 @@ std::unique_ptr<Workload> BuildServer(const std::string& row, const JsonValue* p
   return std::make_unique<ServerWorkload>(spec);
 }
 
+std::unique_ptr<Workload> BuildRequests(const std::string& row, const JsonValue* params,
+                                        const std::string& path, ScenarioError& err) {
+  const size_t before = err.errors.size();
+  RequestSpec spec;
+  spec.name = row;
+  if (params != nullptr) {
+    SpecReader reader(*params, path, err);
+    reader.TakeDouble("rate_per_s", &spec.rate_per_s, 1e-3, 1e6);
+    std::string arrivals;
+    if (reader.TakeEnum("arrivals", &arrivals, {"poisson", "bursty"})) {
+      ArrivalKindFromName(arrivals, &spec.arrivals);
+    }
+    reader.TakeDouble("duration_s", &spec.duration_s, 1e-3, 1e4);
+    reader.TakeDouble("burst_every_s", &spec.burst_every_s, 1e-3, 1e4);
+    reader.TakeDouble("burst_len_s", &spec.burst_len_s, 1e-3, 1e4);
+    reader.TakeDouble("burst_factor", &spec.burst_factor, 1.0, 1e3);
+    reader.TakeDouble("service_ms", &spec.service_ms, 0.0, 1e5);
+    reader.TakeDouble("service_sigma", &spec.service_sigma, 0.0, 4.0);
+    reader.TakeDouble("io_pause_ms", &spec.io_pause_ms, 0.0, 1e5);
+    reader.TakeInt("fanout", &spec.fanout, 0, 64);
+    reader.TakeDouble("fanout_service_ms", &spec.fanout_service_ms, 0.0, 1e5);
+    reader.TakeDouble("diurnal_depth", &spec.diurnal_depth, 0.0, 1.0);
+    reader.TakeDouble("diurnal_period_s", &spec.diurnal_period_s, 1e-3, 1e4);
+    reader.Finish();
+  }
+  if (Grew(err, before)) {
+    return nullptr;
+  }
+  return std::make_unique<RequestWorkload>(spec);
+}
+
 std::unique_ptr<Workload> BuildHackbench(const std::string& row, const JsonValue* params,
                                          const std::string& path, ScenarioError& err) {
   (void)row;
@@ -393,6 +425,14 @@ std::vector<WorkloadFamily> MakeFamilies() {
     f.groups = {{"all", f.presets}};
     f.is_preset = [presets = f.presets](const std::string& row) { return Contains(presets, row); };
     f.build = BuildServer;
+    families.push_back(std::move(f));
+  }
+  {
+    WorkloadFamily f;
+    f.name = "requests";
+    f.summary = "open-loop request traffic: Poisson/bursty arrivals, tail latency (cluster)";
+    f.is_preset = [](const std::string& row) { return row == "requests"; };
+    f.build = BuildRequests;
     families.push_back(std::move(f));
   }
   {

@@ -1,5 +1,5 @@
 // String-keyed registries behind the scenario engine: machines, scheduler
-// policies, governors, and the eight workload families of src/workloads.
+// policies, governors, and the workload families of src/workloads.
 //
 // The scenario parser validates spec files against these lists (so error
 // messages can name every alternative) and the runner builds Workload
@@ -19,7 +19,7 @@
 namespace nestsim {
 
 // One workload family ("configure", "dacapo", "nas", "phoronix", "server",
-// "hackbench", "schbench", "multi").
+// "requests", "hackbench", "schbench", "multi").
 struct WorkloadFamily {
   std::string name;
   std::string summary;  // one-liner for nestsim_run --list

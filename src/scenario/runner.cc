@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/cluster/cluster.h"
 #include "src/hw/machine_spec.h"
 #include "src/metrics/stats.h"
 #include "src/scenario/registry.h"
@@ -152,6 +153,14 @@ bool ExpandScenario(const Scenario& scenario, const ScenarioRunOptions& options,
           job.repetitions = run->repetitions;
           job.base_seed = run->base_seed;
           job.timeout_s = run->timeout_s;
+          if (scenario.has_cluster) {
+            ClusterSpec cluster;
+            cluster.machines = scenario.cluster_machines;
+            cluster.router = scenario.cluster_router;
+            job.runner = [cluster](const ExperimentConfig& config, const Workload& workload) {
+              return RunClusterExperiment(cluster, config, workload);
+            };
+          }
           run->jobs.push_back(std::move(job));
         }
       }
@@ -248,6 +257,46 @@ void PrintUnderloadTable(const ScenarioRun& run, size_t m, size_t s) {
   }
 }
 
+// Cluster serving layout: one line per row x variant with the request-latency
+// tail, completion ratio, and mean fleet utilisation, averaged across reps.
+void PrintLatencyTable(const ScenarioRun& run, size_t m, size_t s) {
+  const Scenario& sc = run.scenario;
+  const std::string row_fmt = "%-" + std::to_string(sc.table.row_width) + "s";
+  std::printf(row_fmt.c_str(), sc.table.row_header.c_str());
+  std::printf(" %-14s %9s %9s %9s %9s %7s %6s\n", "variant", "p50 ms", "p99 ms", "p99.9 ms",
+              "mean ms", "compl", "util");
+  for (size_t r = 0; r < run.num_rows(); ++r) {
+    for (size_t v = 0; v < sc.variants.size(); ++v) {
+      const RepeatedResult& rr = run.result(m, r, v, s);
+      double p50 = 0, p99 = 0, p999 = 0, mean = 0, util = 0;
+      uint64_t offered = 0, completed = 0;
+      for (const ExperimentResult& er : rr.runs) {
+        p50 += er.cluster.p50_ms;
+        p99 += er.cluster.p99_ms;
+        p999 += er.cluster.p999_ms;
+        mean += er.cluster.mean_ms;
+        offered += er.cluster.requests_offered;
+        completed += er.cluster.requests_completed;
+        double machine_util = 0;
+        for (const ClusterMachineStats& machine : er.cluster.machines) {
+          machine_util += machine.utilisation;
+        }
+        util += er.cluster.machines.empty() ? 0.0
+                                            : machine_util / static_cast<double>(
+                                                                 er.cluster.machines.size());
+      }
+      const double n = rr.runs.empty() ? 1.0 : static_cast<double>(rr.runs.size());
+      std::printf(row_fmt.c_str(), (sc.rows[r].label + sc.table.row_suffix).c_str());
+      std::printf(" %-14s %9.3f %9.3f %9.3f %9.3f %6.1f%% %5.1f%%\n",
+                  sc.variants[v].label.c_str(), p50 / n, p99 / n, p999 / n, mean / n,
+                  offered > 0 ? 100.0 * static_cast<double>(completed) /
+                                    static_cast<double>(offered)
+                              : 0.0,
+                  100.0 * util / n);
+    }
+  }
+}
+
 void PrintBandsTable(const ScenarioRun& run, size_t m, size_t s) {
   const Scenario& sc = run.scenario;
   for (size_t v = 1; v < sc.variants.size(); ++v) {
@@ -288,6 +337,9 @@ void PrintScenarioTables(const ScenarioRun& run) {
           break;
         case TableSpec::Style::kBands:
           PrintBandsTable(run, m, s);
+          break;
+        case TableSpec::Style::kLatency:
+          PrintLatencyTable(run, m, s);
           break;
         case TableSpec::Style::kNone:
           break;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/cluster/router.h"
 #include "src/governors/governors.h"
 #include "src/hw/machine_spec.h"
 #include "src/scenario/registry.h"
@@ -587,13 +588,15 @@ void ParseTable(const JsonValue* v, const std::string& path, Scenario* out, Scen
   }
   SpecReader reader(*v, path + "/table", *err);
   std::string style;
-  if (reader.TakeEnum("style", &style, {"none", "speedup", "underload", "bands"})) {
+  if (reader.TakeEnum("style", &style, {"none", "speedup", "underload", "bands", "latency"})) {
     if (style == "none") {
       out->table.style = TableSpec::Style::kNone;
     } else if (style == "speedup") {
       out->table.style = TableSpec::Style::kSpeedup;
     } else if (style == "underload") {
       out->table.style = TableSpec::Style::kUnderload;
+    } else if (style == "latency") {
+      out->table.style = TableSpec::Style::kLatency;
     } else {
       out->table.style = TableSpec::Style::kBands;
     }
@@ -603,6 +606,26 @@ void ParseTable(const JsonValue* v, const std::string& path, Scenario* out, Scen
   reader.TakeString("row_suffix", &out->table.row_suffix);
   reader.TakeBool("underload_column", &out->table.underload_column);
   reader.Finish();
+}
+
+// The optional top-level "cluster" object (src/cluster/): runs every job as
+// a fleet of `machines` identical boxes behind the named router. Only the
+// open-loop "requests" family routes, so anything else is a parse error.
+void ParseCluster(const JsonValue* v, const std::string& path, Scenario* out,
+                  ScenarioError* err) {
+  if (v == nullptr) {
+    return;
+  }
+  const std::string cpath = path + "/cluster";
+  SpecReader reader(*v, cpath, *err);
+  out->has_cluster = true;
+  reader.TakeInt("machines", &out->cluster_machines, 1, 64);
+  reader.TakeEnum("router", &out->cluster_router, RouterNames());
+  reader.Finish();
+  if (!out->family.empty() && out->family != "requests") {
+    err->Add(cpath, "cluster scenarios need the \"requests\" workload family, got \"" +
+                        out->family + "\"");
+  }
 }
 
 void ParseConfigAndSweep(SpecReader& reader, Scenario* out, ScenarioError* err) {
@@ -663,6 +686,7 @@ bool ParseScenario(const JsonValue& root, const std::string& file_label, Scenari
   ParseMachines(reader.Take("machines"), file_label, out, err);
   ParseVariants(reader.Take("variants"), file_label, out, err);
   ParseWorkload(reader.Take("workload"), file_label, out, err);
+  ParseCluster(reader.Take("cluster"), file_label, out, err);
 
   reader.TakeInt("repetitions", &out->repetitions, 1, 1000000);
   reader.TakeU64("base_seed", &out->base_seed);

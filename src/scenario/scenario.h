@@ -103,6 +103,7 @@ struct TableSpec {
     kSpeedup,    // Fig. 5/10/12 layout: baseline seconds + speedup columns
     kUnderload,  // Fig. 4 layout: underload/s per variant
     kBands,      // Table 4 layout: counts of rows per speedup band
+    kLatency,    // cluster serving layout: p50/p99/p99.9 request latency
   };
 
   Style style = Style::kSpeedup;
@@ -128,6 +129,12 @@ struct Scenario {
 
   bool has_config = false;
   JsonValue config;  // object of config-override keys, applied to every job
+
+  // Optional cluster block (src/cluster/): run every job as a fleet of
+  // identical machines behind a request router. Requires family "requests".
+  bool has_cluster = false;
+  int cluster_machines = 2;
+  std::string cluster_router = "round-robin";
 
   std::vector<SweepAxis> sweep;
   TableSpec table;

@@ -67,5 +67,33 @@ TEST(GeneratorTest, FullLoadFlagMarksSaturatingNasRows) {
   EXPECT_TRUE(saw_partial);
 }
 
+TEST(GeneratorTest, ClusterDrawsForceRequestsTrafficAndStaySmall) {
+  int clusters = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const GeneratedScenario gen = GenerateScenario(seed);
+    const JsonValue* cluster = gen.spec.Find("cluster");
+    if (cluster == nullptr) {
+      continue;
+    }
+    ++clusters;
+    const double machines = cluster->Find("machines")->number;
+    EXPECT_GE(machines, 1) << "seed " << seed;
+    EXPECT_LE(machines, 4) << "seed " << seed;
+    const std::string router = cluster->Find("router")->string;
+    EXPECT_TRUE(router == "passthrough" || router == "round-robin" ||
+                router == "least-loaded" || router == "power-aware")
+        << "seed " << seed << ": " << router;
+    // The fleet only serves the open-loop family, and a cluster run never
+    // claims full load (the neutrality band is calibrated for NAS rows).
+    EXPECT_EQ(gen.spec.Find("workload")->Find("family")->string, "requests")
+        << "seed " << seed;
+    EXPECT_FALSE(gen.full_load) << "seed " << seed;
+  }
+  // ~25% draw rate over 200 seeds; wide band so the test pins the feature,
+  // not the exact Rng stream.
+  EXPECT_GT(clusters, 20);
+  EXPECT_LT(clusters, 100);
+}
+
 }  // namespace
 }  // namespace nestsim

@@ -1,0 +1,200 @@
+// Cluster serving layer (src/cluster/): the passthrough differential — a
+// 1-machine cluster must reproduce the single-machine RunExperiment result
+// exactly — plus router behaviour, serving metrics, and determinism.
+
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/cluster/router.h"
+#include "src/obs/sched_counters.h"
+#include "src/workloads/requests.h"
+
+namespace nestsim {
+namespace {
+
+RequestSpec SmallTraffic() {
+  RequestSpec spec;
+  spec.name = "test";
+  spec.rate_per_s = 400.0;
+  spec.duration_s = 0.2;
+  spec.service_ms = 0.5;
+  spec.service_sigma = 0.4;
+  return spec;
+}
+
+ExperimentConfig SmallConfig(SchedulerKind scheduler) {
+  ExperimentConfig config;
+  config.machine = "amd-4650g-1s";
+  config.scheduler = scheduler;
+  config.seed = 5;
+  return config;
+}
+
+// Every scalar the golden baselines gate on, compared exactly. The counters
+// compare as their full JSON rendering, not just the digest, so a mismatch
+// names the counter that moved.
+void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.underload_per_s, b.underload_per_s);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.tasks_created, b.tasks_created);
+  EXPECT_EQ(SchedCountersJson(a.counters), SchedCountersJson(b.counters));
+}
+
+TEST(ClusterDifferentialTest, PassthroughSingleMachineIsDigestIdentical) {
+  const RequestWorkload workload(SmallTraffic());
+  for (const SchedulerKind scheduler :
+       {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+    const ExperimentConfig config = SmallConfig(scheduler);
+    const ExperimentResult single = RunExperiment(config, workload);
+    const ExperimentResult fleet =
+        RunClusterExperiment(ClusterSpec{1, "passthrough"}, config, workload);
+    SCOPED_TRACE(SchedulerKindKey(scheduler));
+    ExpectSameResult(single, fleet);
+    // The cluster path additionally reports serving metrics.
+    EXPECT_EQ(fleet.cluster.num_machines, 1);
+    EXPECT_GT(fleet.cluster.requests_offered, 0u);
+    EXPECT_EQ(fleet.cluster.requests_completed, fleet.cluster.requests_offered);
+  }
+}
+
+TEST(ClusterDifferentialTest, ClusterRunIsRepeatable) {
+  const RequestWorkload workload(SmallTraffic());
+  const ExperimentConfig config = SmallConfig(SchedulerKind::kNest);
+  const ClusterSpec cluster{3, "least-loaded"};
+  const ExperimentResult a = RunClusterExperiment(cluster, config, workload);
+  const ExperimentResult b = RunClusterExperiment(cluster, config, workload);
+  ExpectSameResult(a, b);
+  EXPECT_DOUBLE_EQ(a.cluster.p99_ms, b.cluster.p99_ms);
+  ASSERT_EQ(a.cluster.machines.size(), b.cluster.machines.size());
+  for (size_t m = 0; m < a.cluster.machines.size(); ++m) {
+    EXPECT_EQ(a.cluster.machines[m].requests_routed, b.cluster.machines[m].requests_routed);
+  }
+}
+
+TEST(ClusterRunTest, RoundRobinSpreadsArrivalsEvenly) {
+  const RequestWorkload workload(SmallTraffic());
+  const ExperimentResult r = RunClusterExperiment(
+      ClusterSpec{2, "round-robin"}, SmallConfig(SchedulerKind::kCfs), workload);
+  ASSERT_EQ(r.cluster.machines.size(), 2u);
+  const uint64_t m0 = r.cluster.machines[0].requests_routed;
+  const uint64_t m1 = r.cluster.machines[1].requests_routed;
+  EXPECT_EQ(m0 + m1, r.cluster.requests_offered);  // fanout 0: one part each
+  EXPECT_LE(m0 > m1 ? m0 - m1 : m1 - m0, 1u);      // strict alternation
+}
+
+TEST(ClusterRunTest, ServingMetricsAreCoherent) {
+  RequestSpec spec = SmallTraffic();
+  spec.fanout = 2;
+  spec.io_pause_ms = 0.2;
+  const RequestWorkload workload(spec);
+  const ExperimentResult r = RunClusterExperiment(
+      ClusterSpec{2, "round-robin"}, SmallConfig(SchedulerKind::kNest), workload);
+  const ClusterStats& c = r.cluster;
+  EXPECT_EQ(c.num_machines, 2);
+  EXPECT_EQ(c.router, "round-robin");
+  EXPECT_GT(c.requests_offered, 0u);
+  EXPECT_EQ(c.requests_completed, c.requests_offered);  // run drains fully
+  // Percentiles are nondecreasing and bounded by the max.
+  EXPECT_GT(c.p50_ms, 0.0);
+  EXPECT_LE(c.p50_ms, c.p99_ms);
+  EXPECT_LE(c.p99_ms, c.p999_ms);
+  EXPECT_LE(c.p999_ms, c.max_ms);
+  // Queueing + service breakdown: both sides positive, each below the
+  // end-to-end mean (parts run concurrently, so they need not sum to it).
+  EXPECT_GT(c.mean_service_ms, 0.0);
+  EXPECT_GE(c.mean_queue_ms, 0.0);
+  // With fanout 2 every request contributes three routed parts.
+  uint64_t routed = 0;
+  for (const ClusterMachineStats& m : c.machines) {
+    routed += m.requests_routed;
+    EXPECT_GE(m.utilisation, 0.0);
+    EXPECT_LE(m.utilisation, 1.0);
+  }
+  EXPECT_EQ(routed, c.requests_offered * 3);
+}
+
+TEST(ClusterRunTest, UnknownRouterThrows) {
+  const RequestWorkload workload(SmallTraffic());
+  EXPECT_THROW(RunClusterExperiment(ClusterSpec{2, "no-such-router"},
+                                    SmallConfig(SchedulerKind::kCfs), workload),
+               std::runtime_error);
+}
+
+TEST(ClusterRunTest, NonRequestWorkloadThrows) {
+  // Any closed-loop workload must be rejected: the cluster runner owns the
+  // injection schedule and cannot replay arbitrary Setup() side effects.
+  class NotRequests : public Workload {
+   public:
+    std::string name() const override { return "not-requests"; }
+    void Setup(Kernel&, Rng&) const override {}
+  };
+  EXPECT_THROW(RunClusterExperiment(ClusterSpec{1, "passthrough"},
+                                    SmallConfig(SchedulerKind::kCfs), NotRequests()),
+               std::runtime_error);
+}
+
+TEST(RouterTest, RegistryCoversEveryName) {
+  const std::vector<std::string> names = RouterNames();
+  EXPECT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    const auto router = MakeRouter(name);
+    ASSERT_NE(router, nullptr) << name;
+    EXPECT_EQ(router->name(), name);
+  }
+  EXPECT_EQ(MakeRouter("no-such-router"), nullptr);
+}
+
+TEST(RouterTest, LeastLoadedPrefersTheIdlerMachine) {
+  Engine engine;
+  const ExperimentConfig config = SmallConfig(SchedulerKind::kCfs);
+  ClusterModel model(&engine, config, 2);
+  model.machine(0).kernel.Start();
+  model.machine(1).kernel.Start();
+
+  const auto router = MakeRouter("least-loaded");
+  // Both idle: lowest index wins.
+  EXPECT_EQ(router->Route(model.kernels(), model.hardware()), 0);
+
+  // Park a runnable task on machine 0; the router must now pick machine 1.
+  ProgramBuilder builder("busy");
+  builder.ComputeMs(5.0);
+  model.machine(0).kernel.InjectTask(builder.Build(), "busy", /*tag=*/0);
+  EXPECT_GT(model.machine(0).kernel.runnable_tasks(), 0);
+  EXPECT_EQ(router->Route(model.kernels(), model.hardware()), 1);
+}
+
+TEST(RequestPlanTest, PlanIsDeterministicAndOrdered) {
+  const RequestWorkload workload(SmallTraffic());
+  Rng rng_a(42), rng_b(42);
+  const RequestPlan a = workload.BuildPlan(rng_a);
+  const RequestPlan b = workload.BuildPlan(rng_b);
+  ASSERT_EQ(a.parts.size(), b.parts.size());
+  EXPECT_GT(a.requests, 0u);
+  SimTime prev = 0;
+  for (size_t i = 0; i < a.parts.size(); ++i) {
+    EXPECT_EQ(a.parts[i].arrival, b.parts[i].arrival);
+    EXPECT_EQ(a.parts[i].name, b.parts[i].name);
+    EXPECT_GE(a.parts[i].arrival, prev);  // arrival order
+    prev = a.parts[i].arrival;
+  }
+}
+
+TEST(RequestPlanTest, BurstyOffersMoreThanPoissonAtSameBaseRate) {
+  RequestSpec poisson = SmallTraffic();
+  poisson.duration_s = 1.0;
+  RequestSpec bursty = poisson;
+  bursty.arrivals = ArrivalKind::kBursty;
+  Rng rng_a(7), rng_b(7);
+  const RequestPlan p = RequestWorkload(poisson).BuildPlan(rng_a);
+  const RequestPlan b = RequestWorkload(bursty).BuildPlan(rng_b);
+  EXPECT_GT(b.requests, p.requests);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,106 @@
+// LatencyDistribution backs the cluster tail-latency report (p50/p99/p99.9),
+// so its quantile arithmetic is pinned exactly: linear interpolation on the
+// sorted samples, merge ≡ pooled, and monotonicity in the percentile.
+
+#include "src/metrics/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nestsim {
+namespace {
+
+TEST(LatencyDistributionTest, EmptyIsAllZeros) {
+  LatencyDistribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(50), 0.0);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(99.9), 0.0);
+}
+
+TEST(LatencyDistributionTest, SingleSampleIsEveryPercentile) {
+  LatencyDistribution d;
+  d.Add(7.5);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(0), 7.5);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(50), 7.5);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(99.9), 7.5);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(100), 7.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(d.max(), 7.5);
+}
+
+TEST(LatencyDistributionTest, ExactSmallNQuantiles) {
+  // Sorted {10,20,30,40}: rank = pct/100 * (n-1), linear interpolation.
+  LatencyDistribution d;
+  for (double v : {30.0, 10.0, 40.0, 20.0}) {  // insertion order must not matter
+    d.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(d.PercentileAt(0), 10.0);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(25), 17.5);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(50), 25.0);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(75), 32.5);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(100), 40.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(d.max(), 40.0);
+}
+
+TEST(LatencyDistributionTest, TailPercentilesOnHundredSamples) {
+  LatencyDistribution d;
+  for (int i = 1; i <= 100; ++i) {
+    d.Add(static_cast<double>(i));
+  }
+  // rank(p99) = 0.99 * 99 = 98.01 → 99 + 0.01 * (100 - 99).
+  EXPECT_NEAR(d.PercentileAt(99), 99.01, 1e-9);
+  EXPECT_NEAR(d.PercentileAt(99.9), 99.901, 1e-9);
+  EXPECT_DOUBLE_EQ(d.PercentileAt(50), 50.5);
+}
+
+TEST(LatencyDistributionTest, PercentileIsMonotoneInPct) {
+  LatencyDistribution d;
+  // A lumpy distribution with duplicates and a heavy tail.
+  for (double v : {1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 50.0, 400.0}) {
+    d.Add(v);
+  }
+  double prev = d.PercentileAt(0);
+  for (double pct = 0.5; pct <= 100.0; pct += 0.5) {
+    const double cur = d.PercentileAt(pct);
+    EXPECT_GE(cur, prev) << "percentile regressed at pct=" << pct;
+    prev = cur;
+  }
+}
+
+TEST(LatencyDistributionTest, MergeEqualsPooled) {
+  LatencyDistribution a, b, pooled;
+  const std::vector<double> xs = {5.0, 1.0, 9.0, 2.5};
+  const std::vector<double> ys = {7.0, 0.5, 3.0, 11.0, 4.0};
+  for (double v : xs) {
+    a.Add(v);
+    pooled.Add(v);
+  }
+  for (double v : ys) {
+    b.Add(v);
+    pooled.Add(v);
+  }
+  a.Merge(b);
+  ASSERT_EQ(a.count(), pooled.count());
+  for (double pct : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.PercentileAt(pct), pooled.PercentileAt(pct)) << "pct=" << pct;
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(LatencyDistributionTest, MergeFromEmptyAndIntoEmpty) {
+  LatencyDistribution empty, d;
+  d.Add(3.0);
+  d.Merge(empty);  // no-op
+  EXPECT_EQ(d.count(), 1u);
+  empty.Merge(d);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.PercentileAt(50), 3.0);
+}
+
+}  // namespace
+}  // namespace nestsim

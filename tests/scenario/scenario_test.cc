@@ -215,6 +215,61 @@ TEST(ScenarioParseTest, SweepAxesAreValidatedPerValue) {
   EXPECT_TRUE(Mentions(bad, "nest.r_max")) << bad.Join();
 }
 
+TEST(ScenarioParseTest, ClusterBlockParses) {
+  const Scenario s = MustParse(R"({
+    "name":"t","workload":{"family":"requests"},
+    "cluster":{"machines":3,"router":"least-loaded"}
+  })");
+  EXPECT_TRUE(s.has_cluster);
+  EXPECT_EQ(s.cluster_machines, 3);
+  EXPECT_EQ(s.cluster_router, "least-loaded");
+}
+
+TEST(ScenarioParseTest, ClusterDefaultsWhenKeysOmitted) {
+  const Scenario s = MustParse(R"({"name":"t","workload":{"family":"requests"},"cluster":{}})");
+  EXPECT_TRUE(s.has_cluster);
+  EXPECT_EQ(s.cluster_machines, 2);
+  EXPECT_EQ(s.cluster_router, "round-robin");
+}
+
+TEST(ScenarioParseTest, ClusterUnknownKeyNamesThePath) {
+  const ScenarioError err = MustFail(R"({
+    "name":"t","workload":{"family":"requests"},
+    "cluster":{"machnies":2}
+  })");
+  EXPECT_TRUE(Mentions(err, "/cluster")) << err.Join();
+  EXPECT_TRUE(Mentions(err, "unknown key \"machnies\"")) << err.Join();
+  EXPECT_TRUE(Mentions(err, "machines")) << err.Join();  // the known-keys list
+}
+
+TEST(ScenarioParseTest, ClusterMachinesOutOfRange) {
+  const ScenarioError err = MustFail(R"({
+    "name":"t","workload":{"family":"requests"},
+    "cluster":{"machines":0}
+  })");
+  EXPECT_TRUE(Mentions(err, "/cluster")) << err.Join();
+  EXPECT_TRUE(Mentions(err, "\"machines\" out of range")) << err.Join();
+}
+
+TEST(ScenarioParseTest, ClusterRouterListsTheAlternatives) {
+  const ScenarioError err = MustFail(R"({
+    "name":"t","workload":{"family":"requests"},
+    "cluster":{"router":"random"}
+  })");
+  EXPECT_TRUE(Mentions(err, "/cluster")) << err.Join();
+  EXPECT_TRUE(Mentions(err, "unknown value \"random\"")) << err.Join();
+  EXPECT_TRUE(Mentions(err, "round-robin")) << err.Join();
+}
+
+TEST(ScenarioParseTest, ClusterRequiresTheRequestsFamily) {
+  const ScenarioError err = MustFail(R"({
+    "name":"t","workload":{"family":"configure"},
+    "cluster":{"machines":2}
+  })");
+  EXPECT_TRUE(Mentions(err, "requests")) << err.Join();
+  EXPECT_TRUE(Mentions(err, "configure")) << err.Join();
+}
+
 TEST(ScenarioParseTest, ApplyConfigOverrideTouchesTheConfig) {
   ExperimentConfig config;
   ScenarioError err;
@@ -284,10 +339,10 @@ TEST(ScenarioParseTest, LoadScenarioReadsAFile) {
   std::remove(path.c_str());
 }
 
-TEST(ScenarioRegistryTest, EightFamiliesRegistered) {
-  EXPECT_EQ(WorkloadFamilies().size(), 8u);
-  for (const char* name :
-       {"configure", "dacapo", "nas", "phoronix", "server", "hackbench", "schbench", "multi"}) {
+TEST(ScenarioRegistryTest, NineFamiliesRegistered) {
+  EXPECT_EQ(WorkloadFamilies().size(), 9u);
+  for (const char* name : {"configure", "dacapo", "nas", "phoronix", "server", "requests",
+                           "hackbench", "schbench", "multi"}) {
     EXPECT_NE(FindWorkloadFamily(name), nullptr) << name;
   }
   EXPECT_EQ(FindWorkloadFamily("nope"), nullptr);

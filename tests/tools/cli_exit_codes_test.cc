@@ -110,5 +110,49 @@ TEST(NestsimRunCliTest, GoodFlagsStillParse) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
 }
 
+TEST(NestsimRunCliTest, ListNamesClusterRouters) {
+  const CliResult result = RunCommand(kRun + " --list");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("cluster routers:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("round-robin"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("cluster.machines"), std::string::npos) << result.output;
+}
+
+TEST(NestsimRunCliTest, InvalidClusterKeyNamesTheJsonPath) {
+  // A misspelled cluster.* key must exit 2 with a diagnostic carrying the
+  // /cluster JSON path, not run the scenario or crash.
+  const std::string path = "/tmp/nestsim_cli_bad_cluster.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(R"({"name":"bad-cluster","workload":{"family":"requests"},
+                 "cluster":{"machines":2,"roter":"round-robin"}})",
+             f);
+  std::fclose(f);
+  const CliResult result = RunCommand(kRun + " " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("/cluster"), std::string::npos)
+      << "diagnostic must name the JSON path:\n"
+      << result.output;
+  EXPECT_NE(result.output.find("roter"), std::string::npos) << result.output;
+}
+
+TEST(NestsimRunCliTest, PrintJobsLabelsClusterScenarios) {
+  const std::string path = "/tmp/nestsim_cli_cluster_jobs.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(R"({"name":"cluster-jobs","machines":["amd-4650g-1s"],
+                 "variants":[{"label":"cfs","scheduler":"cfs","governor":"schedutil"}],
+                 "workload":{"family":"requests"},
+                 "cluster":{"machines":3,"router":"least-loaded"}})",
+             f);
+  std::fclose(f);
+  const CliResult result = RunCommand(kRun + " --print-jobs " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("[cluster x3 least-loaded]"), std::string::npos)
+      << result.output;
+}
+
 }  // namespace
 }  // namespace nestsim

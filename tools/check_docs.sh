@@ -18,7 +18,10 @@
 #   9. every invariant name the checker can emit is documented in
 #      docs/TESTING.md, and docs/TESTING.md is linked from README.md;
 #  10. docs/BENCHMARKS.md is linked from README.md, and every benchmark
-#      record name the perf suite emits is documented there.
+#      record name the perf suite emits is documented there;
+#  11. docs/CLUSTER.md is linked from README.md and docs/SCENARIOS.md, every
+#      router name src/cluster/ registers is documented there, and so is
+#      every cluster.* spec key the scenario parser accepts.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -142,6 +145,30 @@ done
 for name in "grid/table4" "grid/fig12"; do
   if ! grep -q "$name" docs/BENCHMARKS.md; then
     echo "FAIL: grid record '$name' is not documented in docs/BENCHMARKS.md"
+    fail=1
+  fi
+done
+
+# 11. The cluster reference is reachable, covers every router the registry
+#     can build (name() implementations return quoted kebab-case words), and
+#     documents every cluster.* key the scenario parser accepts.
+for doc in README.md docs/SCENARIOS.md; do
+  if ! grep -q 'docs/CLUSTER.md' "$doc"; then
+    echo "FAIL: $doc does not link docs/CLUSTER.md"
+    fail=1
+  fi
+done
+for name in $(grep -ohE 'return "[a-z-]+"' src/cluster/router.cc \
+                | sed 's/return "//; s/"//' | sort -u); do
+  if ! grep -q "\`$name\`" docs/CLUSTER.md; then
+    echo "FAIL: router '$name' is registered by src/cluster/ but not documented in docs/CLUSTER.md"
+    fail=1
+  fi
+done
+for key in $(sed -n '/^void ParseCluster/,/^}/p' src/scenario/scenario.cc \
+               | grep -ohE 'Take[A-Za-z]+\("[a-z_]+"' | sed 's/.*("//; s/"//' | sort -u); do
+  if ! grep -q "\`cluster.$key\`" docs/CLUSTER.md; then
+    echo "FAIL: cluster spec key 'cluster.$key' is not documented in docs/CLUSTER.md"
     fail=1
   fi
 done

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/router.h"
 #include "src/governors/governors.h"
 #include "tools/cli_num.h"
 #include "src/hw/machine_spec.h"
@@ -71,15 +72,28 @@ void PrintList() {
     }
   }
   std::printf("config override keys: %s\n", JoinNames(ConfigOverrideKeys()).c_str());
+  std::printf("cluster routers: %s\n", JoinNames(RouterNames()).c_str());
+  std::printf("cluster spec keys: cluster.machines, cluster.router\n");
 }
 
 void PrintJobs(const ScenarioRun& run) {
-  std::printf("scenario %s: %zu jobs (reps %d, base seed %llu)\n", run.scenario.name.c_str(),
-              run.jobs.size(), run.repetitions, static_cast<unsigned long long>(run.base_seed));
+  const Scenario& sc = run.scenario;
+  if (sc.has_cluster) {
+    std::printf("scenario %s [cluster x%d %s]: %zu jobs (reps %d, base seed %llu)\n",
+                sc.name.c_str(), sc.cluster_machines, sc.cluster_router.c_str(), run.jobs.size(),
+                run.repetitions, static_cast<unsigned long long>(run.base_seed));
+  } else {
+    std::printf("scenario %s: %zu jobs (reps %d, base seed %llu)\n", sc.name.c_str(),
+                run.jobs.size(), run.repetitions, static_cast<unsigned long long>(run.base_seed));
+  }
+  const std::string suffix =
+      sc.has_cluster
+          ? " [cluster x" + std::to_string(sc.cluster_machines) + " " + sc.cluster_router + "]"
+          : "";
   for (const Job& job : run.jobs) {
-    std::printf("  %-16s %-20s %-24s %s/%s\n", job.config.machine.c_str(), job.workload.c_str(),
+    std::printf("  %-16s %-20s %-24s %s/%s%s\n", job.config.machine.c_str(), job.workload.c_str(),
                 job.variant.c_str(), SchedulerKindKey(job.config.scheduler),
-                job.config.governor.c_str());
+                job.config.governor.c_str(), suffix.c_str());
   }
 }
 
