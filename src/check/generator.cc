@@ -243,7 +243,23 @@ JsonValue DrawOverrideValue(Rng& rng, const std::string& key) {
   if (key == "smove.move_delay_us") {
     return Num(IntIn(rng, 0, 200));
   }
-  // nest.enable_* toggles
+  // Cache-model knobs (docs/MODEL.md §5): moderate ranges so a full-load
+  // draw cannot skew the cfs↔nest neutrality pair past the 35% band —
+  // both schedulers keep one task per core there, so warmth effects land
+  // nearly symmetrically.
+  if (key == "cache.warm_speedup") {
+    return Num(Uniform(rng, 1.0, 2.0));
+  }
+  if (key == "cache.migration_cost_work") {
+    return Num(IntIn(rng, 0, 2000000));
+  }
+  if (key == "cache.warm_threshold" || key == "nest_cache.warm_bias_threshold") {
+    return Num(Uniform(rng, 0.0, 1.0));
+  }
+  if (key == "nest_cache.compaction_grace_ticks") {
+    return Num(IntIn(rng, 0, 8));
+  }
+  // nest.enable_* / nest_cache.enable_* toggles
   return Bool(rng.NextBool(0.5));
 }
 
@@ -255,6 +271,12 @@ const std::vector<const char*>& OverrideKeyPool() {
       "nest.enable_spin",     "nest.enable_attach",
       "nest.enable_impatience", "smove.low_freq_fraction",
       "smove.move_delay_us",
+      "cache.warm_speedup",   "cache.migration_cost_work",
+      "cache.warm_threshold", "nest_cache.warm_bias_threshold",
+      "nest_cache.compaction_grace_ticks",
+      "nest_cache.enable_warm_anchor",
+      "nest_cache.enable_cost_aware_expansion",
+      "nest_cache.enable_compaction_grace",
   };
   return *keys;
 }
@@ -285,9 +307,16 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   // time. One governor for the whole scenario keeps variants comparable.
   const std::string governor = rng.NextBool(0.5) ? "schedutil" : "performance";
   const bool with_smove = rng.NextBool(0.5);
+  // The cache-aware Nest variant rides along a fifth of the time; it skips
+  // the neutrality pairing (that check only pairs nest with cfs) but flows
+  // through the determinism and accounting cross-checks like any variant.
+  const bool with_nest_cache = rng.NextBool(0.2);
   JsonValue variants = Arr();
-  for (const char* policy : {"cfs", "nest", "smove"}) {
+  for (const char* policy : {"cfs", "nest", "smove", "nest_cache"}) {
     if (std::string(policy) == "smove" && !with_smove) {
+      continue;
+    }
+    if (std::string(policy) == "nest_cache" && !with_nest_cache) {
       continue;
     }
     JsonValue variant = Obj();

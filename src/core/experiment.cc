@@ -25,6 +25,8 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "Nest";
     case SchedulerKind::kSmove:
       return "Smove";
+    case SchedulerKind::kNestCache:
+      return "NestCache";
   }
   return "?";
 }
@@ -37,13 +39,15 @@ const char* SchedulerKindKey(SchedulerKind kind) {
       return "nest";
     case SchedulerKind::kSmove:
       return "smove";
+    case SchedulerKind::kNestCache:
+      return "nest_cache";
   }
   return "?";
 }
 
 bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
-  for (const SchedulerKind kind :
-       {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+  for (const SchedulerKind kind : {SchedulerKind::kCfs, SchedulerKind::kNest,
+                                   SchedulerKind::kSmove, SchedulerKind::kNestCache}) {
     if (key == SchedulerKindKey(kind)) {
       *out = kind;
       return true;
@@ -52,7 +56,7 @@ bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
   return false;
 }
 
-std::vector<std::string> SchedulerKindKeys() { return {"cfs", "nest", "smove"}; }
+std::vector<std::string> SchedulerKindKeys() { return {"cfs", "nest", "smove", "nest_cache"}; }
 
 std::string ExperimentConfig::Label() const {
   std::string label = SchedulerKindName(scheduler);
@@ -123,6 +127,8 @@ std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(const ExperimentConfig& con
       return std::make_unique<NestPolicy>(config.nest);
     case SchedulerKind::kSmove:
       return std::make_unique<SmovePolicy>(config.smove);
+    case SchedulerKind::kNestCache:
+      return std::make_unique<NestCachePolicy>(config.nest, config.nest_cache);
   }
   return nullptr;
 }

@@ -19,18 +19,19 @@
 #include "src/kernel/kernel.h"
 #include "src/metrics/freq_hist.h"
 #include "src/metrics/trace.h"
+#include "src/nest/nest_cache_policy.h"
 #include "src/nest/nest_policy.h"
 #include "src/obs/sched_counters.h"
 #include "src/smove/smove_policy.h"
 
 namespace nestsim {
 
-enum class SchedulerKind { kCfs, kNest, kSmove };
+enum class SchedulerKind { kCfs, kNest, kSmove, kNestCache };
 
 const char* SchedulerKindName(SchedulerKind kind);
 
 // Lowercase policy key used by spec files and registries ("cfs" / "nest" /
-// "smove"); the inverse of SchedulerKindFromKey.
+// "smove" / "nest_cache"); the inverse of SchedulerKindFromKey.
 const char* SchedulerKindKey(SchedulerKind kind);
 
 // Non-aborting lookup by lowercase key; false on unknown names.
@@ -44,8 +45,12 @@ struct ExperimentConfig {
   SchedulerKind scheduler = SchedulerKind::kCfs;
   std::string governor = "schedutil";
 
-  NestParams nest;          // used when scheduler == kNest
+  NestParams nest;          // used when scheduler == kNest or kNestCache
   SmovePolicy::Params smove;  // used when scheduler == kSmove
+  // Cache-aware Nest extras, used when scheduler == kNestCache; the cache
+  // model itself (warm speedup, migration cost) lives in kernel.cache and
+  // applies to every scheduler.
+  NestCacheParams nest_cache;
   Kernel::Params kernel;
 
   uint64_t seed = 1;

@@ -1,0 +1,65 @@
+// Cache/NUMA warmth model (ROADMAP item 3; docs/MODEL.md §5).
+//
+// Every modelled machine equates a socket with a die, a NUMA node, and an
+// LLC domain (src/hw/topology.h), so "LLC warmth" is per-task, per-socket
+// state: while a task runs on a socket its warmth there rises toward 1 with
+// the PELT half-life (src/kernel/pelt.h — the same decay tables, so warmth
+// and utilisation stay bit-comparable), and decays whenever it is not
+// running there. The kernel consumes the warmth three ways:
+//
+//   * service rate — a compute segment on a socket where the task has
+//     warmth w runs at EffectiveSpeedGhz * WarmSpeedupFactor(w), modelling
+//     the reduced miss rate of a warm LLC;
+//   * migration cost — resuming on a different LLC than the previous stint
+//     charges `migration_cost_work` extra GHz-ns and resets the warmth the
+//     task had on the LLC it left (its lines are gone for good, not merely
+//     decaying);
+//   * observability — each dispatch is classified warm-hit or cold-miss
+//     against `warm_threshold` (SchedCounters + Perfetto warmth tracks).
+//
+// The defaults are a disabled model: speedup 1.0 and cost 0 make every
+// consumer a bit-exact no-op, which is what keeps the pre-existing golden
+// baselines byte-identical. The kernel additionally skips all warmth
+// bookkeeping unless the model is enabled or the policy asks for warmth
+// (SchedulerPolicy::WantsCacheWarmth — NestCachePolicy), so the disabled
+// fast paths stay off the perf-floor hot paths.
+
+#ifndef NESTSIM_SRC_HW_CACHE_MODEL_H_
+#define NESTSIM_SRC_HW_CACHE_MODEL_H_
+
+namespace nestsim {
+
+struct CacheParams {
+  // Relative service rate at warmth 1.0; 1.0 disables the speedup. A task
+  // with warmth w on its LLC runs at 1 + (warm_speedup - 1) * w times the
+  // hardware speed, so the factor interpolates linearly from cold (1.0) to
+  // fully warm (warm_speedup).
+  double warm_speedup = 1.0;
+
+  // Extra work (GHz-ns) charged when a task resumes on a different LLC
+  // domain (socket) than its previous stint ran on — the cache refill the
+  // frequency-only model cannot see. Additive to the kernel's generic
+  // cross-core refill (Kernel::Params::*migration_cost_work); 0 disables it.
+  double migration_cost_work = 0.0;
+
+  // Dispatches with destination-LLC warmth >= warm_threshold count as warm
+  // hits, below it as cold misses. Pure observability: never changes
+  // behaviour, only the warm_hit/cold_miss counter split.
+  double warm_threshold = 0.5;
+
+  // True when the model changes simulation behaviour. Observability-only
+  // knobs (warm_threshold) deliberately do not count.
+  bool enabled() const { return warm_speedup != 1.0 || migration_cost_work != 0.0; }
+};
+
+// The warm-cache service-rate multiplier for a task with LLC warmth
+// `warmth` in [0, 1]. Exactly 1.0 when the speedup is disabled (1.0 +
+// 0 * w == 1.0 for every finite w), which is what keeps neutral-parameter
+// runs bit-identical.
+inline double WarmSpeedupFactor(const CacheParams& params, double warmth) {
+  return 1.0 + (params.warm_speedup - 1.0) * warmth;
+}
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_HW_CACHE_MODEL_H_

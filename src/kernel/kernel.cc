@@ -21,6 +21,7 @@ Kernel::Kernel(Engine* engine, HardwareModel* hw, SchedulerPolicy* policy, Gover
       domains_(hw->topology()),
       cpus_(hw->topology().num_cpus()) {
   policy_->Attach(this);
+  cache_tracking_ = params_.cache.enabled() || policy_->WantsCacheWarmth();
   for (int cpu = 0; cpu < hw->topology().num_cpus(); ++cpu) {
     idle_cpus_.Set(cpu);  // every run queue starts empty
   }
@@ -63,6 +64,9 @@ Task* Kernel::NewTask(ProgramPtr program, std::string name, int tag, Task* paren
   task->parent = parent;
   task->created_at = engine_->Now();
   task->state = TaskState::kPlacing;
+  if (cache_tracking_) {
+    task->llc_warmth.resize(static_cast<size_t>(topology().num_sockets()));
+  }
   Task* raw = task.get();
   tasks_.push_back(std::move(task));
   task_enqueue_time_.push_back(0);
@@ -320,6 +324,9 @@ void Kernel::StartRunning(Task* task, int cpu) {
                                 ? params_.migration_cost_work
                                 : params_.cross_die_migration_cost_work;
   }
+  if (cache_tracking_) {
+    AccountCacheWarmth(task, cpu, now);
+  }
   task->state = TaskState::kRunning;
   task->cpu = cpu;
   task->sched_in_time = now;
@@ -340,6 +347,40 @@ void Kernel::StartRunning(Task* task, int cpu) {
   ++context_switches_;
   NotifyContextSwitch(cpu, nullptr, task);
   ExecuteTask(cpu);
+}
+
+// Cache-warmth accounting at dispatch (src/hw/cache_model.h): classify the
+// destination LLC as warm or cold, charge the cross-LLC migration cost, and
+// reset the warmth the task abandons when it changes die. Only called when
+// warmth tracking is on; with neutral parameters every behavioural effect is
+// a bit-exact no-op (+= 0.0 work), so NestCache runs with the model disabled
+// stay comparable against plain Nest.
+void Kernel::AccountCacheWarmth(Task* task, int cpu, SimTime now) {
+  const int socket = topology().SocketOf(cpu);
+  PeltSignal& here = task->llc_warmth[static_cast<size_t>(socket)];
+  // Decay the destination's warmth across the not-running gap first, so both
+  // the classification below and the accrual in UpdateCurr start from the
+  // task's true arrival-time warmth.
+  here.Update(now, 0.0);
+  const double warmth = here.raw();
+  const bool cross_llc = task->prev_cpu >= 0 && !topology().SameSocket(task->prev_cpu, cpu);
+  if (cross_llc) {
+    // The lines left behind are dead, not merely decaying: the refill charge
+    // pays for streaming them back in over the new LLC.
+    task->remaining_work += params_.cache.migration_cost_work;
+    task->llc_warmth[static_cast<size_t>(topology().SocketOf(task->prev_cpu))].Set(now, 0.0);
+  }
+  if (task->prev_cpu >= 0) {
+    const CacheEventKind classified = warmth >= params_.cache.warm_threshold
+                                          ? CacheEventKind::kWarmHit
+                                          : CacheEventKind::kColdMiss;
+    for (KernelObserver* obs : observers_for(kObsCacheEvent)) {
+      obs->OnCacheEvent(now, *task, classified, cpu, warmth);
+      if (cross_llc) {
+        obs->OnCacheEvent(now, *task, CacheEventKind::kCrossDieMigration, cpu, warmth);
+      }
+    }
+  }
 }
 
 void Kernel::StopRunning(int cpu, bool requeue) {
@@ -445,7 +486,18 @@ void Kernel::BeginComputeSegment(int cpu) {
   assert(task != nullptr && task->remaining_work > 0);
   const SimTime now = engine_->Now();
   task->seg_start = now;
-  task->seg_speed_ghz = std::max(hw_->EffectiveSpeedGhz(cpu), 1e-6);
+  double speed_ghz = hw_->EffectiveSpeedGhz(cpu);
+  if (cache_tracking_) {
+    // Warm-cache speedup (src/hw/cache_model.h): the factor is sampled at
+    // segment start and held for the segment, like the hardware speed — a
+    // piecewise-constant approximation that keeps completion times
+    // analytically exact per segment. Neutral parameters multiply by an
+    // exact 1.0.
+    const double warmth =
+        task->llc_warmth[static_cast<size_t>(topology().SocketOf(cpu))].ValueAt(now);
+    speed_ghz *= WarmSpeedupFactor(params_.cache, warmth);
+  }
+  task->seg_speed_ghz = std::max(speed_ghz, 1e-6);
   const double duration_ns = task->remaining_work / task->seg_speed_ghz;
   const SimDuration d = std::max<SimDuration>(1, static_cast<SimDuration>(std::ceil(duration_ns)));
   task->completion_event =
@@ -481,6 +533,11 @@ void Kernel::UpdateCurr(int cpu) {
   }
   task->util.Update(now, 1.0);
   cs.rq.util().Update(now, 1.0);
+  if (cache_tracking_) {
+    // Warmth accrues on the LLC the task is running on; the other sockets
+    // decay lazily (PeltSignal::ValueAt) when somebody reads them.
+    task->llc_warmth[static_cast<size_t>(topology().SocketOf(cpu))].Update(now, 1.0);
+  }
 }
 
 void Kernel::OnSpeedChange(int cpu) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/hw/cache_model.h"
 #include "src/hw/hardware.h"
 #include "src/kernel/cpu_mask.h"
 #include "src/kernel/domains.h"
@@ -54,8 +55,13 @@ class Kernel {
     // core than its last one; crossing sockets also refills the LLC. This is
     // what makes placement cascades and nest-bouncing expensive (the paper
     // correlates its hackbench slowdown with instruction-cache misses).
-    double migration_cost_work = 80e3;        // same die, ~25 us at 3 GHz        // same die, ~25 us at 3 GHz
+    double migration_cost_work = 80e3;        // same die, ~25 us at 3 GHz
     double cross_die_migration_cost_work = 400e3;
+    // Cache/NUMA warmth model (src/hw/cache_model.h): per-task LLC warmth, a
+    // warm-cache speedup on the service rate, and an extra cross-LLC
+    // migration charge. Defaults are a disabled model; the kernel skips all
+    // warmth bookkeeping unless this is enabled or the policy wants warmth.
+    CacheParams cache;
     // Fault injection for the invariant-checker self-tests (src/check/): when
     // > 0, every Nth EnqueueTask skips the final dispatch/preemption step —
     // a deliberate lost wakeup. 0 (the default) disables the hook; production
@@ -131,6 +137,19 @@ class Kernel {
   // Claims `cpu` for an in-flight placement; false if already claimed.
   bool TryClaimCpu(int cpu) { return cpus_[cpu].rq.TryClaim(engine_->Now()); }
 
+  // Whether per-task LLC warmth is maintained this run: the cache model is
+  // enabled or the policy asked for warmth. Fixed at construction.
+  bool TracksCacheWarmth() const { return cache_tracking_; }
+
+  // The task's decayed warmth on `cpu`'s LLC domain, in [0, 1]; 0.0 when
+  // warmth is not tracked. Read-only (lazy decay), usable from policies.
+  double LlcWarmth(const Task& task, int cpu) const {
+    if (task.llc_warmth.empty()) {
+      return 0.0;
+    }
+    return task.llc_warmth[topology().SocketOf(cpu)].ValueAt(engine_->Now());
+  }
+
   int root_cpu() const { return root_cpu_; }
   int live_tasks() const { return live_tasks_; }
   int live_tasks_for_tag(int tag) const;
@@ -193,6 +212,9 @@ class Kernel {
   // -- CPU scheduling --
   void ScheduleCpu(int cpu);           // pick next / go idle
   void StartRunning(Task* task, int cpu);
+  // Dispatch-time cache-warmth accounting (warm/cold classification, cross-
+  // LLC charge + reset). Only called when TracksCacheWarmth().
+  void AccountCacheWarmth(Task* task, int cpu, SimTime now);
   void StopRunning(int cpu, bool requeue);  // preemption or yield
   void MaybePreempt(int cpu, Task* enqueued);
   void EnterIdle(int cpu);
@@ -257,6 +279,7 @@ class Kernel {
   std::vector<SimTime> task_enqueue_time_;  // by tid; for steal_min_wait
 
   int next_tid_ = 1;
+  bool cache_tracking_ = false;  // params_.cache.enabled() || policy wants it
   uint64_t enqueue_count_ = 0;  // drives the test_skip_enqueue_dispatch hook
   int root_cpu_ = -1;
   int pending_injections_ = 0;

@@ -57,6 +57,26 @@ inline const char* NestEventKindName(NestEventKind kind) {
   return "?";
 }
 
+// Cache-warmth dispatch outcomes (src/hw/cache_model.h), surfaced by the
+// kernel when a task starts running with warmth tracking enabled.
+enum class CacheEventKind {
+  kWarmHit,            // dispatched onto an LLC where its warmth >= threshold
+  kColdMiss,           // dispatched onto an LLC where its warmth < threshold
+  kCrossDieMigration,  // resumed on a different LLC; paid the migration cost
+};
+
+inline const char* CacheEventKindName(CacheEventKind kind) {
+  switch (kind) {
+    case CacheEventKind::kWarmHit:
+      return "warm_hit";
+    case CacheEventKind::kColdMiss:
+      return "cold_miss";
+    case CacheEventKind::kCrossDieMigration:
+      return "cross_die_migration";
+  }
+  return "?";
+}
+
 // One bit per KernelObserver callback. The kernel keeps a dispatch list per
 // event, built from each observer's InterestMask() at registration, so firing
 // a callback only walks observers that actually override it — an event nobody
@@ -76,9 +96,10 @@ enum ObserverEvent : uint32_t {
   kObsIdleSpinStart = 1u << 11,
   kObsIdleSpinEnd = 1u << 12,
   kObsCoreFreqChange = 1u << 13,
+  kObsCacheEvent = 1u << 14,
 };
 
-inline constexpr int kNumObserverEvents = 14;
+inline constexpr int kNumObserverEvents = 15;
 inline constexpr uint32_t kObsAllEvents = (1u << kNumObserverEvents) - 1;
 
 class KernelObserver {
@@ -195,6 +216,19 @@ class KernelObserver {
     (void)now;
     (void)phys_core;
     (void)freq_ghz;
+  }
+
+  // Cache-warmth outcome of a dispatch: `task` started running on `cpu` with
+  // warmth `warmth` on the destination LLC. Only fired when warmth tracking
+  // is active (src/hw/cache_model.h); a cross-die resume fires
+  // kCrossDieMigration *and* its warm-hit/cold-miss classification.
+  virtual void OnCacheEvent(SimTime now, const Task& task, CacheEventKind kind, int cpu,
+                            double warmth) {
+    (void)now;
+    (void)task;
+    (void)kind;
+    (void)cpu;
+    (void)warmth;
   }
 };
 

@@ -64,6 +64,12 @@ class SchedulerPolicy {
   // lands (the compare-and-swap placement flag of §3.4).
   virtual bool UsesPlacementReservation() const { return false; }
 
+  // Whether the kernel must maintain per-task LLC warmth even when the cache
+  // model's behavioural knobs are neutral (src/hw/cache_model.h). Policies
+  // that read warmth for placement (NestCache) return true; the default
+  // keeps warmth bookkeeping entirely off the hot paths.
+  virtual bool WantsCacheWarmth() const { return false; }
+
  protected:
   Kernel* kernel_ = nullptr;
 };

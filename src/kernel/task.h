@@ -39,9 +39,10 @@ enum class PlacementPath {
   kNestCfsFallback,  // both nests busy; CFS chose, core joins the reserve
   kSmoveParked,      // Smove parked the task on the fast parent/waker core
   kSmoveCfs,         // Smove kept the CFS choice
+  kNestCacheWarm,    // NestCache re-anchored the search to the warm LLC
 };
 
-inline constexpr int kNumPlacementPaths = 12;
+inline constexpr int kNumPlacementPaths = 13;
 
 inline const char* PlacementPathName(PlacementPath path) {
   switch (path) {
@@ -69,6 +70,8 @@ inline const char* PlacementPathName(PlacementPath path) {
       return "smove_parked";
     case PlacementPath::kSmoveCfs:
       return "smove_cfs";
+    case PlacementPath::kNestCacheWarm:
+      return "nest_cache_warm";
   }
   return "?";
 }
@@ -100,6 +103,12 @@ struct Task {
 
   double vruntime = 0.0;
   PeltSignal util;
+
+  // Per-LLC cache warmth, indexed by socket (src/hw/cache_model.h): rises
+  // while the task runs on that socket, decays otherwise, both with the PELT
+  // half-life. Empty — and never touched — unless the kernel tracks warmth
+  // (cache model enabled or the policy wants it).
+  std::vector<PeltSignal> llc_warmth;
 
   Task* parent = nullptr;
   int live_children = 0;

@@ -1,0 +1,81 @@
+// The cache-aware Nest variant (ROADMAP item 3; docs/MODEL.md §5).
+//
+// Nest's concentration is frequency-driven: tasks go back to warm — highly
+// clocked — cores. NestCache adds the second locality axis, LLC affinity
+// (src/hw/cache_model.h): it reads the per-task LLC warmth the kernel
+// maintains and biases every decision that plain Nest makes die-blind:
+//
+//   * warm anchoring — a task warm on some LLC (warmth at or above
+//     warm_bias_threshold) searches the nests *on that die only* before the
+//     standard ladder may scatter it across the interconnect: an on-die
+//     primary hit, or an on-die reserve hit that plain Nest would have
+//     passed over in favour of an off-die primary core, is a kNestCacheWarm
+//     placement and avoids the cross-LLC refill;
+//   * cost-aware expansion — when both nests are full and CFS must pick the
+//     core that will join a nest, an idle unclaimed CPU on the task's
+//     warmest LLC is preferred over whatever CFS would scatter to;
+//   * compaction grace — primary cores on the die where the nest is
+//     concentrated get extra idle ticks before they become compaction
+//     eligible, so momentary dips don't evict the die everyone is warm on.
+//
+// With all three switches off, NestCachePolicy makes bit-identical decisions
+// to NestPolicy (the behaviour-invariance tests pin this); its only residue
+// is that the kernel tracks warmth (WantsCacheWarmth), which is free of
+// behavioural effects while the cache model's knobs are neutral.
+
+#ifndef NESTSIM_SRC_NEST_NEST_CACHE_POLICY_H_
+#define NESTSIM_SRC_NEST_NEST_CACHE_POLICY_H_
+
+#include "src/nest/nest_policy.h"
+
+namespace nestsim {
+
+struct NestCacheParams {
+  // Minimum warmth on some LLC before the warm-anchor bias redirects a wake
+  // search there. Shares the [0, 1] warmth scale with
+  // CacheParams::warm_threshold but is a separate knob: placement bias and
+  // counter classification sweep independently in the ablation.
+  double warm_bias_threshold = 0.5;
+
+  // Extra idle ticks (on top of NestParams::p_remove_ticks) before a primary
+  // core on the nest's dominant die becomes compaction eligible.
+  int compaction_grace_ticks = 2;
+
+  // Feature switches (ablation). All three off degenerates to plain Nest.
+  bool enable_warm_anchor = true;
+  bool enable_cost_aware_expansion = true;
+  bool enable_compaction_grace = true;
+};
+
+class NestCachePolicy : public NestPolicy {
+ public:
+  NestCachePolicy(NestParams nest, NestCacheParams cache)
+      : NestPolicy(nest), cache_params_(cache) {}
+
+  const char* name() const override { return "nest_cache"; }
+  bool WantsCacheWarmth() const override { return true; }
+
+  void OnTick() override;
+
+  const NestCacheParams& cache_params() const { return cache_params_; }
+
+ protected:
+  int SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx) override;
+  int CfsFallbackFork(Task& child, int parent_cpu) override;
+  int CfsFallbackWake(Task& task, const WakeContext& ctx) override;
+
+ private:
+  // The socket where `task` is warmest, with its warmth decayed to now; -1
+  // when warmth is untracked or everywhere zero.
+  int WarmestLlc(const Task& task, double* warmth) const;
+
+  // Cost-aware expansion: the lowest-numbered idle unclaimed CPU on the
+  // task's warmest LLC, or -1 when there is none (or the warmth is zero).
+  int WarmExpansionCpu(const Task& task) const;
+
+  NestCacheParams cache_params_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_NEST_NEST_CACHE_POLICY_H_

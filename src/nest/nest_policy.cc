@@ -116,7 +116,7 @@ void NestPolicy::OnTick() {
 // Nest searches
 // ---------------------------------------------------------------------------
 
-int NestPolicy::SearchPrimary(int anchor) {
+int NestPolicy::SearchPrimary(int anchor, bool anchor_die_only) {
   const Topology& topo = kernel_->topology();
   const int anchor_die = topo.SocketOf(anchor);
   const int num_cpus = topo.num_cpus();
@@ -131,7 +131,7 @@ int NestPolicy::SearchPrimary(int anchor) {
   for (int i = 0; i < num_cpus; ++i) {
     const int cpu = anchor + i < num_cpus ? anchor + i : anchor + i - num_cpus;
     if (topo.SocketOf(cpu) != anchor_die) {
-      if (cores_[cpu].in_primary) {
+      if (!anchor_die_only && cores_[cpu].in_primary) {
         offdie_scratch_.push_back(cpu);
       }
       continue;
@@ -167,7 +167,7 @@ int NestPolicy::SearchPrimary(int anchor) {
   return -1;
 }
 
-int NestPolicy::SearchReserve(int anchor) {
+int NestPolicy::SearchReserve(int anchor, bool anchor_die_only) {
   if (!params_.enable_reserve || reserve_size_ == 0) {
     return -1;
   }
@@ -187,7 +187,9 @@ int NestPolicy::SearchReserve(int anchor) {
       continue;
     }
     if (topo.SocketOf(cpu) != anchor_die) {
-      offdie_scratch_.push_back(cpu);
+      if (!anchor_die_only) {
+        offdie_scratch_.push_back(cpu);
+      }
       continue;
     }
     if (kernel_->CpuIdleUnclaimed(cpu)) {

@@ -73,7 +73,10 @@ class NestPolicy : public SchedulerPolicy {
   int PrimarySize() const;
   int ReserveSize() const { return reserve_size_; }
 
- private:
+ protected:
+  // Subclass seam: NestCachePolicy (src/nest/nest_cache_policy.h) reuses the
+  // membership management and searches, re-anchors selection toward a warm
+  // LLC, and overrides the fallbacks to expand onto cache-cheap cores.
   struct CoreInfo {
     bool in_primary = false;
     bool in_reserve = false;
@@ -82,18 +85,24 @@ class NestPolicy : public SchedulerPolicy {
   };
 
   // Shared fork/wake selection once the per-path preliminaries are done.
-  int SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx);
+  // Virtual so NestCachePolicy can interleave its warm-die-restricted passes
+  // with the standard primary → reserve → CFS ladder.
+  virtual int SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx);
 
   // Searches the primary nest for an idle unclaimed core: same die as
   // `anchor` first, then the other dies; numerical order from `anchor`.
-  // Demotes compaction-eligible cores it touches along the way.
-  int SearchPrimary(int anchor);
+  // Demotes compaction-eligible cores it touches along the way. With
+  // `anchor_die_only` the off-die pass is skipped entirely.
+  int SearchPrimary(int anchor, bool anchor_die_only = false);
   // Searches the reserve nest, starting from the fixed core (root_cpu),
-  // anchored die first.
-  int SearchReserve(int anchor);
+  // anchored die first; `anchor_die_only` skips the off-die pass.
+  int SearchReserve(int anchor, bool anchor_die_only = false);
 
-  int CfsFallbackFork(Task& child, int parent_cpu);
-  int CfsFallbackWake(Task& task, const WakeContext& ctx);
+  // Virtual so NestCachePolicy can make nest *expansion* migration-cost
+  // aware: when the nests are full, the CFS-chosen core is the one that
+  // joins a nest, and a cache-aware policy prefers it on a warm die.
+  virtual int CfsFallbackFork(Task& child, int parent_cpu);
+  virtual int CfsFallbackWake(Task& task, const WakeContext& ctx);
 
   void AddToPrimary(int cpu);
   void AddToReserve(int cpu);  // respects r_max; may drop the core instead

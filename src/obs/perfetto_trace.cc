@@ -68,6 +68,7 @@ PerfettoTraceWriter::PerfettoTraceWriter(Kernel* kernel, size_t max_events)
   meta(kPidCpu, 0, "process_name", "cpu activity");
   meta(kPidFreq, 0, "process_name", "core frequency (GHz)");
   meta(kPidSocket, 0, "process_name", "socket power & turbo");
+  meta(kPidCache, 0, "process_name", "cache warmth");
   for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
     meta(kPidCpu, cpu, "thread_name", "cpu " + std::to_string(cpu));
   }
@@ -256,6 +257,33 @@ void PerfettoTraceWriter::OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) 
 
 void PerfettoTraceWriter::OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) {
   PushCounter(now, kPidFreq, "core" + std::to_string(phys_core), "GHz", freq_ghz);
+}
+
+void PerfettoTraceWriter::OnCacheEvent(SimTime now, const Task& task, CacheEventKind kind,
+                                       int cpu, double warmth) {
+  TraceEvent ev;
+  ev.ts = now;
+  ev.ph = 'i';
+  ev.pid = kPidCpu;
+  ev.tid = cpu;
+  ev.name = std::string("cache:") + CacheEventKindName(kind);
+  std::string args = "{\"task\":\"";
+  args += Escape(task.name);
+  args += "\",\"tid\":";
+  args += std::to_string(task.tid);
+  char warmth_buf[32];
+  std::snprintf(warmth_buf, sizeof(warmth_buf), ",\"warmth\":%.4f}", warmth);
+  args += warmth_buf;
+  ev.args = std::move(args);
+  Push(std::move(ev));
+
+  // Cross-die events ride along with the warm/cold classification of the
+  // same resume; only the classification samples the counter track.
+  if (kind != CacheEventKind::kCrossDieMigration) {
+    const int socket = kernel_->topology().SocketOf(cpu);
+    PushCounter(now, kPidCache, "llc" + std::to_string(socket) + " resume warmth", "warmth",
+                warmth);
+  }
 }
 
 void PerfettoTraceWriter::OnTick(SimTime now) {

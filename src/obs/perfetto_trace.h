@@ -12,6 +12,10 @@
 //   pid 2  "core frequency"    one counter track per physical core (GHz).
 //   pid 3  "socket power"      per-socket counter tracks: watts and turbo
 //                              licenses, sampled at every scheduler tick.
+//   pid 4  "cache warmth"      per-LLC counter tracks: the resuming task's
+//                              warmth on its destination LLC, sampled at each
+//                              cache event (warm hit / cold miss / cross-die
+//                              migration, also instants on the cpu track).
 //
 // The full event schema (names, args, units) is docs/OBSERVABILITY.md.
 // Strictly read-only: attaching a writer never changes simulation behaviour.
@@ -30,17 +34,18 @@ namespace nestsim {
 
 class PerfettoTraceWriter : public KernelObserver {
  public:
-  // Process ids of the trace's three synthetic processes.
+  // Process ids of the trace's four synthetic processes.
   static constexpr int kPidCpu = 1;
   static constexpr int kPidFreq = 2;
   static constexpr int kPidSocket = 3;
+  static constexpr int kPidCache = 4;
 
   explicit PerfettoTraceWriter(Kernel* kernel, size_t max_events = 2'000'000);
 
   uint32_t InterestMask() const override {
     return kObsContextSwitch | kObsTaskPlaced | kObsTaskEnqueued | kObsReservationCollision |
            kObsTaskMigrated | kObsNestEvent | kObsIdleSpinStart | kObsIdleSpinEnd |
-           kObsCoreFreqChange | kObsTick;
+           kObsCoreFreqChange | kObsTick | kObsCacheEvent;
   }
 
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
@@ -53,6 +58,8 @@ class PerfettoTraceWriter : public KernelObserver {
   void OnIdleSpinStart(SimTime now, int cpu, int max_ticks) override;
   void OnIdleSpinEnd(SimTime now, int cpu, bool became_busy) override;
   void OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) override;
+  void OnCacheEvent(SimTime now, const Task& task, CacheEventKind kind, int cpu,
+                    double warmth) override;
   void OnTick(SimTime now) override;
 
   // Closes open stints/spins at `end` and sorts events by timestamp. Call

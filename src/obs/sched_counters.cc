@@ -26,6 +26,9 @@ void SchedCounters::Add(const SchedCounters& other) {
   freq_ramps_down += other.freq_ramps_down;
   wc_violation_ns += other.wc_violation_ns;
   wc_violation_episodes += other.wc_violation_episodes;
+  cache_warm_hits += other.cache_warm_hits;
+  cache_cold_misses += other.cache_cold_misses;
+  cache_cross_die_migrations += other.cache_cross_die_migrations;
 }
 
 uint64_t SchedCounters::NestHits() const {
@@ -33,7 +36,8 @@ uint64_t SchedCounters::NestHits() const {
          placements[static_cast<int>(PlacementPath::kNestReserve)] +
          placements[static_cast<int>(PlacementPath::kNestAttached)] +
          placements[static_cast<int>(PlacementPath::kNestPrevCore)] +
-         placements[static_cast<int>(PlacementPath::kNestImpatient)];
+         placements[static_cast<int>(PlacementPath::kNestImpatient)] +
+         placements[static_cast<int>(PlacementPath::kNestCacheWarm)];
 }
 
 uint64_t SchedCounters::NestMisses() const {
@@ -75,6 +79,12 @@ std::string SchedCountersJson(const SchedCounters& c) {
   std::string out = "{\"placements\":{";
   bool first = true;
   for (int i = 0; i < kNumPlacementPaths; ++i) {
+    // The cache-aware path only joined in the cache-model PR; omitting it
+    // when unused keeps every pre-cache golden digest byte-identical.
+    if (static_cast<PlacementPath>(i) == PlacementPath::kNestCacheWarm &&
+        c.placements[i] == 0) {
+      continue;
+    }
     AppendU64(out, PlacementPathName(static_cast<PlacementPath>(i)), c.placements[i], &first);
   }
   out += '}';
@@ -97,6 +107,14 @@ std::string SchedCountersJson(const SchedCounters& c) {
   AppendU64(out, "freq_ramps_down", c.freq_ramps_down, &first);
   AppendU64(out, "wc_violation_ns", c.wc_violation_ns, &first);
   AppendU64(out, "wc_violation_episodes", c.wc_violation_episodes, &first);
+  // The cache block is schema-stable *among runs that track warmth*; runs
+  // without the model omit it entirely so their digests predate the model.
+  if (c.cache_warm_hits != 0 || c.cache_cold_misses != 0 ||
+      c.cache_cross_die_migrations != 0) {
+    AppendU64(out, "cache_warm_hits", c.cache_warm_hits, &first);
+    AppendU64(out, "cache_cold_misses", c.cache_cold_misses, &first);
+    AppendU64(out, "cache_cross_die_migrations", c.cache_cross_die_migrations, &first);
+  }
   out += '}';
   return out;
 }

@@ -59,6 +59,15 @@ struct SchedCounters {
   uint64_t wc_violation_ns = 0;
   uint64_t wc_violation_episodes = 0;
 
+  // Cache-warmth events (src/hw/cache_model.h): resumes classified by the
+  // task's warmth on the destination LLC against CacheParams::warm_threshold,
+  // plus cross-LLC moves that reset warmth (and pay the refill cost when one
+  // is configured). All zero unless the kernel tracks warmth; the JSON
+  // encoder omits them when zero so pre-cache golden digests are unchanged.
+  uint64_t cache_warm_hits = 0;
+  uint64_t cache_cold_misses = 0;
+  uint64_t cache_cross_die_migrations = 0;
+
   void Add(const SchedCounters& other);
 
   // Placements that landed inside a nest (primary/reserve/attached/prev-core/
@@ -73,7 +82,9 @@ struct SchedCounters {
 std::string NestSummary(const SchedCounters& c);
 
 // Compact JSON object, e.g. {"placements":{"cfs_wake":12,...},...}. Every
-// field is always present so records are schema-stable.
+// field is always present so records are schema-stable — except the cache
+// block (cache_* and the nest_cache_warm placement path), which only appears
+// when nonzero: runs without warmth tracking keep their pre-cache digests.
 std::string SchedCountersJson(const SchedCounters& c);
 
 // Fills a SchedCounters from the kernel's observer callbacks. Purely
@@ -87,7 +98,7 @@ class SchedCounterRecorder : public KernelObserver {
   uint32_t InterestMask() const override {
     return kObsTaskPlaced | kObsReservationCollision | kObsTaskMigrated | kObsNestEvent |
            kObsIdleSpinStart | kObsIdleSpinEnd | kObsCoreFreqChange | kObsTaskEnqueued |
-           kObsContextSwitch | kObsTick;
+           kObsContextSwitch | kObsTick | kObsCacheEvent;
   }
 
   void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override {
@@ -163,6 +174,25 @@ class SchedCounterRecorder : public KernelObserver {
       ++counters_.spin_converted;
     } else {
       ++counters_.spin_expired;
+    }
+  }
+
+  void OnCacheEvent(SimTime now, const Task& task, CacheEventKind kind, int cpu,
+                    double warmth) override {
+    (void)now;
+    (void)task;
+    (void)cpu;
+    (void)warmth;
+    switch (kind) {
+      case CacheEventKind::kWarmHit:
+        ++counters_.cache_warm_hits;
+        break;
+      case CacheEventKind::kColdMiss:
+        ++counters_.cache_cold_misses;
+        break;
+      case CacheEventKind::kCrossDieMigration:
+        ++counters_.cache_cross_die_migrations;
+        break;
     }
   }
 

@@ -318,6 +318,43 @@ const std::vector<OverrideSpec>& Overrides() {
          c->smove.move_delay = static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
          return true;
        }},
+      // Cache-warmth model (src/hw/cache_model.h, docs/MODEL.md §5). Applies
+      // to every scheduler; at the defaults (speedup 1, cost 0) the model is
+      // off and behaviour is byte-identical to a build without it.
+      {"cache.warm_speedup", "number in [1, 10]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 1.0, 10.0, &c->kernel.cache.warm_speedup);
+       }},
+      {"cache.migration_cost_work", "number in [0, 1e9]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1e9, &c->kernel.cache.migration_cost_work);
+       }},
+      {"cache.warm_threshold", "number in [0, 1]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1.0, &c->kernel.cache.warm_threshold);
+       }},
+      // NestCachePolicy extras (src/nest/nest_cache_policy.h); only the
+      // nest_cache variant reads them.
+      {"nest_cache.warm_bias_threshold", "number in [0, 1]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1.0, &c->nest_cache.warm_bias_threshold);
+       }},
+      {"nest_cache.compaction_grace_ticks", "integer in [0, 1000]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideInt(v, 0, 1000, &c->nest_cache.compaction_grace_ticks);
+       }},
+      {"nest_cache.enable_warm_anchor", "bool",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideBool(v, &c->nest_cache.enable_warm_anchor);
+       }},
+      {"nest_cache.enable_cost_aware_expansion", "bool",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideBool(v, &c->nest_cache.enable_cost_aware_expansion);
+       }},
+      {"nest_cache.enable_compaction_grace", "bool",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideBool(v, &c->nest_cache.enable_compaction_grace);
+       }},
   };
   return *specs;
 }

@@ -3,6 +3,11 @@
 // All of nestsim uses a single integer time base so that event ordering is
 // exact and runs are bit-reproducible. Helpers below convert from human units;
 // `FormatTime` renders a time for logs and tables.
+//
+// Work, by contrast, is measured in GHz-ns throughout the kernel and
+// hardware model: W GHz-ns at an effective speed of s GHz take W / s
+// nanoseconds. docs/MODEL.md §1 specifies the unit conventions and how the
+// effective speed is composed (frequency × SMT factor × cache warmth).
 
 #ifndef NESTSIM_SRC_SIM_TIME_H_
 #define NESTSIM_SRC_SIM_TIME_H_

@@ -1,0 +1,125 @@
+// Behaviour-invariance guarantees of the cache/NUMA warmth model
+// (docs/MODEL.md §5): a disabled model is byte-identical to the pre-model
+// simulator for every scheduler, NestCache with its three switches off makes
+// the same decisions as plain Nest, and an enabled model actually moves the
+// metrics. These are the experiment-level counterparts of the golden-digest
+// gate on scenarios/cache_ablation.json.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/workloads/nas.h"
+
+namespace nestsim {
+namespace {
+
+NasWorkload SmallGang(int threads) {
+  NasSpec spec;
+  spec.kernel_name = "cg";
+  spec.threads = threads;
+  spec.iter_compute_ms = 0.3;
+  spec.iterations = 2;
+  spec.jitter = 0.3;
+  spec.serial_setup_ms = 0.2;
+  return NasWorkload(spec);
+}
+
+TEST(CacheInvarianceTest, DisabledModelIsByteIdenticalForEveryScheduler) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+    ExperimentConfig base;
+    base.scheduler = kind;
+
+    ExperimentConfig tweaked = base;
+    // Neutral knobs (speedup 1.0, cost 0) leave the model disabled, so even
+    // a shifted warm_threshold must be invisible: no tracking, no counters.
+    tweaked.kernel.cache.warm_speedup = 1.0;
+    tweaked.kernel.cache.migration_cost_work = 0.0;
+    tweaked.kernel.cache.warm_threshold = 0.9;
+
+    const NasWorkload workload = SmallGang(40);
+    const ExperimentResult a = RunExperiment(base, workload);
+    const ExperimentResult b = RunExperiment(tweaked, workload);
+    EXPECT_EQ(a.makespan, b.makespan) << SchedulerKindName(kind);
+    EXPECT_EQ(a.energy_joules, b.energy_joules) << SchedulerKindName(kind);
+    EXPECT_EQ(a.context_switches, b.context_switches) << SchedulerKindName(kind);
+    EXPECT_EQ(a.migrations, b.migrations) << SchedulerKindName(kind);
+    EXPECT_EQ(SchedCountersJson(a.counters), SchedCountersJson(b.counters))
+        << SchedulerKindName(kind);
+    EXPECT_EQ(a.counters.cache_warm_hits, 0u);
+    EXPECT_EQ(a.counters.cache_cold_misses, 0u);
+  }
+}
+
+TEST(CacheInvarianceTest, NestCacheAllSwitchesOffMatchesNestBehaviour) {
+  ExperimentConfig nest;
+  nest.scheduler = SchedulerKind::kNest;
+
+  ExperimentConfig nest_cache = nest;
+  nest_cache.scheduler = SchedulerKind::kNestCache;
+  nest_cache.nest_cache.enable_warm_anchor = false;
+  nest_cache.nest_cache.enable_cost_aware_expansion = false;
+  nest_cache.nest_cache.enable_compaction_grace = false;
+
+  // Oversubscribed so wakes actually contend and reach the common ladder.
+  const NasWorkload workload = SmallGang(96);
+  const ExperimentResult a = RunExperiment(nest, workload);
+  const ExperimentResult b = RunExperiment(nest_cache, workload);
+
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.migrations, b.migrations);
+  for (int i = 0; i < kNumPlacementPaths; ++i) {
+    EXPECT_EQ(a.counters.placements[i], b.counters.placements[i])
+        << PlacementPathName(static_cast<PlacementPath>(i));
+  }
+
+  // The only residue: NestCache keeps warmth tracking on (WantsCacheWarmth),
+  // so the purely observational warm/cold classification still fires.
+  EXPECT_EQ(a.counters.cache_warm_hits + a.counters.cache_cold_misses, 0u);
+  EXPECT_GT(b.counters.cache_warm_hits + b.counters.cache_cold_misses, 0u);
+  SchedCounters scrubbed = b.counters;
+  scrubbed.cache_warm_hits = 0;
+  scrubbed.cache_cold_misses = 0;
+  scrubbed.cache_cross_die_migrations = 0;
+  EXPECT_EQ(SchedCountersJson(a.counters), SchedCountersJson(scrubbed));
+}
+
+TEST(CacheInvarianceTest, WarmSpeedupShortensTheRun) {
+  ExperimentConfig base;
+  base.scheduler = SchedulerKind::kNest;
+  ExperimentConfig sped = base;
+  sped.kernel.cache.warm_speedup = 1.5;
+
+  const NasWorkload workload = SmallGang(40);
+  const ExperimentResult slow = RunExperiment(base, workload);
+  const ExperimentResult fast = RunExperiment(sped, workload);
+  EXPECT_LT(fast.makespan, slow.makespan);
+}
+
+TEST(CacheInvarianceTest, ContendedNestCacheRunUsesTheWarmPath) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kNestCache;
+  config.kernel.cache.warm_speedup = 1.3;
+  config.kernel.cache.migration_cost_work = 2e6;
+  config.kernel.cache.warm_threshold = 0.1;
+  config.nest_cache.warm_bias_threshold = 0.1;
+
+  NasSpec spec;
+  spec.kernel_name = "cg";
+  spec.threads = 100;
+  spec.iter_compute_ms = 1.0;
+  spec.iterations = 6;
+  spec.jitter = 0.4;
+  spec.serial_setup_ms = 0.5;
+  const ExperimentResult r = RunExperiment(config, NasWorkload(spec));
+
+  const SchedCounters& c = r.counters;
+  EXPECT_GT(c.placements[static_cast<int>(PlacementPath::kNestCacheWarm)], 0u);
+  EXPECT_GT(c.cache_warm_hits, 0u);
+  EXPECT_GT(c.cache_cross_die_migrations, 0u);
+}
+
+}  // namespace
+}  // namespace nestsim

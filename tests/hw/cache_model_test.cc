@@ -1,0 +1,52 @@
+// CacheParams / WarmSpeedupFactor unit tests (src/hw/cache_model.h). The
+// load-bearing property is the exact identities: default parameters must be
+// a disabled model, and a neutral speedup must multiply by an exact 1.0 so
+// the pre-model golden baselines stay byte-identical.
+
+#include "src/hw/cache_model.h"
+
+#include <gtest/gtest.h>
+
+namespace nestsim {
+namespace {
+
+TEST(CacheModelTest, DefaultsAreADisabledModel) {
+  CacheParams params;
+  EXPECT_EQ(params.warm_speedup, 1.0);
+  EXPECT_EQ(params.migration_cost_work, 0.0);
+  EXPECT_FALSE(params.enabled());
+}
+
+TEST(CacheModelTest, EitherBehaviouralKnobEnablesTheModel) {
+  CacheParams params;
+  params.warm_speedup = 1.2;
+  EXPECT_TRUE(params.enabled());
+
+  params = CacheParams{};
+  params.migration_cost_work = 1.0;
+  EXPECT_TRUE(params.enabled());
+
+  // warm_threshold is observability-only and deliberately does not count.
+  params = CacheParams{};
+  params.warm_threshold = 0.01;
+  EXPECT_FALSE(params.enabled());
+}
+
+TEST(CacheModelTest, SpeedupFactorInterpolatesLinearly) {
+  CacheParams params;
+  params.warm_speedup = 2.0;
+  EXPECT_EQ(WarmSpeedupFactor(params, 0.0), 1.0);
+  EXPECT_EQ(WarmSpeedupFactor(params, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(WarmSpeedupFactor(params, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(WarmSpeedupFactor(params, 0.25), 1.25);
+}
+
+TEST(CacheModelTest, NeutralSpeedupIsAnExactIdentity) {
+  CacheParams params;  // warm_speedup == 1.0
+  for (double w : {0.0, 0.123456789, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(WarmSpeedupFactor(params, w), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -110,6 +110,12 @@ TEST_P(InvariantSweep, HoldsThroughoutABusyRun) {
     case SchedulerKind::kSmove:
       policy = std::make_unique<SmovePolicy>();
       break;
+    case SchedulerKind::kNestCache: {
+      auto owned = std::make_unique<NestCachePolicy>(NestParams{}, NestCacheParams{});
+      nest = owned.get();
+      policy = std::move(owned);
+      break;
+    }
   }
   SchedutilGovernor governor;
   Kernel kernel(&engine, &hw, policy.get(), &governor);
@@ -138,8 +144,8 @@ TEST_P(InvariantSweep, HoldsThroughoutABusyRun) {
 std::vector<Case> Cases() {
   std::vector<Case> cases;
   for (const MachineSpec& m : AllMachines()) {
-    for (SchedulerKind kind :
-         {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove}) {
+    for (SchedulerKind kind : {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove,
+                               SchedulerKind::kNestCache}) {
       cases.push_back({m.name, kind});
     }
   }

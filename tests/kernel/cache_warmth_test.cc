@@ -1,0 +1,233 @@
+// Kernel-level tests of the cache/NUMA warmth model (src/hw/cache_model.h,
+// docs/MODEL.md §5): PELT-exact accrual and decay of per-task LLC warmth,
+// the cross-die reset + refill charge, the warm/cold counter classification,
+// and the guarantee that a disabled model changes nothing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/governors/governors.h"
+#include "src/kernel/kernel.h"
+#include "src/nest/nest_cache_policy.h"
+#include "src/nest/nest_policy.h"
+#include "src/obs/sched_counters.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+// A 2-socket, 4-core, SMT-2 machine pinned at exactly 1.0 GHz everywhere:
+// 1 GHz-ns of work takes exactly 1 ns, so warmth timestamps and migration
+// charges can be asserted in closed form.
+struct WarmthRig {
+  explicit WarmthRig(SchedulerPolicy* policy, CacheParams cache)
+      : hw(&engine, FixedFreqMachine(2, 4, 2)),
+        kernel(&engine, &hw, policy, &governor, MakeParams(cache)),
+        recorder(&kernel) {
+    kernel.AddObserver(&recorder);
+    kernel.Start();
+  }
+
+  static Kernel::Params MakeParams(CacheParams cache) {
+    Kernel::Params params;
+    params.cache = cache;
+    return params;
+  }
+
+  Task* Spawn(ProgramPtr program, int cpu) {
+    return kernel.SpawnInitial(std::move(program), "t", 0, cpu);
+  }
+
+  Task* Occupy(int cpu) {
+    ProgramBuilder b("hog");
+    b.Compute(1e12);
+    return kernel.SpawnInitial(b.Build(), "hog", 0, cpu);
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  PerformanceGovernor governor;
+  Kernel kernel;
+  SchedCounterRecorder recorder;
+};
+
+double ExpectedAccrual(double active_ms) {
+  // PELT with full activity from a cold start: 1 - 2^(-t / half-life).
+  return 1.0 - std::exp2(-active_ms / 32.0);
+}
+
+TEST(CacheWarmthTest, TrackingRequiresEnabledModelOrPolicyWish) {
+  {
+    CfsPolicy cfs;
+    WarmthRig rig(&cfs, CacheParams{});  // defaults: disabled
+    EXPECT_FALSE(rig.kernel.TracksCacheWarmth());
+    Task* t = rig.Occupy(0);
+    EXPECT_TRUE(t->llc_warmth.empty());
+    EXPECT_EQ(rig.kernel.LlcWarmth(*t, 0), 0.0);
+  }
+  {
+    CfsPolicy cfs;
+    CacheParams cache;
+    cache.migration_cost_work = 1.0;
+    WarmthRig rig(&cfs, cache);
+    EXPECT_TRUE(rig.kernel.TracksCacheWarmth());
+  }
+  {
+    // The policy's wish alone turns tracking on, even with a neutral model.
+    NestCachePolicy nest_cache{NestParams{}, NestCacheParams{}};
+    WarmthRig rig(&nest_cache, CacheParams{});
+    EXPECT_TRUE(rig.kernel.TracksCacheWarmth());
+    Task* t = rig.Occupy(0);
+    EXPECT_EQ(t->llc_warmth.size(),
+              static_cast<size_t>(rig.kernel.topology().num_sockets()));
+  }
+}
+
+TEST(CacheWarmthTest, WarmthAccruesWithThePeltHalfLifeWhileRunning) {
+  CfsPolicy cfs;
+  CacheParams cache;
+  cache.warm_speedup = 1.25;
+  WarmthRig rig(&cfs, cache);
+
+  ProgramBuilder b("worker");
+  b.Compute(1e9);  // runs well past the test horizon
+  Task* t = rig.Spawn(b.Build(), 0);
+
+  rig.engine.RunUntil(10 * kMillisecond);
+  const double w10 = rig.kernel.LlcWarmth(*t, 0);
+  rig.engine.RunUntil(20 * kMillisecond);
+  const double w20 = rig.kernel.LlcWarmth(*t, 0);
+  rig.engine.RunUntil(46 * kMillisecond);
+  const double w46 = rig.kernel.LlcWarmth(*t, 0);
+
+  EXPECT_GT(w10, 0.0);
+  EXPECT_GT(w20, w10);
+  EXPECT_GT(w46, w20);
+  EXPECT_LT(w46, 1.0);
+
+  // Exact closed form: accrual is updated at every 4 ms tick (last at 44 ms)
+  // and LlcWarmth decays the remaining 2 ms lazily. PELT's geometric updates
+  // compose exactly, so the cadence drops out of the math.
+  const double expected = ExpectedAccrual(44.0) * std::exp2(-2.0 / 32.0);
+  EXPECT_NEAR(w46, expected, 1e-9);
+
+  // The other socket never saw the task.
+  const int other = rig.kernel.topology().CpusOnSocket(1).front();
+  EXPECT_EQ(rig.kernel.LlcWarmth(*t, other), 0.0);
+}
+
+TEST(CacheWarmthTest, IdleWarmthDecaysWithTheExactHalfLife) {
+  CfsPolicy cfs;
+  CacheParams cache;
+  cache.migration_cost_work = 1e3;  // enables tracking; never triggered here
+  WarmthRig rig(&cfs, cache);
+
+  ProgramBuilder b("worker");
+  b.Compute(20e6);  // exactly 20 ms at the pinned 1 GHz
+  b.SleepMs(200);
+  Task* t = rig.Spawn(b.Build(), 0);
+
+  rig.engine.RunUntil(25 * kMillisecond);
+  const double w25 = rig.kernel.LlcWarmth(*t, 0);
+  EXPECT_NEAR(w25, ExpectedAccrual(20.0) * std::exp2(-5.0 / 32.0), 1e-9);
+
+  // One half-life later the blocked task's warmth has exactly halved.
+  rig.engine.RunUntil(57 * kMillisecond);
+  const double w57 = rig.kernel.LlcWarmth(*t, 0);
+  EXPECT_NEAR(w57 / w25, 0.5, 1e-12);
+}
+
+TEST(CacheWarmthTest, CrossDieResumeResetsWarmthAndCountsEvents) {
+  // Nest's work-conserving wake path pushes the sleeper across the
+  // interconnect once its whole home die is busy — the move the model bills.
+  NestPolicy nest;
+  CacheParams cache;
+  cache.migration_cost_work = 5e6;
+  cache.warm_threshold = 0.1;
+  WarmthRig rig(&nest, cache);
+  const Topology& topo = rig.kernel.topology();
+
+  // The sleeper's first stint (2 ms) ends before the first tick, so it
+  // blocks on cpu 0 — recording the stint — rather than getting preempted
+  // and stolen while queued (a move with no stint history behind it).
+  ProgramBuilder b("sleeper");
+  b.Compute(2e6);
+  b.SleepMs(50);
+  b.Compute(10e6);
+  Task* t = rig.Spawn(b.Build(), 0);
+  // cpu 0's hog dozes through that first stint, then computes forever; the
+  // rest of socket 0 is hogged from the start. At wake time the whole home
+  // die is busy and Nest's fallback crosses the interconnect.
+  ProgramBuilder hog0("hog");
+  hog0.SleepMs(3);
+  hog0.Compute(1e12);
+  rig.kernel.SpawnInitial(hog0.Build(), "hog", 0, 0);
+  for (const int cpu : topo.CpusOnSocket(0)) {
+    if (cpu != 0) {
+      rig.Occupy(cpu);
+    }
+  }
+
+  // Run until the sleeper resumes on the remote socket.
+  while (t->state != TaskState::kDead &&
+         !(t->state == TaskState::kRunning && topo.SocketOf(t->cpu) == 1) &&
+         rig.engine.Now() < kSecond) {
+    ASSERT_TRUE(rig.engine.Step());
+  }
+  ASSERT_EQ(t->state, TaskState::kRunning);
+  ASSERT_EQ(topo.SocketOf(t->cpu), 1);
+
+  // The lines left on socket 0 are dead: warmth there reset to exactly zero.
+  EXPECT_EQ(rig.kernel.LlcWarmth(*t, topo.CpusOnSocket(0).front()), 0.0);
+
+  const SchedCounters& c = rig.recorder.counters();
+  EXPECT_GE(c.cache_cross_die_migrations, 1u);
+  // Arriving on a socket it never ran on is a cold miss by definition.
+  EXPECT_GE(c.cache_cold_misses, 1u);
+
+  // Warmth then accrues on the new home.
+  rig.engine.RunUntil(rig.engine.Now() + 4 * kMillisecond);
+  EXPECT_GT(rig.kernel.LlcWarmth(*t, t->cpu), 0.0);
+}
+
+TEST(CacheWarmthTest, MigrationCostDelaysCompletionByExactlyTheCharge) {
+  // Two identical runs differing only in cache.migration_cost_work: the
+  // placements are the same (cost is charged after the decision), so the
+  // sleeper's exit shifts by exactly cost / 1 GHz.
+  auto RunOnce = [](double cost_work) {
+    NestPolicy nest;
+    CacheParams cache;
+    cache.migration_cost_work = cost_work;
+    cache.warm_speedup = 1.0;
+    WarmthRig rig(&nest, cache);
+    const Topology& topo = rig.kernel.topology();
+    ProgramBuilder b("sleeper");
+    b.Compute(2e6);
+    b.SleepMs(50);
+    b.Compute(10e6);
+    Task* t = rig.Spawn(b.Build(), 0);
+    ProgramBuilder hog0("hog");
+    hog0.SleepMs(3);
+    hog0.Compute(1e12);
+    rig.kernel.SpawnInitial(hog0.Build(), "hog", 0, 0);
+    for (const int cpu : topo.CpusOnSocket(0)) {
+      if (cpu != 0) {
+        rig.Occupy(cpu);
+      }
+    }
+    while (t->state != TaskState::kDead && rig.engine.Now() < kSecond) {
+      rig.engine.Step();
+    }
+    EXPECT_EQ(t->state, TaskState::kDead);
+    return rig.engine.Now();
+  };
+
+  const SimTime base = RunOnce(0.0);
+  const SimTime charged = RunOnce(5e6);
+  EXPECT_NEAR(static_cast<double>(charged - base), 5e6, 1.0);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -1,0 +1,313 @@
+// NestCachePolicy selection tests (src/nest/nest_cache_policy.h): the
+// warm-anchor bias toward the task's warm die, cost-aware expansion on the
+// CFS fallback, the dominant-die compaction grace, and the guarantee that
+// all switches off degenerates to plain Nest decisions.
+//
+// Directly-constructed Tasks carry no warmth state; tests that need it
+// resize llc_warmth (one PeltSignal per socket) and Set it explicitly.
+
+#include "src/nest/nest_cache_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/governors/governors.h"
+#include "tests/testing/test_machine.h"
+
+namespace nestsim {
+namespace {
+
+struct NestCacheRig {
+  explicit NestCacheRig(NestCacheParams cache_params = NestCacheParams(),
+                        NestParams params = NestParams())
+      : hw(&engine, FixedFreqMachine(2, 4, 2)),
+        nest(params, cache_params),
+        kernel(&engine, &hw, &nest, &governor) {
+    kernel.Start();
+    ProgramBuilder b("root");
+    b.Compute(1);
+    kernel.SpawnInitial(b.Build(), "root", 0, 0);
+    engine.RunUntil(kMillisecond);
+  }
+
+  Task* Occupy(int cpu) {
+    ProgramBuilder b("hog");
+    b.Compute(1e12);
+    return kernel.SpawnInitial(b.Build(), "hog", 0, cpu);
+  }
+
+  int Wake(Task& t, int waker) {
+    WakeContext ctx;
+    ctx.waker_cpu = waker;
+    return nest.SelectCpuWake(t, ctx);
+  }
+
+  // Makes `cpu` a primary-nest member via the previous-core favouring path.
+  void MakePrimary(int cpu) {
+    Task t;
+    t.prev_cpu = cpu;
+    ASSERT_EQ(Wake(t, 0), cpu);
+    ASSERT_TRUE(nest.InPrimary(cpu));
+  }
+
+  // Seeds a warmth map that is `warmth`-warm on `socket` and cold elsewhere.
+  void SeedWarmth(Task& t, int socket, double warmth) {
+    t.llc_warmth.resize(static_cast<size_t>(kernel.topology().num_sockets()));
+    t.llc_warmth[static_cast<size_t>(socket)].Set(engine.Now(), warmth);
+  }
+
+  Engine engine;
+  HardwareModel hw;
+  PerformanceGovernor governor;
+  NestCachePolicy nest;
+  Kernel kernel;
+};
+
+TEST(NestCachePolicyTest, NameAndWarmthWish) {
+  NestCacheRig rig;
+  EXPECT_STREQ(rig.nest.name(), "nest_cache");
+  EXPECT_TRUE(rig.nest.WantsCacheWarmth());
+  NestPolicy plain;
+  EXPECT_FALSE(plain.WantsCacheWarmth());
+}
+
+// The decisive divergence from plain Nest: a warm task whose die has a free
+// *reserve* core but no free primary core stays home instead of taking the
+// off-die primary core the standard ladder ranks first.
+TEST(NestCachePolicyTest, WarmTaskPrefersOnDieReserveOverOffDiePrimary) {
+  NestCacheRig rig;
+  const Topology& topo = rig.kernel.topology();
+  const int s0a = topo.CpusOnSocket(0)[1];
+  const int s0b = topo.CpusOnSocket(0)[2];
+  const int s1a = topo.CpusOnSocket(1)[0];
+
+  rig.MakePrimary(s0a);
+  rig.MakePrimary(s0b);
+  // Demote s0b to the reserve: a task exit on an idle primary core does it.
+  Task gone;
+  rig.nest.OnTaskExit(gone, s0b);
+  ASSERT_TRUE(rig.nest.InReserve(s0b));
+  rig.MakePrimary(s1a);
+  rig.Occupy(s0a);  // the warm die's only primary core is now busy
+
+  Task t;
+  t.prev_cpu = s0a;  // busy, so the wake reaches the common ladder
+  rig.SeedWarmth(t, 0, 0.9);
+  const int chosen = rig.Wake(t, s1a);
+  EXPECT_EQ(chosen, s0b);
+  EXPECT_EQ(t.placement_path, PlacementPath::kNestCacheWarm);
+  // The reserve hit earns the same promotion as in the standard ladder.
+  EXPECT_TRUE(rig.nest.InPrimary(s0b));
+  EXPECT_FALSE(rig.nest.InReserve(s0b));
+}
+
+TEST(NestCachePolicyTest, WarmAnchorOffTakesTheOffDiePrimary) {
+  NestCacheParams cp;
+  cp.enable_warm_anchor = false;
+  NestCacheRig rig(cp);
+  const Topology& topo = rig.kernel.topology();
+  const int s0a = topo.CpusOnSocket(0)[1];
+  const int s0b = topo.CpusOnSocket(0)[2];
+  const int s1a = topo.CpusOnSocket(1)[0];
+
+  rig.MakePrimary(s0a);
+  rig.MakePrimary(s0b);
+  Task gone;
+  rig.nest.OnTaskExit(gone, s0b);
+  rig.MakePrimary(s1a);
+  rig.Occupy(s0a);
+
+  Task t;
+  t.prev_cpu = s0a;
+  rig.SeedWarmth(t, 0, 0.9);
+  // Identical setup to the test above, but the switch is off: plain Nest
+  // ranks the off-die primary core above the on-die reserve.
+  EXPECT_EQ(rig.Wake(t, s1a), s1a);
+  EXPECT_EQ(t.placement_path, PlacementPath::kNestPrimary);
+}
+
+TEST(NestCachePolicyTest, ColdTaskTakesTheStandardLadder) {
+  NestCacheRig rig;  // warm_bias_threshold defaults to 0.5
+  const Topology& topo = rig.kernel.topology();
+  const int s0a = topo.CpusOnSocket(0)[1];
+  const int s0b = topo.CpusOnSocket(0)[2];
+  const int s1a = topo.CpusOnSocket(1)[0];
+
+  rig.MakePrimary(s0a);
+  rig.MakePrimary(s0b);
+  Task gone;
+  rig.nest.OnTaskExit(gone, s0b);
+  rig.MakePrimary(s1a);
+  rig.Occupy(s0a);
+
+  Task t;
+  t.prev_cpu = s0a;
+  rig.SeedWarmth(t, 0, 0.2);  // below the bias threshold
+  EXPECT_EQ(rig.Wake(t, s1a), s1a);
+  EXPECT_EQ(t.placement_path, PlacementPath::kNestPrimary);
+}
+
+TEST(NestCachePolicyTest, FullWarmDieFallsThroughToTheLadder) {
+  NestCacheRig rig;
+  const Topology& topo = rig.kernel.topology();
+  const int s0a = topo.CpusOnSocket(0)[1];
+  const int s0b = topo.CpusOnSocket(0)[2];
+  const int s1a = topo.CpusOnSocket(1)[0];
+
+  rig.MakePrimary(s0a);
+  rig.MakePrimary(s0b);
+  Task gone;
+  rig.nest.OnTaskExit(gone, s0b);
+  rig.MakePrimary(s1a);
+  rig.Occupy(s0a);
+  rig.Occupy(s0b);  // warm die entirely busy: the refill is unavoidable
+
+  Task t;
+  t.prev_cpu = s0a;
+  rig.SeedWarmth(t, 0, 0.9);
+  EXPECT_EQ(rig.Wake(t, s1a), s1a);
+  EXPECT_EQ(t.placement_path, PlacementPath::kNestPrimary);
+}
+
+TEST(NestCachePolicyTest, CostAwareExpansionPrefersTheWarmDie) {
+  NestCacheRig rig;
+  const Topology& topo = rig.kernel.topology();
+  // Empty nests, everything idle: the ladder ends in the CFS fallback.
+  Task t;
+  rig.SeedWarmth(t, 1, 0.9);
+  const int chosen = rig.Wake(t, 0);
+  EXPECT_EQ(topo.SocketOf(chosen), 1);
+  EXPECT_EQ(t.placement_path, PlacementPath::kNestCfsFallback);
+  EXPECT_TRUE(rig.nest.InReserve(chosen));  // fallback cores join the reserve
+}
+
+TEST(NestCachePolicyTest, CostAwareExpansionOffFollowsCfs) {
+  NestCacheParams cp;
+  cp.enable_cost_aware_expansion = false;
+  NestCacheRig rig(cp);
+  Task t;
+  rig.SeedWarmth(t, 1, 0.9);
+  // CFS wake-affines to the (idle) waker CPU on socket 0 despite the warmth.
+  const int chosen = rig.Wake(t, 0);
+  EXPECT_EQ(rig.kernel.topology().SocketOf(chosen), 0);
+}
+
+TEST(NestCachePolicyTest, CompactionGraceShieldsTheDominantDie) {
+  NestParams np;
+  np.p_remove_ticks = 1;  // base idle limit: 1 tick (4 ms)
+  NestCacheParams cp;
+  cp.compaction_grace_ticks = 2;  // dominant die: 3 ticks (12 ms)
+  NestCacheRig rig(cp, np);
+  const Topology& topo = rig.kernel.topology();
+  const int s0a = topo.CpusOnSocket(0)[1];
+  const int s0b = topo.CpusOnSocket(0)[2];
+  const int s1a = topo.CpusOnSocket(1)[0];
+
+  // Socket 0 holds two primary cores (the dominant die), socket 1 one.
+  rig.MakePrimary(s0a);
+  rig.MakePrimary(s0b);
+  rig.MakePrimary(s1a);
+
+  // Past the base limit but inside the grace window: a search evicts the
+  // idle off-die core yet keeps the dominant die intact.
+  rig.engine.RunUntil(9 * kMillisecond);
+  Task p1;
+  EXPECT_EQ(rig.Wake(p1, s1a), s0a);
+  EXPECT_FALSE(rig.nest.InPrimary(s1a));
+  EXPECT_TRUE(rig.nest.InPrimary(s0a));
+  EXPECT_TRUE(rig.nest.InPrimary(s0b));
+
+  // Past the graced limit the dominant die is evictable too (s0a was
+  // re-marked used by the probe above; s0b has idled since setup).
+  rig.engine.RunUntil(17 * kMillisecond);
+  Task p2;
+  EXPECT_EQ(rig.Wake(p2, s0b), s0a);
+  EXPECT_FALSE(rig.nest.InPrimary(s0b));
+}
+
+TEST(NestCachePolicyTest, GraceDisabledCompactsLikePlainNest) {
+  NestParams np;
+  np.p_remove_ticks = 1;
+  NestCacheParams cp;
+  cp.enable_compaction_grace = false;
+  NestCacheRig rig(cp, np);
+  const Topology& topo = rig.kernel.topology();
+  const int s0a = topo.CpusOnSocket(0)[1];
+  const int s0b = topo.CpusOnSocket(0)[2];
+  const int s1a = topo.CpusOnSocket(1)[0];
+
+  rig.MakePrimary(s0a);
+  rig.MakePrimary(s0b);
+  rig.MakePrimary(s1a);
+
+  // Same probe time as the grace test: without the grace, the whole primary
+  // nest — dominant die included — expired at the base limit.
+  rig.engine.RunUntil(9 * kMillisecond);
+  Task p1;
+  const int chosen = rig.Wake(p1, s1a);
+  EXPECT_EQ(p1.placement_path, PlacementPath::kNestReserve);
+  EXPECT_EQ(chosen, s1a);  // demoted cores land in the reserve and come back
+  EXPECT_FALSE(rig.nest.InPrimary(s0a));
+  EXPECT_FALSE(rig.nest.InPrimary(s0b));
+}
+
+TEST(NestCachePolicyTest, AllSwitchesOffMatchesPlainNestDecisions) {
+  NestCacheParams off;
+  off.enable_warm_anchor = false;
+  off.enable_cost_aware_expansion = false;
+  off.enable_compaction_grace = false;
+  NestCacheRig cache_rig(off);
+
+  struct PlainRig {
+    PlainRig()
+        : hw(&engine, FixedFreqMachine(2, 4, 2)),
+          nest(NestParams{}),
+          kernel(&engine, &hw, &nest, &governor) {
+      kernel.Start();
+      ProgramBuilder b("root");
+      b.Compute(1);
+      kernel.SpawnInitial(b.Build(), "root", 0, 0);
+      engine.RunUntil(kMillisecond);
+    }
+    Engine engine;
+    HardwareModel hw;
+    PerformanceGovernor governor;
+    NestPolicy nest;
+    Kernel kernel;
+  } plain_rig;
+
+  // Replay one deterministic fork/wake mix through both policies; warmth is
+  // seeded on the cache side only (the plain policy cannot read it anyway).
+  const int num_cpus = cache_rig.kernel.topology().num_cpus();
+  for (int i = 0; i < 24; ++i) {
+    Task a;
+    Task b;
+    const int prev = (i * 5) % num_cpus;
+    a.prev_cpu = prev;
+    b.prev_cpu = prev;
+    a.prev_prev_cpu = i % 3 == 0 ? prev : -1;
+    b.prev_prev_cpu = a.prev_prev_cpu;
+    cache_rig.SeedWarmth(a, (i % 2), 0.95);
+    int got;
+    int want;
+    if (i % 4 == 0) {
+      got = cache_rig.nest.SelectCpuFork(a, prev);
+      want = plain_rig.nest.SelectCpuFork(b, prev);
+    } else {
+      WakeContext ctx;
+      ctx.waker_cpu = (i * 7) % num_cpus;
+      got = cache_rig.nest.SelectCpuWake(a, ctx);
+      want = plain_rig.nest.SelectCpuWake(b, ctx);
+    }
+    ASSERT_EQ(got, want) << "step " << i;
+    ASSERT_EQ(a.placement_path, b.placement_path) << "step " << i;
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      ASSERT_EQ(cache_rig.nest.InPrimary(cpu), plain_rig.nest.InPrimary(cpu))
+          << "step " << i << " cpu " << cpu;
+      ASSERT_EQ(cache_rig.nest.InReserve(cpu), plain_rig.nest.InReserve(cpu))
+          << "step " << i << " cpu " << cpu;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -99,10 +99,18 @@ TEST(SchedCountersTest, JsonIsValidAndSchemaStable) {
     EXPECT_NE(json.find(std::string("\"") + key + "\":"), std::string::npos) << key;
   }
   for (int i = 0; i < kNumPlacementPaths; ++i) {
+    // The cache-aware placement path is omitted when unused (a plain Nest run
+    // never takes it) so pre-cache golden digests stay byte-identical.
+    if (static_cast<PlacementPath>(i) == PlacementPath::kNestCacheWarm) {
+      EXPECT_EQ(json.find("\"nest_cache_warm\":"), std::string::npos);
+      continue;
+    }
     const std::string key =
         std::string("\"") + PlacementPathName(static_cast<PlacementPath>(i)) + "\":";
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  // Same for the cache counter block: absent without warmth tracking.
+  EXPECT_EQ(json.find("\"cache_warm_hits\":"), std::string::npos);
 }
 
 TEST(SchedCountersTest, NestSummaryMentionsTheChurn) {

@@ -21,7 +21,11 @@
 #      record name the perf suite emits is documented there;
 #  11. docs/CLUSTER.md is linked from README.md and docs/SCENARIOS.md, every
 #      router name src/cluster/ registers is documented there, and so is
-#      every cluster.* spec key the scenario parser accepts.
+#      every cluster.* spec key the scenario parser accepts;
+#  12. docs/MODEL.md is linked from README.md and DESIGN.md, and every
+#      cache.*/nest_cache.* config key and cache counter name appears in both
+#      docs/MODEL.md and docs/SCENARIOS.md (the counters additionally in
+#      docs/OBSERVABILITY.md via rule 5b).
 
 set -u
 cd "$(dirname "$0")/.."
@@ -171,6 +175,36 @@ for key in $(sed -n '/^void ParseCluster/,/^}/p' src/scenario/scenario.cc \
     echo "FAIL: cluster spec key 'cluster.$key' is not documented in docs/CLUSTER.md"
     fail=1
   fi
+done
+
+# 12. The hardware-model reference is reachable, and the cache model's
+#     vocabulary is documented where users meet it: every cache.*/nest_cache.*
+#     override key (from the same scenario.cc table rule 8 reads) and every
+#     cache_* counter key must appear backticked in docs/MODEL.md and
+#     docs/SCENARIOS.md.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'docs/MODEL.md' "$doc"; then
+    echo "FAIL: $doc does not link docs/MODEL.md"
+    fail=1
+  fi
+done
+for key in $(grep -ohE '\{"(cache|nest_cache)\.[a-z_]+", "(bool|string|number|integer)' \
+               src/scenario/scenario.cc | sed 's/{"//; s/".*//' | sort -u); do
+  for doc in docs/MODEL.md docs/SCENARIOS.md; do
+    if ! grep -q "\`$key\`" "$doc"; then
+      echo "FAIL: cache config key '$key' is not documented in $doc"
+      fail=1
+    fi
+  done
+done
+for key in $(grep -ohE 'AppendU64\(out, "cache_[a-z_]+"' src/obs/sched_counters.cc \
+               | sed 's/.*"\(cache_[a-z_]*\)"/\1/' | sort -u); do
+  for doc in docs/MODEL.md docs/SCENARIOS.md; do
+    if ! grep -q "\`$key\`" "$doc"; then
+      echo "FAIL: cache counter '$key' is not documented in $doc"
+      fail=1
+    fi
+  done
 done
 
 if [ "$fail" -ne 0 ]; then
