@@ -134,6 +134,26 @@ std::string JobRecordJson(const std::string& campaign, const Job& job,
       AppendField(out, "underload_per_s", r.underload_per_s);
       out += ',';
       AppendField(out, "makespan_ns", static_cast<uint64_t>(r.makespan));
+      if (r.resilience.any()) {
+        // Fault/replica resilience block (docs/FAULTS.md): only present on
+        // runs where faults actually fired, matching the counter convention.
+        out += ',';
+        AppendField(out, "tasks_killed", r.resilience.tasks_killed);
+        out += ',';
+        AppendField(out, "replicas_reaped", r.resilience.replicas_reaped);
+        out += ',';
+        AppendField(out, "evacuations", r.resilience.evacuations);
+        out += ',';
+        AppendField(out, "work_lost_ms", r.resilience.work_lost_ms);
+        out += ',';
+        AppendField(out, "wasted_replica_ms", r.resilience.wasted_replica_ms);
+        out += ',';
+        AppendField(out, "mean_evac_latency_us", r.resilience.mean_evac_latency_us);
+        out += ',';
+        AppendField(out, "requests_failed", r.resilience.requests_failed);
+        out += ',';
+        AppendField(out, "requests_degraded", r.resilience.requests_degraded);
+      }
       out += '}';
     }
     out += ']';

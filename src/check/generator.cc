@@ -303,20 +303,40 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
                                 {"intel-e78870v4-4s", 7}})));
   Add(spec, "machines", machines);
 
+  // Resilience/energy knobs ride along a fifth of the time (docs/FAULTS.md):
+  // kind 0 injects core failures (plus machine crashes on cluster draws),
+  // kind 1 replicates tasks with a quorum join, kind 2 does both at once,
+  // kind 3 runs under a per-socket power cap with the budget governor. All of
+  // them are pre-drawn from the run seed, so the serial and pooled passes
+  // must still produce identical digests — exactly what the differential
+  // cross-checks.
+  const int resilience = rng.NextBool(0.2) ? IntIn(rng, 0, 3) : -1;
+  const bool with_faults = resilience == 0 || resilience == 2;
+  const bool with_replicas = resilience == 1 || resilience == 2;
+  const bool with_budget = resilience == 3;
+
   // cfs + nest always (the differential pair); smove rides along half the
-  // time. One governor for the whole scenario keeps variants comparable.
-  const std::string governor = rng.NextBool(0.5) ? "schedutil" : "performance";
+  // time. One governor for the whole scenario keeps variants comparable; the
+  // power-cap draw forces `budget` since the cap is inert under the others.
+  const std::string governor =
+      with_budget ? "budget" : (rng.NextBool(0.5) ? "schedutil" : "performance");
   const bool with_smove = rng.NextBool(0.5);
   // The cache-aware Nest variant rides along a fifth of the time; it skips
   // the neutrality pairing (that check only pairs nest with cfs) but flows
   // through the determinism and accounting cross-checks like any variant.
   const bool with_nest_cache = rng.NextBool(0.2);
+  // Under a power cap, the budget-aware Nest joins half the time so the
+  // shrink-the-mask ladder gets fuzzed against the same scenarios.
+  const bool with_nest_budget = with_budget && rng.NextBool(0.5);
   JsonValue variants = Arr();
-  for (const char* policy : {"cfs", "nest", "smove", "nest_cache"}) {
+  for (const char* policy : {"cfs", "nest", "smove", "nest_cache", "nest_budget"}) {
     if (std::string(policy) == "smove" && !with_smove) {
       continue;
     }
     if (std::string(policy) == "nest_cache" && !with_nest_cache) {
+      continue;
+    }
+    if (std::string(policy) == "nest_budget" && !with_nest_budget) {
       continue;
     }
     JsonValue variant = Obj();
@@ -382,6 +402,36 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
       if (config.Find(key) == nullptr) {
         Add(config, key, DrawOverrideValue(rng, key));
       }
+    }
+  }
+  // Resilience knob values stay modest: every variant sees the identical
+  // pre-drawn fault plan, but the blast radius is placement-dependent, and
+  // the full-load cfs↔nest neutrality band has to absorb that skew.
+  // Replication only has a carrier in cluster scenarios (requests are
+  // injected through the replicating path); a replica draw on a
+  // single-machine scenario falls back to fault injection so the gate's
+  // fifth always buys coverage.
+  const bool draw_replicas = with_replicas && cluster;
+  const bool draw_faults = with_faults || (with_replicas && !cluster);
+  if (draw_faults) {
+    Add(config, "fault.core_fail_rate_per_s", Num(Uniform(rng, 2.0, 40.0)));
+    Add(config, "fault.core_downtime_ms", Num(Uniform(rng, 5.0, 40.0)));
+    if (cluster && rng.NextBool(0.5)) {
+      Add(config, "fault.machine_fail_rate_per_s", Num(Uniform(rng, 0.5, 4.0)));
+      Add(config, "fault.machine_downtime_ms", Num(Uniform(rng, 5.0, 40.0)));
+    }
+  }
+  if (draw_replicas) {
+    const int replicas = IntIn(rng, 2, 3);
+    Add(config, "replicas", Num(replicas));
+    Add(config, "fault.quorum", Num(IntIn(rng, 0, replicas)));
+  }
+  if (with_budget) {
+    // Loose enough that every machine preset makes progress under the cap,
+    // tight enough that the governor actually throttles on the small boxes.
+    Add(config, "power.budget_w", Num(Uniform(rng, 20.0, 60.0)));
+    if (rng.NextBool(0.3)) {
+      Add(config, "power.headroom_fraction", Num(Uniform(rng, 0.7, 1.0)));
     }
   }
   Add(spec, "config", config);

@@ -220,6 +220,11 @@ void InvariantChecker::SampleWorkConservation(SimTime now) {
   int queued = 0;
   int idle = 0;
   for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    // Offline cores (src/fault/) are neither idle capacity nor allowed to
+    // hold waiters; work conservation is an online-cores property.
+    if (!kernel_->CpuOnline(cpu)) {
+      continue;
+    }
     const RunQueue& rq = kernel_->rq(cpu);
     queued += rq.QueuedCount();
     idle += rq.Idle() ? 1 : 0;
@@ -249,6 +254,15 @@ void InvariantChecker::SampleQueueLiveness(SimTime now) {
   // signature of a lost wakeup.
   const int num_cpus = kernel_->topology().num_cpus();
   for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    // An offline core's queue was drained by OfflineCpu and can never be
+    // dispatched; liveness is scoped to online cores. A task queued on an
+    // offline core would itself be a bug, but it surfaces as a WC violation
+    // (the waiter starves while online cores idle), not as stuck dispatch.
+    if (!kernel_->CpuOnline(cpu)) {
+      ql_streak_[cpu] = 0;
+      ql_reported_[cpu] = 0;
+      continue;
+    }
     const RunQueue& rq = kernel_->rq(cpu);
     const bool stuck = rq.QueuedCount() > 0 && rq.curr() == nullptr;
     if (!stuck) {

@@ -54,22 +54,33 @@ class CompletionObserver : public KernelObserver {
   std::map<int, SimDuration> tag_last_exit_;
 };
 
-// Progress of one injected request part, shared between the per-machine
-// trackers and the final report.
+// Progress of one injected request-part *copy* (parts map 1:1 to copies
+// unless fault.replicas spreads each part across machines), shared between
+// the per-machine trackers and the final report.
 struct PartProgress {
-  SimTime first_run = -1;  // first time the part's task got a CPU
-  SimTime exit = -1;       // task exit
+  SimTime first_run = -1;  // first time the copy's task got a CPU
+  SimTime exit = -1;       // task exit (stays -1 for killed/reaped copies)
+  bool killed = false;     // a core/machine fault killed the copy
+  bool dropped = false;    // no machine was alive to route the copy to
 };
 
-// Maps this machine's injected tids to plan part indices and records when
-// each part first ran and when it exited. Purely observational.
+// Maps this machine's injected tids to plan copy indices and records when
+// each copy first ran and when it exited or was killed by a fault. Purely
+// observational; the optional exit hook is how the runner's replica-quorum
+// bookkeeping learns about completions.
 class RequestTracker : public KernelObserver {
  public:
+  using ExitFn = std::function<void(size_t copy_index, SimTime now)>;
+
   explicit RequestTracker(std::vector<PartProgress>* progress) : progress_(progress) {}
 
-  uint32_t InterestMask() const override { return kObsContextSwitch | kObsTaskExit; }
+  void set_exit_fn(ExitFn fn) { exit_fn_ = std::move(fn); }
 
-  void Track(int tid, size_t part_index) { parts_by_tid_[tid] = part_index; }
+  uint32_t InterestMask() const override {
+    return kObsContextSwitch | kObsTaskExit | kObsFaultEvent;
+  }
+
+  void Track(int tid, size_t copy_index) { parts_by_tid_[tid] = copy_index; }
 
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override {
     (void)cpu;
@@ -87,12 +98,30 @@ class RequestTracker : public KernelObserver {
     const auto it = parts_by_tid_.find(task.tid);
     if (it != parts_by_tid_.end()) {
       (*progress_)[it->second].exit = now;
+      if (exit_fn_) {
+        exit_fn_(it->second, now);
+      }
+    }
+  }
+
+  void OnFaultEvent(SimTime now, FaultEventKind kind, int cpu, const Task* task) override {
+    (void)now;
+    (void)cpu;
+    // Only fault kills mark a copy as lost; post-quorum reaping
+    // (kReplicaReaped) is the success path, not degradation.
+    if (kind != FaultEventKind::kTaskKilled || task == nullptr) {
+      return;
+    }
+    const auto it = parts_by_tid_.find(task->tid);
+    if (it != parts_by_tid_.end()) {
+      (*progress_)[it->second].killed = true;
     }
   }
 
  private:
   std::vector<PartProgress>* progress_;
   std::unordered_map<int, size_t> parts_by_tid_;
+  ExitFn exit_fn_;
 };
 
 std::string TraceDir(const ExperimentConfig& config) {
@@ -146,6 +175,7 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
   std::vector<std::unique_ptr<PerfettoTraceWriter>> perfetto;
   std::vector<std::unique_ptr<WakeupLatencyTracker>> latency;
   std::vector<std::unique_ptr<InvariantChecker>> checkers;
+  std::vector<std::unique_ptr<ResilienceRecorder>> resilience;
   const std::string trace_dir = TraceDir(config);
   const bool check = CheckInvariantsEnabled(config);
   for (int m = 0; m < n; ++m) {
@@ -171,6 +201,10 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
       checkers.push_back(std::make_unique<InvariantChecker>(&kernel));
       kernel.AddObserver(checkers.back().get());
     }
+    if (config.fault.any()) {
+      resilience.push_back(std::make_unique<ResilienceRecorder>());
+      kernel.AddObserver(resilience.back().get());
+    }
     kernel.Start();
   }
 
@@ -178,26 +212,130 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
   Rng rng(config.seed);
   Rng wl_rng = rng.Fork();
   const RequestPlan plan = requests->BuildPlan(wl_rng);
-  progress.resize(plan.parts.size());
+  // Each part is injected as `replicas` copies (1 unless configured); the
+  // first `quorum` copies to exit win and the rest are reaped fleet-wide.
+  const int replicas = std::max(1, config.fault.replicas);
+  const int quorum = std::min(std::max(1, config.fault.quorum), replicas);
+  progress.resize(plan.parts.size() * static_cast<size_t>(replicas));
+
+  const int cpus_per_machine = model.machine(0).hw.topology().num_cpus();
+
+  // The fault plan is drawn after the traffic plan from a forked generator —
+  // second fork off the seed, exactly like the single-machine path — so
+  // enabling faults perturbs no workload draw. Each machine replays its own
+  // slice; whole-machine crashes are handled here (kill every live task, mark
+  // the machine dead for the router) because only the runner sees the fleet.
+  std::vector<char> alive(static_cast<size_t>(n), 1);
+  FaultPlan fault_plan;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  if (config.fault.enabled()) {
+    Rng fault_rng = rng.Fork();
+    fault_plan = BuildFaultPlan(config.fault, fault_rng, n, cpus_per_machine, config.time_limit);
+    for (int m = 0; m < n; ++m) {
+      injectors.push_back(
+          std::make_unique<FaultInjector>(&engine, &model.machine(m).kernel, &fault_plan, m));
+      injectors.back()->set_machine_event_fn([&model, &alive, m](SimTime now, bool fail) {
+        (void)now;
+        if (!fail) {
+          alive[static_cast<size_t>(m)] = 1;  // repaired: routable again, empty
+          return;
+        }
+        if (!alive[static_cast<size_t>(m)]) {
+          return;
+        }
+        alive[static_cast<size_t>(m)] = 0;
+        Kernel& kernel = model.machine(m).kernel;
+        kernel.NotifyFaultEvent(FaultEventKind::kMachineCrash, -1, nullptr);
+        for (const auto& task : kernel.tasks()) {
+          kernel.KillTask(task.get());
+        }
+      });
+      injectors.back()->Arm();
+    }
+  }
+
+  // Replica-quorum bookkeeping (replicas > 1 only): when a part's quorum-th
+  // copy exits, the losers are reaped in a same-time follow-up event (never
+  // from inside the winner's exit path).
+  struct CopyRef {
+    Kernel* kernel = nullptr;
+    Task* task = nullptr;
+  };
+  std::vector<CopyRef> copy_refs;
+  std::vector<int> part_exits;
+  std::vector<SimTime> part_quorum_exit;
+  if (replicas > 1) {
+    copy_refs.resize(progress.size());
+    part_exits.assign(plan.parts.size(), 0);
+    part_quorum_exit.assign(plan.parts.size(), -1);
+  }
+  auto on_copy_exit = [&engine, &copy_refs, &part_exits, &part_quorum_exit, replicas,
+                       quorum](size_t copy, SimTime now) {
+    const size_t part = copy / static_cast<size_t>(replicas);
+    if (++part_exits[part] != quorum || part_quorum_exit[part] >= 0) {
+      return;
+    }
+    part_quorum_exit[part] = now;
+    // Mirror the kernel-side replica path: the winning copy's machine logs
+    // the quorum join so SchedCounters sees it in cluster runs too.
+    if (copy_refs[copy].kernel != nullptr) {
+      copy_refs[copy].kernel->NotifyFaultEvent(FaultEventKind::kReplicaQuorumJoin, -1, nullptr);
+    }
+    engine.ScheduleAt(now, [&copy_refs, part, replicas] {
+      for (int r = 0; r < replicas; ++r) {
+        const CopyRef& ref = copy_refs[part * static_cast<size_t>(replicas) + static_cast<size_t>(r)];
+        if (ref.task != nullptr && ref.task->state != TaskState::kDead) {
+          ref.kernel->KillTask(ref.task, FaultEventKind::kReplicaReaped);
+        }
+      }
+    });
+  };
+  if (replicas > 1) {
+    for (auto& tracker : trackers) {
+      tracker->set_exit_fn(on_copy_exit);
+    }
+  }
 
   // One engine event per part, scheduled in plan (arrival) order — the same
   // insertion order Kernel::ScheduleInjection would produce, so a 1-machine
   // passthrough cluster replays the exact single-machine event sequence. The
   // router runs inside the arrival event so load-aware policies see live
-  // state; the traffic itself was drawn above and cannot be perturbed.
+  // state; the traffic itself was drawn above and cannot be perturbed. Dead
+  // machines are failed over to the next alive one in index order; a copy
+  // with no alive machine at all is dropped (and its request fails).
   int64_t pending = static_cast<int64_t>(plan.parts.size());
   std::vector<uint64_t> routed(static_cast<size_t>(n), 0);
   const int tag = requests->tag();
   for (size_t i = 0; i < plan.parts.size(); ++i) {
     const RequestPart& part = plan.parts[i];
-    engine.ScheduleAt(part.arrival, [&model, &plan, &routed, &trackers, &router, &pending, tag,
-                                     i] {
+    engine.ScheduleAt(part.arrival, [&model, &plan, &routed, &trackers, &router, &pending,
+                                     &alive, &progress, &copy_refs, tag, i, replicas, n] {
       --pending;
       const RequestPart& p = plan.parts[i];
-      const int m = router->Route(model.kernels(), model.hardware());
-      ++routed[static_cast<size_t>(m)];
-      Task* task = model.machine(m).kernel.InjectTask(p.program, p.name, tag);
-      trackers[static_cast<size_t>(m)]->Track(task->tid, i);
+      for (int r = 0; r < replicas; ++r) {
+        const size_t copy = i * static_cast<size_t>(replicas) + static_cast<size_t>(r);
+        int m = router->Route(model.kernels(), model.hardware());
+        if (!alive[static_cast<size_t>(m)]) {
+          const int first = m;
+          do {
+            m = m + 1 < n ? m + 1 : 0;
+          } while (!alive[static_cast<size_t>(m)] && m != first);
+          if (!alive[static_cast<size_t>(m)]) {
+            progress[copy].dropped = true;
+            continue;
+          }
+        }
+        ++routed[static_cast<size_t>(m)];
+        std::string name = p.name;
+        if (r > 0) {
+          name += ".r" + std::to_string(r);
+        }
+        Task* task = model.machine(m).kernel.InjectTask(p.program, std::move(name), tag);
+        trackers[static_cast<size_t>(m)]->Track(task->tid, copy);
+        if (replicas > 1) {
+          copy_refs[copy] = CopyRef{&model.machine(m).kernel, task};
+        }
+      }
     });
   }
 
@@ -258,7 +396,6 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
   result.makespan = end;
   result.events_fired = engine.events_fired();
 
-  const int cpus_per_machine = model.machine(0).hw.topology().num_cpus();
   std::vector<FreqHistogram> machine_hist;
   for (int m = 0; m < n; ++m) {
     MachineModel& machine = model.machine(m);
@@ -284,6 +421,9 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
       result.cpus_used.push_back(m * cpus_per_machine + cpu);
     }
     result.counters.Add(counters[static_cast<size_t>(m)]->Finish(end));
+    if (!resilience.empty()) {
+      result.resilience.Add(resilience[static_cast<size_t>(m)]->Finish());
+    }
     if (config.scheduler == SchedulerKind::kSmove) {
       const auto* smove = static_cast<const SmovePolicy*>(machine.policy.get());
       result.smove_moves_armed += smove->moves_armed();
@@ -341,8 +481,11 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
   stats.router = router->name();
   stats.requests_offered = plan.requests;
 
-  // A request completes when every part (parent + fan-out subs) exited.
-  // Parts are plan-ordered request-major, so one linear walk groups them.
+  // A request completes when every part (parent + fan-out subs) exited — with
+  // replicas, when every part reached its quorum. Parts are plan-ordered
+  // request-major, so one linear walk groups them. A request a fault touched
+  // (a copy killed or dropped) counts as *failed* when it never completed and
+  // as *degraded* when the surviving copies still completed it.
   LatencyDistribution e2e_ms;
   std::vector<double> queue_ms;
   std::vector<double> service_ms;
@@ -351,23 +494,34 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
     const uint64_t req = plan.parts[i].request;
     const SimTime arrival = plan.parts[i].arrival;
     bool complete = true;
+    bool fault_touched = false;
     SimTime req_last_exit = 0;
     while (i < plan.parts.size() && plan.parts[i].request == req) {
-      const PartProgress& p = progress[i];
-      if (p.exit < 0) {
-        complete = false;
-      } else {
-        req_last_exit = std::max(req_last_exit, p.exit);
-        if (p.first_run >= 0) {
+      SimTime part_exit = -1;
+      for (int r = 0; r < replicas; ++r) {
+        const PartProgress& p = progress[i * static_cast<size_t>(replicas) + static_cast<size_t>(r)];
+        fault_touched = fault_touched || p.killed || p.dropped;
+        if (p.exit >= 0 && p.first_run >= 0) {
           queue_ms.push_back(ToMilliseconds(p.first_run - arrival));
           service_ms.push_back(ToMilliseconds(p.exit - p.first_run));
         }
+      }
+      part_exit = replicas > 1 ? part_quorum_exit[i] : progress[i].exit;
+      if (part_exit < 0) {
+        complete = false;
+      } else {
+        req_last_exit = std::max(req_last_exit, part_exit);
       }
       ++i;
     }
     if (complete) {
       ++stats.requests_completed;
       e2e_ms.Add(ToMilliseconds(req_last_exit - arrival));
+      if (fault_touched && config.fault.any()) {
+        ++result.resilience.requests_degraded;
+      }
+    } else if (fault_touched && config.fault.any()) {
+      ++result.resilience.requests_failed;
     }
   }
   stats.p50_ms = e2e_ms.PercentileAt(50.0);

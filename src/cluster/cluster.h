@@ -41,7 +41,7 @@ struct MachineModel {
   MachineModel(Engine* engine, const MachineSpec& spec, const ExperimentConfig& config)
       : hw(engine, spec),
         policy(MakeSchedulerPolicy(config)),
-        governor(MakeGovernor(config.governor)),
+        governor(MakeGovernor(config.governor, config.power)),
         kernel(engine, &hw, policy.get(), governor.get(), config.kernel) {}
 
   HardwareModel hw;

@@ -27,6 +27,8 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "Smove";
     case SchedulerKind::kNestCache:
       return "NestCache";
+    case SchedulerKind::kNestBudget:
+      return "NestBudget";
   }
   return "?";
 }
@@ -41,13 +43,16 @@ const char* SchedulerKindKey(SchedulerKind kind) {
       return "smove";
     case SchedulerKind::kNestCache:
       return "nest_cache";
+    case SchedulerKind::kNestBudget:
+      return "nest_budget";
   }
   return "?";
 }
 
 bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
-  for (const SchedulerKind kind : {SchedulerKind::kCfs, SchedulerKind::kNest,
-                                   SchedulerKind::kSmove, SchedulerKind::kNestCache}) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove,
+        SchedulerKind::kNestCache, SchedulerKind::kNestBudget}) {
     if (key == SchedulerKindKey(kind)) {
       *out = kind;
       return true;
@@ -56,7 +61,9 @@ bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
   return false;
 }
 
-std::vector<std::string> SchedulerKindKeys() { return {"cfs", "nest", "smove", "nest_cache"}; }
+std::vector<std::string> SchedulerKindKeys() {
+  return {"cfs", "nest", "smove", "nest_cache", "nest_budget"};
+}
 
 std::string ExperimentConfig::Label() const {
   std::string label = SchedulerKindName(scheduler);
@@ -129,6 +136,8 @@ std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(const ExperimentConfig& con
       return std::make_unique<SmovePolicy>(config.smove);
     case SchedulerKind::kNestCache:
       return std::make_unique<NestCachePolicy>(config.nest, config.nest_cache);
+    case SchedulerKind::kNestBudget:
+      return std::make_unique<NestBudgetPolicy>(config.nest, config.nest_budget);
   }
   return nullptr;
 }
@@ -138,8 +147,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   const MachineSpec& spec = MachineByName(config.machine);
   HardwareModel hw(&engine, spec);
   std::unique_ptr<SchedulerPolicy> policy = MakeSchedulerPolicy(config);
-  std::unique_ptr<Governor> governor = MakeGovernor(config.governor);
+  std::unique_ptr<Governor> governor = MakeGovernor(config.governor, config.power);
   Kernel kernel(&engine, &hw, policy.get(), governor.get(), config.kernel);
+  if (config.fault.replicas > 1) {
+    kernel.SetInjectionReplication(config.fault.replicas, config.fault.quorum);
+  }
 
   CompletionObserver completion;
   UnderloadTracker underload(&kernel, config.record_underload_series);
@@ -172,10 +184,28 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
     checker = std::make_unique<InvariantChecker>(&kernel);
     kernel.AddObserver(checker.get());
   }
+  std::unique_ptr<ResilienceRecorder> resilience;
+  if (config.fault.any()) {
+    resilience = std::make_unique<ResilienceRecorder>();
+    kernel.AddObserver(resilience.get());
+  }
 
   kernel.Start();
   Rng rng(config.seed);
   workload.Setup(kernel, rng);
+
+  // The fault plan is drawn *after* workload setup from a forked generator:
+  // the workload's draws are identical with faults on or off, and a disabled
+  // spec forks nothing at all (byte-identical pre-fault goldens).
+  FaultPlan fault_plan;
+  std::unique_ptr<FaultInjector> injector;
+  if (config.fault.enabled()) {
+    Rng fault_rng = rng.Fork();
+    fault_plan = BuildFaultPlan(config.fault, fault_rng, /*num_machines=*/1,
+                                hw.topology().num_cpus(), config.time_limit);
+    injector = std::make_unique<FaultInjector>(&engine, &kernel, &fault_plan);
+    injector->Arm();
+  }
 
   ExperimentResult result;
   // Pump events until every task exited and no open-loop arrival is still in
@@ -257,6 +287,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   if (latency != nullptr) {
     result.p99_wakeup_latency_us = latency->PercentileUs(99.0);
     result.p50_wakeup_latency_us = latency->PercentileUs(50.0);
+  }
+  if (resilience != nullptr) {
+    result.resilience = resilience->Finish();
   }
   return result;
 }

@@ -16,9 +16,12 @@
 #include <vector>
 
 #include "src/core/workload.h"
+#include "src/fault/fault.h"
+#include "src/governors/governors.h"
 #include "src/kernel/kernel.h"
 #include "src/metrics/freq_hist.h"
 #include "src/metrics/trace.h"
+#include "src/nest/nest_budget_policy.h"
 #include "src/nest/nest_cache_policy.h"
 #include "src/nest/nest_policy.h"
 #include "src/obs/sched_counters.h"
@@ -26,12 +29,13 @@
 
 namespace nestsim {
 
-enum class SchedulerKind { kCfs, kNest, kSmove, kNestCache };
+enum class SchedulerKind { kCfs, kNest, kSmove, kNestCache, kNestBudget };
 
 const char* SchedulerKindName(SchedulerKind kind);
 
 // Lowercase policy key used by spec files and registries ("cfs" / "nest" /
-// "smove" / "nest_cache"); the inverse of SchedulerKindFromKey.
+// "smove" / "nest_cache" / "nest_budget"); the inverse of
+// SchedulerKindFromKey.
 const char* SchedulerKindKey(SchedulerKind kind);
 
 // Non-aborting lookup by lowercase key; false on unknown names.
@@ -51,7 +55,15 @@ struct ExperimentConfig {
   // model itself (warm speedup, migration cost) lives in kernel.cache and
   // applies to every scheduler.
   NestCacheParams nest_cache;
+  // Budget-aware Nest extras, used when scheduler == kNestBudget.
+  NestBudgetParams nest_budget;
   Kernel::Params kernel;
+
+  // Fault injection & replication (src/fault/) and the per-socket energy
+  // budget (src/governors/). Both default off; a disabled spec draws no
+  // randomness and attaches no observer, so pre-fault goldens are unchanged.
+  FaultSpec fault;
+  PowerParams power;
 
   uint64_t seed = 1;
   // Hard wall for runaway workloads; the run normally ends when every task
@@ -161,7 +173,15 @@ struct ExperimentResult {
   // Cluster-only (src/cluster/): populated when num_machines > 0.
   ClusterStats cluster;
 
+  // Fault/replica resilience metrics (src/fault/): populated only when
+  // config.fault.any(); resilience.any() gates every JSON/baseline block.
+  ResilienceStats resilience;
+
   double seconds() const { return ToSeconds(makespan); }
+
+  // Energy-delay product, J·s — the figure of merit for the energy-budget
+  // sweeps (lower is better on both axes).
+  double edp() const { return energy_joules * seconds(); }
 };
 
 // Runs one seeded simulation of `workload` under `config`.

@@ -6,18 +6,25 @@
 namespace nestsim {
 
 std::unique_ptr<Governor> MakeGovernor(const std::string& name) {
+  return MakeGovernor(name, PowerParams{});
+}
+
+std::unique_ptr<Governor> MakeGovernor(const std::string& name, const PowerParams& power) {
   if (name == "schedutil") {
     return std::make_unique<SchedutilGovernor>();
   }
   if (name == "performance") {
     return std::make_unique<PerformanceGovernor>();
   }
-  std::fprintf(stderr, "nestsim: unknown governor '%s' (want schedutil|performance)\n",
+  if (name == "budget") {
+    return std::make_unique<BudgetGovernor>(power);
+  }
+  std::fprintf(stderr, "nestsim: unknown governor '%s' (want schedutil|performance|budget)\n",
                name.c_str());
   std::abort();
 }
 
-std::vector<std::string> GovernorNames() { return {"schedutil", "performance"}; }
+std::vector<std::string> GovernorNames() { return {"schedutil", "performance", "budget"}; }
 
 bool IsKnownGovernor(const std::string& name) {
   for (const std::string& known : GovernorNames()) {

@@ -1,17 +1,24 @@
-// The two power governors evaluated by the paper (§2.3).
+// The two power governors evaluated by the paper (§2.3), plus the
+// energy-budget governor added by the fault/energy subsystem.
 //
 // `performance` requests at least the nominal frequency; the hardware still
 // chooses freely between nominal and the turbo ceiling. `schedutil` maps the
 // CPU's recent utilisation to a frequency with the kernel's 1.25 headroom
-// factor, allowing the full range down to the minimum.
+// factor, allowing the full range down to the minimum. `budget` starts from
+// the schedutil request and scales it down proportionally whenever its
+// socket's modelled power draw exceeds the configured per-socket budget
+// (docs/FAULTS.md has the equations).
 
 #ifndef NESTSIM_SRC_GOVERNORS_GOVERNORS_H_
 #define NESTSIM_SRC_GOVERNORS_GOVERNORS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/hw/hardware.h"
 #include "src/kernel/governor.h"
 
 namespace nestsim {
@@ -43,8 +50,130 @@ class SchedutilGovernor : public Governor {
   }
 };
 
-// Factory by name ("schedutil" / "performance"); aborts on unknown names.
+// Energy-budget knobs on ExperimentConfig. The cap is per socket; the
+// governor aims below it by `headroom_fraction` so the control loop settles
+// under — not oscillating around — the budget. budget_w == 0 disables the cap
+// (the budget governor then behaves exactly like schedutil).
+struct PowerParams {
+  double budget_w = 0.0;
+  double headroom_fraction = 0.9;
+
+  bool enabled() const { return budget_w > 0.0; }
+};
+
+// Power-capped schedutil. The per-CPU request starts from the schedutil
+// formula; when the CPU's socket draws more than headroom_fraction * budget_w
+// the request is scaled by (target / drawn) — a proportional controller whose
+// feedback arrives through the hardware model's memoized socket power. The
+// socket draw is sampled at request time, so every CPU on a hot socket backs
+// off together on its next governor evaluation.
+class BudgetGovernor : public Governor {
+ public:
+  // RAPL-style enforcement window: the cap binds an exponentially weighted
+  // average of socket power (half-life kWindowMs), not the instantaneous
+  // draw, so a barrier's momentary idle dip doesn't lift the cap mid-burst.
+  static constexpr double kWindowMs = 4.0;
+
+  explicit BudgetGovernor(PowerParams params) : params_(params) {}
+
+  const char* name() const override { return "budget"; }
+
+  void AttachHardware(const HardwareModel* hw) override {
+    hw_ = hw;
+    windows_.assign(hw == nullptr ? 0 : hw->topology().num_sockets(), SocketWindow{});
+  }
+  double BudgetWatts() const override { return params_.budget_w; }
+
+  // Without a CPU there is no socket to read; used only outside the kernel.
+  double RequestGhz(const MachineSpec& spec, double cpu_util) const override {
+    return base_.RequestGhz(spec, cpu_util);
+  }
+
+  double RequestGhzOn(const MachineSpec& spec, double cpu_util, int cpu) const override {
+    double req = base_.RequestGhz(spec, cpu_util);
+    if (!params_.enabled() || hw_ == nullptr) {
+      return req;
+    }
+    const int socket = hw_->topology().SocketOf(cpu);
+    const double drawn = WindowedSocketWatts(socket);
+    const double target = params_.headroom_fraction * params_.budget_w;
+    if (drawn > target) {
+      req *= target / drawn;
+      if (req < spec.min_freq_ghz) {
+        req = spec.min_freq_ghz;
+      }
+    }
+    return req;
+  }
+
+  bool ThrottledOnSocket(int socket) const override {
+    if (!params_.enabled() || hw_ == nullptr) {
+      return false;
+    }
+    return WindowedSocketWatts(socket) > params_.headroom_fraction * params_.budget_w;
+  }
+
+  // RAPL-style ceiling: when the socket draws over target, scale the machine's
+  // top frequency by (target / drawn). Power grows superlinearly in f (f*V^2),
+  // so the proportional step overshoots downward and the loop settles under
+  // the budget within a few ramp intervals; once draw is back under target the
+  // ceiling lifts. 0 == unconstrained (the hardware boost runs free).
+  double CapGhzOn(const MachineSpec& spec, int cpu) const override {
+    if (!params_.enabled() || hw_ == nullptr) {
+      return 0.0;
+    }
+    const int socket = hw_->topology().SocketOf(cpu);
+    const double drawn = WindowedSocketWatts(socket);
+    const double target = params_.headroom_fraction * params_.budget_w;
+    if (drawn <= target) {
+      return 0.0;
+    }
+    const double cap = spec.turbo.MaxTurboGhz() * (target / drawn);
+    return std::max(spec.min_freq_ghz, cap);
+  }
+
+  const PowerParams& params() const { return params_; }
+
+ private:
+  struct SocketWindow {
+    SimTime last = -1;
+    double ema_w = 0.0;
+  };
+
+  // max(instantaneous, windowed): the instantaneous term reacts to load
+  // spikes immediately, the EMA keeps the cap engaged across barrier dips.
+  // Queries are dense (every governor evaluation plus every tick), so the
+  // lazily folded EMA tracks the piecewise-constant power signal closely.
+  double WindowedSocketWatts(int socket) const {
+    const double inst = hw_->SocketPowerWatts(socket);
+    if (socket >= static_cast<int>(windows_.size())) {
+      return inst;
+    }
+    SocketWindow& w = windows_[socket];
+    const SimTime now = hw_->Now();
+    if (w.last < 0) {
+      w.last = now;
+      w.ema_w = inst;
+      return inst;
+    }
+    if (now > w.last) {
+      const double decay = std::exp2(-ToMilliseconds(now - w.last) / kWindowMs);
+      w.ema_w = w.ema_w * decay + inst * (1.0 - decay);
+      w.last = now;
+    }
+    return std::max(inst, w.ema_w);
+  }
+
+  PowerParams params_;
+  SchedutilGovernor base_;
+  const HardwareModel* hw_ = nullptr;
+  mutable std::vector<SocketWindow> windows_;
+};
+
+// Factory by name ("schedutil" / "performance" / "budget"); aborts on unknown
+// names. `power` only matters to the budget governor.
 std::unique_ptr<Governor> MakeGovernor(const std::string& name);
+std::unique_ptr<Governor> MakeGovernor(const std::string& name, const PowerParams& power);
 
 // Every governor name the factory accepts (the scenario engine validates
 // spec files against this list).

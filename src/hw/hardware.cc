@@ -117,7 +117,16 @@ double HardwareModel::TargetGhz(int phys) const {
       spec_.min_freq_ghz + spec_.autonomy_weight * activity * (cap - spec_.min_freq_ghz);
   const double boosted = std::max(request, base) +
                          activity * (cap - std::max(request, base)) * spec_.autonomy_weight;
-  return std::clamp(std::max(request, boosted), spec_.min_freq_ghz, cap);
+  double target = std::clamp(std::max(request, boosted), spec_.min_freq_ghz, cap);
+  // A governor ceiling (power cap) binds even the autonomous boost — the PCU
+  // obeys a RAPL clamp where it ignores a low P-state request.
+  if (freq_cap_fn_) {
+    const double gov_cap = freq_cap_fn_(topology_.CpusOfPhysCore(phys)[0]);
+    if (gov_cap > 0.0 && gov_cap < target) {
+      target = std::max(spec_.min_freq_ghz, gov_cap);
+    }
+  }
+  return target;
 }
 
 void HardwareModel::UpdateCoreFreq(int phys) {
@@ -234,7 +243,13 @@ void HardwareModel::SetThreadBusy(int cpu, bool busy) {
     if (freq_request_fn_) {
       floor_ghz = std::max(floor_ghz, freq_request_fn_(cpu));
     }
-    const double instant = std::clamp(floor_ghz, spec_.min_freq_ghz, cap);
+    double instant = std::clamp(floor_ghz, spec_.min_freq_ghz, cap);
+    if (freq_cap_fn_) {
+      const double gov_cap = freq_cap_fn_(cpu);
+      if (gov_cap > 0.0 && gov_cap < instant) {
+        instant = std::max(spec_.min_freq_ghz, gov_cap);
+      }
+    }
     if (instant > core.freq_ghz) {
       core.freq_ghz = instant;
       NotifyFreqChange(phys);

@@ -41,6 +41,11 @@ class HardwareModel {
   const MachineSpec& spec() const { return spec_; }
 
   void set_freq_request_fn(FreqRequestFn fn) { freq_request_fn_ = std::move(fn); }
+  // Governor-imposed hard frequency ceiling (GHz; 0 = none) for a CPU. Unlike
+  // the request (a floor), the ceiling clamps the autonomous turbo/activity
+  // boost — the budget governor's RAPL-style lever. Left unset on uncapped
+  // runs, so TargetGhz stays byte-identical there.
+  void set_freq_cap_fn(FreqRequestFn fn) { freq_cap_fn_ = std::move(fn); }
   void set_speed_change_fn(SpeedChangeFn fn) { speed_change_fn_ = std::move(fn); }
   void set_freq_change_fn(FreqChangeFn fn) { freq_change_fn_ = std::move(fn); }
 
@@ -113,6 +118,9 @@ class HardwareModel {
     return ComputeSocketPower(socket);
   }
 
+  // Simulation clock, for governors that keep windowed state (BudgetGovernor).
+  SimTime Now() const { return engine_->Now(); }
+
   // Instantaneous power of the whole package set.
   double TotalPowerWatts() const {
     double watts = 0.0;
@@ -158,6 +166,7 @@ class HardwareModel {
   MachineSpec spec_;
   Topology topology_;
   FreqRequestFn freq_request_fn_;
+  FreqRequestFn freq_cap_fn_;
   SpeedChangeFn speed_change_fn_;
   FreqChangeFn freq_change_fn_;
 

@@ -10,6 +10,8 @@
 
 namespace nestsim {
 
+class HardwareModel;
+
 class Governor {
  public:
   virtual ~Governor() = default;
@@ -19,6 +21,40 @@ class Governor {
   // The frequency (GHz) this governor requests for a CPU whose current
   // utilisation signal is `cpu_util` in [0, 1].
   virtual double RequestGhz(const MachineSpec& spec, double cpu_util) const = 0;
+
+  // CPU-aware entry point — what the kernel actually calls. The default
+  // ignores the CPU; power-aware governors (src/governors/ BudgetGovernor)
+  // override it to read the CPU's socket power.
+  virtual double RequestGhzOn(const MachineSpec& spec, double cpu_util, int cpu) const {
+    (void)cpu;
+    return RequestGhz(spec, cpu_util);
+  }
+
+  // Called once from Kernel::Start. Governors that need hardware state
+  // (socket power, topology) keep the pointer; the default drops it.
+  virtual void AttachHardware(const HardwareModel* hw) { (void)hw; }
+
+  // Per-socket power budget (W) this governor enforces; 0 == uncapped. The
+  // kernel samples per-socket budget state each tick only when positive.
+  virtual double BudgetWatts() const { return 0.0; }
+
+  // Whether frequency requests on `socket` are currently being scaled down
+  // by budget pressure.
+  virtual bool ThrottledOnSocket(int socket) const {
+    (void)socket;
+    return false;
+  }
+
+  // A hard frequency ceiling (GHz) for `cpu`, RAPL-style: unlike RequestGhz
+  // (a floor the hardware may exceed autonomously), the ceiling binds the
+  // turbo/activity boost too. 0 == no ceiling. The kernel wires this into the
+  // hardware model only when BudgetWatts() > 0, so uncapped runs never pay
+  // for the hook.
+  virtual double CapGhzOn(const MachineSpec& spec, int cpu) const {
+    (void)spec;
+    (void)cpu;
+    return 0.0;
+  }
 };
 
 }  // namespace nestsim

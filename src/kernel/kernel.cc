@@ -22,6 +22,7 @@ Kernel::Kernel(Engine* engine, HardwareModel* hw, SchedulerPolicy* policy, Gover
       cpus_(hw->topology().num_cpus()) {
   policy_->Attach(this);
   cache_tracking_ = params_.cache.enabled() || policy_->WantsCacheWarmth();
+  online_cpus_ = hw->topology().num_cpus();
   for (int cpu = 0; cpu < hw->topology().num_cpus(); ++cpu) {
     idle_cpus_.Set(cpu);  // every run queue starts empty
   }
@@ -47,6 +48,10 @@ void Kernel::Start() {
       obs->OnCoreFreqChange(engine_->Now(), phys, ghz);
     }
   });
+  governor_->AttachHardware(hw_);
+  if (governor_->BudgetWatts() > 0.0) {
+    hw_->set_freq_cap_fn([this](int cpu) { return governor_->CapGhzOn(hw_->spec(), cpu); });
+  }
   hw_->Start();
   engine_->ScheduleAfter(kTickPeriod, [this] { Tick(); });
 }
@@ -96,6 +101,29 @@ Task* Kernel::SpawnInitial(ProgramPtr program, std::string name, int tag, int cp
 }
 
 Task* Kernel::InjectTask(ProgramPtr program, std::string name, int tag) {
+  if (injection_replicas_ <= 1) {
+    return InjectOne(std::move(program), std::move(name), tag, /*replica_group=*/-1);
+  }
+  // Replication (src/fault/): N copies of the already-drawn program share a
+  // fresh group; the first `quorum` exits win and HandleReplicaExit reaps the
+  // rest. Copies are placed one after another through the normal fork path,
+  // so the policy naturally spreads them.
+  const int group_id = static_cast<int>(replica_groups_.size());
+  replica_groups_.emplace_back();
+  replica_groups_[static_cast<size_t>(group_id)].quorum = injection_quorum_;
+  Task* first = nullptr;
+  for (int i = 0; i < injection_replicas_; ++i) {
+    std::string copy_name = i == 0 ? name : name + ".r" + std::to_string(i);
+    Task* copy = InjectOne(program, std::move(copy_name), tag, group_id);
+    replica_groups_[static_cast<size_t>(group_id)].members.push_back(copy);
+    if (first == nullptr) {
+      first = copy;
+    }
+  }
+  return first;
+}
+
+Task* Kernel::InjectOne(ProgramPtr program, std::string name, int tag, int replica_group) {
   assert(started_ && "call Start() before injecting tasks");
   // A request arrives via interrupt on the boot CPU; placement history starts
   // there, mirroring how a fork starts at the parent's core.
@@ -104,9 +132,15 @@ Task* Kernel::InjectTask(ProgramPtr program, std::string name, int tag) {
   }
   Task* task = NewTask(std::move(program), std::move(name), tag, /*parent=*/nullptr);
   task->prev_cpu = root_cpu_;
+  task->replica_group = replica_group;
   const int cpu = policy_->SelectCpuFork(*task, task->prev_cpu);
   PlaceTask(task, cpu, /*is_fork=*/true);
   return task;
+}
+
+void Kernel::SetInjectionReplication(int replicas, int quorum) {
+  injection_replicas_ = std::max(1, replicas);
+  injection_quorum_ = std::min(std::max(1, quorum), injection_replicas_);
 }
 
 void Kernel::ScheduleInjection(SimTime when, ProgramPtr program, std::string name, int tag) {
@@ -143,6 +177,11 @@ void Kernel::WakeTask(Task* task, int waker_cpu, bool sync) {
 }
 
 void Kernel::PlaceTask(Task* task, int cpu, bool is_fork) {
+  if (!cpus_[cpu].online) {
+    // The policy picked a failed core (e.g. CFS's idlest-group descent ranks
+    // by load, not liveness). Deterministic redirect to the first online CPU.
+    cpu = FallbackOnlineCpu();
+  }
   if (policy_->UsesPlacementReservation()) {
     // Best effort: the policy normally avoided claimed CPUs already; a failed
     // claim here means a collision the reservation could not prevent.
@@ -165,6 +204,10 @@ void Kernel::PlaceTask(Task* task, int cpu, bool is_fork) {
 }
 
 void Kernel::EnqueueTask(Task* task, int cpu, bool wakeup) {
+  if (!cpus_[cpu].online) {
+    // The target failed during the §3.4 in-flight window.
+    cpu = FallbackOnlineCpu();
+  }
   CpuState& cs = cpus_[cpu];
   RunQueue& rq = cs.rq;
   rq.ClearClaim();
@@ -279,6 +322,10 @@ void Kernel::ExitCurrent(int cpu) {
   // Nest demotes a core whose task terminated leaving it idle (§3.1). The
   // hook runs after rescheduling so the policy sees the post-exit state.
   policy_->OnTaskExit(*task, cpu);
+
+  if (task->replica_group >= 0) {
+    HandleReplicaExit(task, cpu);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +393,9 @@ void Kernel::StartRunning(Task* task, int cpu) {
 
   ++context_switches_;
   NotifyContextSwitch(cpu, nullptr, task);
+  // Re-placement after a fault completed: observers sampled the evacuation
+  // gap from inside OnContextSwitch; clear the stamp before the task runs.
+  task->evacuated_at = -1;
   ExecuteTask(cpu);
 }
 
@@ -735,6 +785,9 @@ void Kernel::Tick() {
 
   for (int cpu = 0; cpu < topology().num_cpus(); ++cpu) {
     CpuState& cs = cpus_[cpu];
+    if (!cs.online) {
+      continue;  // failed core: queue drained, PELT reset at offline time
+    }
     Task* curr = cs.rq.curr();
     if (curr == nullptr) {
       cs.rq.util().Update(now, 0.0);
@@ -753,6 +806,16 @@ void Kernel::Tick() {
   policy_->OnTick();
   if (params_.enable_periodic_balance) {
     PeriodicBalance();
+  }
+  const double budget_w = governor_->BudgetWatts();
+  if (budget_w > 0.0) {
+    for (int socket = 0; socket < topology().num_sockets(); ++socket) {
+      const double headroom = budget_w - hw_->SocketPowerWatts(socket);
+      const bool throttled = governor_->ThrottledOnSocket(socket);
+      for (KernelObserver* obs : observers_for(kObsBudgetState)) {
+        obs->OnBudgetState(now, socket, headroom, throttled);
+      }
+    }
   }
   for (KernelObserver* obs : observers_for(kObsTick)) {
     obs->OnTick(now);
@@ -803,6 +866,13 @@ Task* Kernel::FindStealableTask(int dst_cpu, bool same_die_only, bool ignore_hot
 void Kernel::MigrateQueued(Task* task, int dst_cpu, MigrationReason reason) {
   assert(task->state == TaskState::kRunnable);
   const int src_cpu = task->cpu;
+  if (!cpus_[dst_cpu].online) {
+    // Policy-driven moves (Smove's timer) can target a failed core.
+    dst_cpu = FallbackOnlineCpu();
+    if (dst_cpu == src_cpu) {
+      return;
+    }
+  }
   RunQueue& src = cpus_[src_cpu].rq;
   assert(src.Queued(task));
   src.Dequeue(task);
@@ -850,7 +920,7 @@ void Kernel::PeriodicBalance() {
   // One pull per idle CPU per tick, same-die first — an approximation of the
   // periodic/nohz-idle balancing pass.
   for (int cpu = 0; cpu < topology().num_cpus() && !overloaded_cpus_.Empty(); ++cpu) {
-    if (!cpus_[cpu].rq.Idle()) {
+    if (!cpus_[cpu].online || !cpus_[cpu].rq.Idle()) {
       continue;
     }
     // The periodic pass escalates past cache-hotness: a CPU that has idled
@@ -869,6 +939,190 @@ void Kernel::PeriodicBalance() {
 }
 
 // ---------------------------------------------------------------------------
+// Faults (src/fault/): core offline/online, task killing, replica quorums
+// ---------------------------------------------------------------------------
+
+int Kernel::FallbackOnlineCpu() const {
+  for (int cpu = 0; cpu < static_cast<int>(cpus_.size()); ++cpu) {
+    if (cpus_[cpu].online) {
+      return cpu;
+    }
+  }
+  return 0;  // unreachable: OfflineCpu refuses to take the last CPU down
+}
+
+void Kernel::NotifyFaultEvent(FaultEventKind kind, int cpu, const Task* task) {
+  for (KernelObserver* obs : observers_for(kObsFaultEvent)) {
+    obs->OnFaultEvent(engine_->Now(), kind, cpu, task);
+  }
+}
+
+bool Kernel::OfflineCpu(int cpu) {
+  CpuState& cs = cpus_[cpu];
+  if (!cs.online || online_cpus_ <= 1) {
+    return false;
+  }
+  const SimTime now = engine_->Now();
+  cs.online = false;
+  --online_cpus_;
+
+  if (cs.spinning) {
+    StopSpin(cpu, /*because_busy=*/false);
+  }
+
+  // Collect the work this core was holding. vruntimes are normalised against
+  // the pre-drain base so EnqueueTask can re-base them on the new queue.
+  const double vruntime_base = cs.rq.min_vruntime();
+  std::vector<Task*> displaced;
+  Task* curr = cs.rq.curr();
+  if (curr != nullptr) {
+    UpdateCurr(cpu);
+    if (curr->completion_event != kInvalidEventId) {
+      engine_->Cancel(curr->completion_event);
+      curr->completion_event = kInvalidEventId;
+    }
+    curr->prev_prev_cpu = curr->prev_cpu;
+    curr->prev_cpu = cpu;
+    curr->vruntime -= vruntime_base;
+    cs.rq.set_curr(nullptr);
+    displaced.push_back(curr);
+  }
+  while (Task* queued = cs.rq.Leftmost()) {
+    cs.rq.Dequeue(queued);
+    queued->vruntime -= vruntime_base;
+    displaced.push_back(queued);
+  }
+
+  // Hard reset: reservation claim, vruntime base, and the PELT signal — a
+  // repaired core must come back with no residual history.
+  cs.rq.ClearClaim();
+  cs.rq.UpdateMinVruntime();
+  cs.rq.util().Set(now, 0.0);
+  UpdateCpuMasks(cpu);
+  if (curr != nullptr) {
+    NotifyContextSwitch(cpu, curr, nullptr);
+  }
+  hw_->SetThreadBusy(cpu, false);  // no-op if it was already idle
+
+  policy_->OnCpuOffline(cpu);
+  NotifyFaultEvent(FaultEventKind::kCoreOffline, cpu, nullptr);
+
+  // Re-place the displaced work through the policy's wake path. The policy
+  // already sees this core as offline (CpuIdle is false); whatever it picks
+  // is relabelled as the fault_evacuate placement path.
+  for (Task* task : displaced) {
+    task->state = TaskState::kPlacing;
+    task->evacuated_at = now;
+    WakeContext ctx;
+    ctx.waker_cpu = FallbackOnlineCpu();
+    const int target = policy_->SelectCpuWake(*task, ctx);
+    task->placement_path = PlacementPath::kFaultEvacuate;
+    PlaceTask(task, target, /*is_fork=*/false);
+    NotifyFaultEvent(FaultEventKind::kTaskEvacuated, task->cpu, task);
+  }
+  return true;
+}
+
+void Kernel::OnlineCpu(int cpu) {
+  CpuState& cs = cpus_[cpu];
+  if (cs.online) {
+    return;
+  }
+  const SimTime now = engine_->Now();
+  cs.online = true;
+  ++online_cpus_;
+  cs.idle_since = now;
+  cs.rq.util().Set(now, 0.0);
+  cs.rq.ClearClaim();
+  UpdateCpuMasks(cpu);
+  policy_->OnCpuOnline(cpu);
+  NotifyFaultEvent(FaultEventKind::kCoreOnline, cpu, nullptr);
+}
+
+void Kernel::KillTask(Task* task, FaultEventKind kind) {
+  if (task == nullptr || task->state == TaskState::kDead) {
+    return;
+  }
+  const SimTime now = engine_->Now();
+  const int cpu = task->cpu;
+  const bool was_running = task->state == TaskState::kRunning;
+  switch (task->state) {
+    case TaskState::kRunning: {
+      CpuState& cs = cpus_[cpu];
+      assert(cs.rq.curr() == task);
+      UpdateCurr(cpu);
+      if (task->completion_event != kInvalidEventId) {
+        engine_->Cancel(task->completion_event);
+        task->completion_event = kInvalidEventId;
+      }
+      cs.rq.set_curr(nullptr);
+      cs.rq.UpdateMinVruntime();
+      UpdateCpuMasks(cpu);
+      --runnable_tasks_;
+      NotifyContextSwitch(cpu, task, nullptr);
+      break;
+    }
+    case TaskState::kRunnable: {
+      CpuState& cs = cpus_[cpu];
+      if (cs.rq.Queued(task)) {
+        cs.rq.Dequeue(task);
+        cs.rq.UpdateMinVruntime();
+        UpdateCpuMasks(cpu);
+      }
+      --runnable_tasks_;
+      break;
+    }
+    case TaskState::kPlacing:
+      // The delayed enqueue checks state == kPlacing, so marking the task
+      // dead cancels it; any §3.4 claim it holds simply times out.
+      --runnable_tasks_;
+      break;
+    case TaskState::kBlocked:
+    case TaskState::kDead:
+      break;
+  }
+  task->state = TaskState::kDead;
+  task->exited_at = now;
+  --live_tasks_;
+  sync_.ForgetTask(task);
+  // Deliberately no OnTaskExit: killed work must not count as completed.
+  NotifyFaultEvent(kind, cpu, task);
+
+  Task* parent = task->parent;
+  if (parent != nullptr) {
+    --parent->live_children;
+    if (parent->live_children <= parent->join_threshold &&
+        parent->state == TaskState::kBlocked && parent->block_reason == BlockReason::kJoin) {
+      WakeTask(parent, /*waker_cpu=*/FallbackOnlineCpu(), /*sync=*/false);
+    }
+  }
+  if (was_running) {
+    ScheduleCpu(cpu);
+    policy_->OnTaskExit(*task, cpu);
+  }
+}
+
+void Kernel::HandleReplicaExit(Task* task, int cpu) {
+  ReplicaGroup& group = replica_groups_[static_cast<size_t>(task->replica_group)];
+  ++group.completions;
+  if (group.completions != group.quorum || group.reaped) {
+    return;
+  }
+  group.reaped = true;
+  NotifyFaultEvent(FaultEventKind::kReplicaQuorumJoin, cpu, task);
+  // Reap the losers from a fresh event: KillTask re-enters the scheduler and
+  // must not run inside the winner's exit path.
+  const int group_id = task->replica_group;
+  engine_->ScheduleAt(engine_->Now(), [this, group_id] {
+    for (Task* member : replica_groups_[static_cast<size_t>(group_id)].members) {
+      if (member->state != TaskState::kDead) {
+        KillTask(member, FaultEventKind::kReplicaReaped);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Misc
 // ---------------------------------------------------------------------------
 
@@ -880,7 +1134,7 @@ double Kernel::GovernorRequestGhz(int cpu) {
   if (rq.curr() != nullptr) {
     util = std::max(util, rq.curr()->util.ValueAt(engine_->Now()));
   }
-  return governor_->RequestGhz(hw_->spec(), std::min(1.0, util));
+  return governor_->RequestGhzOn(hw_->spec(), std::min(1.0, util), cpu);
 }
 
 int Kernel::live_tasks_for_tag(int tag) const {

@@ -101,6 +101,44 @@ class Kernel {
   // Injections scheduled via ScheduleInjection that have not yet fired.
   int pending_injections() const { return pending_injections_; }
 
+  // Replicates every subsequent InjectTask into `replicas` copies sharing a
+  // fresh replica group: the first `quorum` copies to exit win and the rest
+  // are reaped (src/fault/). Single-machine runs only — the cluster runner
+  // replicates across machines itself. replicas <= 1 disables (the default);
+  // the copies share the already-drawn program, so enabling replication does
+  // not perturb any workload randomness.
+  void SetInjectionReplication(int replicas, int quorum);
+
+  // ---- Fault injection (src/fault/). ----
+
+  // Whether `cpu` is online (failed cores are refused by every placement and
+  // balancing path until OnlineCpu). All CPUs start online.
+  bool CpuOnline(int cpu) const { return cpus_[cpu].online; }
+  int online_cpus() const { return online_cpus_; }
+
+  // Takes `cpu` offline: stops any warm spin, displaces the running task,
+  // drains the queue, clears the §3.4 claim, hard-resets the queue's PELT
+  // signal, forces the hardware thread idle, and re-places every displaced
+  // task through the policy (placement path kFaultEvacuate). Returns false —
+  // and does nothing — if the CPU is already offline or is the last online
+  // CPU (the machine always keeps one core).
+  bool OfflineCpu(int cpu);
+
+  // Brings a failed CPU back. Its queue restarts empty with a fresh PELT
+  // signal; no policy membership is restored (the core re-earns its way in).
+  void OnlineCpu(int cpu);
+
+  // Kills a task in any state without running its program to completion: no
+  // OnTaskExit observer fires (killed work must not count as completed), but
+  // parents are still un-blocked and sync wait lists cleaned. `kind` is the
+  // fault event emitted (kTaskKilled for failures, kReplicaReaped for
+  // post-quorum reaping). No-op on already-dead tasks.
+  void KillTask(Task* task, FaultEventKind kind = FaultEventKind::kTaskKilled);
+
+  // Forwards a fault transition to the observers. Public because the fault
+  // injector and the cluster runner (machine crashes) emit events too.
+  void NotifyFaultEvent(FaultEventKind kind, int cpu, const Task* task);
+
   // Declares a reusable barrier with `parties` participants.
   void CreateBarrier(int id, int parties) { sync_.CreateBarrier(id, parties); }
 
@@ -112,17 +150,19 @@ class Kernel {
   const DomainTree& domains() const { return domains_; }
   const Params& params() const { return params_; }
   SchedulerPolicy& policy() { return *policy_; }
+  const Governor& governor() const { return *governor_; }
 
   RunQueue& rq(int cpu) { return cpus_[cpu].rq; }
   const RunQueue& rq(int cpu) const { return cpus_[cpu].rq; }
 
   // Idle from the scheduler's point of view: nothing running or queued.
-  bool CpuIdle(int cpu) const { return cpus_[cpu].rq.Idle(); }
+  // Offline CPUs are never idle — they must lose every placement scan.
+  bool CpuIdle(int cpu) const { return cpus_[cpu].online && cpus_[cpu].rq.Idle(); }
 
   // Idle and not claimed by an in-flight placement. What reservation-aware
   // policies (Nest) check before selecting a CPU.
   bool CpuIdleUnclaimed(int cpu) const {
-    return cpus_[cpu].rq.Idle() && !cpus_[cpu].rq.claimed();
+    return cpus_[cpu].online && cpus_[cpu].rq.Idle() && !cpus_[cpu].rq.claimed();
   }
 
   // The CPU's decayed utilisation in [0, 1], updated to now. This is the
@@ -198,6 +238,15 @@ class Kernel {
     EventId spin_end = kInvalidEventId;
     SimTime idle_since = 0;         // when the CPU last became idle
     uint64_t dispatch_gen = 0;      // cancels stale delayed dispatches
+    bool online = true;             // false while failed (src/fault/)
+  };
+
+  // Replica-quorum bookkeeping for injected tasks (src/fault/).
+  struct ReplicaGroup {
+    std::vector<Task*> members;
+    int quorum = 1;
+    int completions = 0;
+    bool reaped = false;
   };
 
   // -- Task lifecycle --
@@ -245,14 +294,26 @@ class Kernel {
   double GovernorRequestGhz(int cpu);
   void NotifyContextSwitch(int cpu, const Task* prev, const Task* next);
 
+  // -- Fault machinery (src/fault/) --
+  // Lowest-numbered online CPU: the deterministic redirect target when a
+  // placement's chosen CPU went offline in flight.
+  int FallbackOnlineCpu() const;
+  // One injected task (replica-aware wrapper body of InjectTask).
+  Task* InjectOne(ProgramPtr program, std::string name, int tag, int replica_group);
+  // Exit-side replica accounting: counts completions, fires the quorum join,
+  // and schedules the reap of losing copies.
+  void HandleReplicaExit(Task* task, int cpu);
+
   // Re-derives `cpu`'s bits in idle_cpus_/overloaded_cpus_ from its run
   // queue. Must run after every Enqueue/Dequeue/set_curr and before the
   // observer notifications that follow (the work-conservation metric samples
-  // the masks from inside those callbacks).
+  // the masks from inside those callbacks). Offline CPUs are pinned out of
+  // both masks: they are neither idle (work conservation must not expect
+  // them to pull) nor overloaded (their queues are drained).
   void UpdateCpuMasks(int cpu) {
-    const RunQueue& rq = cpus_[cpu].rq;
-    idle_cpus_.Assign(cpu, rq.Idle());
-    overloaded_cpus_.Assign(cpu, rq.QueuedCount() > 0);
+    const CpuState& cs = cpus_[cpu];
+    idle_cpus_.Assign(cpu, cs.online && cs.rq.Idle());
+    overloaded_cpus_.Assign(cpu, cs.online && cs.rq.QueuedCount() > 0);
   }
 
   // Observers subscribed to `event` (one ObserverEvent bit), in registration
@@ -281,6 +342,10 @@ class Kernel {
   int next_tid_ = 1;
   bool cache_tracking_ = false;  // params_.cache.enabled() || policy wants it
   uint64_t enqueue_count_ = 0;  // drives the test_skip_enqueue_dispatch hook
+  int online_cpus_ = 0;          // count of online CPUs (== num_cpus unless faults)
+  int injection_replicas_ = 1;   // copies per InjectTask (1 == off)
+  int injection_quorum_ = 1;     // completions that win a replica group
+  std::vector<ReplicaGroup> replica_groups_;  // indexed by Task::replica_group
   int root_cpu_ = -1;
   int pending_injections_ = 0;
   int live_tasks_ = 0;

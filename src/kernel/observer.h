@@ -77,6 +77,38 @@ inline const char* CacheEventKindName(CacheEventKind kind) {
   return "?";
 }
 
+// Fault-injection transitions (src/fault/), surfaced by the kernel when a
+// fault plan offlines/onlines cores or the cluster runner crashes a machine.
+enum class FaultEventKind {
+  kCoreOffline,       // core failed; its run queue was evacuated
+  kCoreOnline,        // core repaired; re-joined placement
+  kMachineCrash,      // whole machine failed (cluster runs)
+  kTaskEvacuated,     // a displaced task was re-placed (fault_evacuate path)
+  kTaskKilled,        // a task died with the core/machine (work lost)
+  kReplicaQuorumJoin, // a replica group reached its quorum
+  kReplicaReaped,     // a losing replica was reaped after quorum
+};
+
+inline const char* FaultEventKindName(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kCoreOffline:
+      return "core_offline";
+    case FaultEventKind::kCoreOnline:
+      return "core_online";
+    case FaultEventKind::kMachineCrash:
+      return "machine_crash";
+    case FaultEventKind::kTaskEvacuated:
+      return "task_evacuated";
+    case FaultEventKind::kTaskKilled:
+      return "task_killed";
+    case FaultEventKind::kReplicaQuorumJoin:
+      return "replica_quorum_join";
+    case FaultEventKind::kReplicaReaped:
+      return "replica_reaped";
+  }
+  return "?";
+}
+
 // One bit per KernelObserver callback. The kernel keeps a dispatch list per
 // event, built from each observer's InterestMask() at registration, so firing
 // a callback only walks observers that actually override it — an event nobody
@@ -97,9 +129,11 @@ enum ObserverEvent : uint32_t {
   kObsIdleSpinEnd = 1u << 12,
   kObsCoreFreqChange = 1u << 13,
   kObsCacheEvent = 1u << 14,
+  kObsFaultEvent = 1u << 15,
+  kObsBudgetState = 1u << 16,
 };
 
-inline constexpr int kNumObserverEvents = 15;
+inline constexpr int kNumObserverEvents = 17;
 inline constexpr uint32_t kObsAllEvents = (1u << kNumObserverEvents) - 1;
 
 class KernelObserver {
@@ -229,6 +263,27 @@ class KernelObserver {
     (void)kind;
     (void)cpu;
     (void)warmth;
+  }
+
+  // Fault-injection transition (src/fault/). `cpu` is the affected logical
+  // CPU (-1 for machine-level events); `task` is the displaced/killed/joined
+  // task for the task-level kinds, nullptr otherwise.
+  virtual void OnFaultEvent(SimTime now, FaultEventKind kind, int cpu, const Task* task) {
+    (void)now;
+    (void)kind;
+    (void)cpu;
+    (void)task;
+  }
+
+  // Per-socket energy-budget state, sampled at every scheduler tick while a
+  // budget governor is active. `headroom_w` is budget minus the socket's
+  // current power draw (negative == over budget); `throttled` says the
+  // governor is currently scaling frequency requests down on this socket.
+  virtual void OnBudgetState(SimTime now, int socket, double headroom_w, bool throttled) {
+    (void)now;
+    (void)socket;
+    (void)headroom_w;
+    (void)throttled;
   }
 };
 

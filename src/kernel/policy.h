@@ -60,6 +60,15 @@ class SchedulerPolicy {
   // Scheduler tick (once per kTickPeriod, machine-wide).
   virtual void OnTick() {}
 
+  // `cpu` was taken offline by a fault (src/fault/): its queue has been
+  // evacuated and the kernel will refuse to place work there. Policies that
+  // keep per-core membership (Nest's nests) must drop the core here.
+  virtual void OnCpuOffline(int cpu) { (void)cpu; }
+
+  // `cpu` came back online; selectable again. No membership is restored —
+  // the core re-earns its way into any policy structure.
+  virtual void OnCpuOnline(int cpu) { (void)cpu; }
+
   // Whether core selection claims the chosen run queue until the enqueue
   // lands (the compare-and-swap placement flag of §3.4).
   virtual bool UsesPlacementReservation() const { return false; }

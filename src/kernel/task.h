@@ -40,9 +40,10 @@ enum class PlacementPath {
   kSmoveParked,      // Smove parked the task on the fast parent/waker core
   kSmoveCfs,         // Smove kept the CFS choice
   kNestCacheWarm,    // NestCache re-anchored the search to the warm LLC
+  kFaultEvacuate,    // re-placement of a task displaced by a core failure
 };
 
-inline constexpr int kNumPlacementPaths = 13;
+inline constexpr int kNumPlacementPaths = 14;
 
 inline const char* PlacementPathName(PlacementPath path) {
   switch (path) {
@@ -72,6 +73,8 @@ inline const char* PlacementPathName(PlacementPath path) {
       return "smove_cfs";
     case PlacementPath::kNestCacheWarm:
       return "nest_cache_warm";
+    case PlacementPath::kFaultEvacuate:
+      return "fault_evacuate";
   }
   return "?";
 }
@@ -120,6 +123,15 @@ struct Task {
   // The policy path that made the most recent placement decision for this
   // task; consumed by KernelObserver::OnTaskPlaced.
   PlacementPath placement_path = PlacementPath::kUnknown;
+
+  // Replica-quorum membership (src/fault/): tasks sharing a replica_group
+  // race; the first `quorum` completions win and the rest are reaped. -1 ==
+  // not replicated.
+  int replica_group = -1;
+
+  // When a core failure displaced this task (-1 == never); cleared when it
+  // next gets a CPU. The gap is the re-placement latency resilience metric.
+  SimTime evacuated_at = -1;
 
   // Execution segment bookkeeping (valid while kRunning).
   SimTime seg_start = 0;

@@ -1,0 +1,64 @@
+// Budget-aware Nest (docs/FAULTS.md).
+//
+// Under a per-socket power budget, plain Nest and the budget governor fight
+// each other: the nest keeps every primary core warm, the socket stays near
+// its cap, and the governor throttles *all* of them — the whole nest slows
+// down. NestBudgetPolicy resolves the fight by shrinking the warm mask
+// instead: while a socket is over budget the policy stops growing its nest
+// (reserve hits are used but not promoted, CFS-fallback cores are not
+// adopted) and each tick demotes the least-recently-used idle primary core on
+// a throttled socket. Work packs onto fewer cores which then run closer to
+// full frequency — trading queueing for clock speed, which is the right trade
+// whenever the budget, not the work, is the binding constraint.
+//
+// Reuses NestPolicy's membership management and searches through the
+// SelectCommon seam; behaves exactly like NestPolicy when no socket is
+// throttled (and the `budget` governor never throttles when budget_w == 0).
+
+#ifndef NESTSIM_SRC_NEST_NEST_BUDGET_POLICY_H_
+#define NESTSIM_SRC_NEST_NEST_BUDGET_POLICY_H_
+
+#include "src/nest/nest_policy.h"
+
+namespace nestsim {
+
+struct NestBudgetParams {
+  // The primary nest never shrinks below this many cores, no matter how far
+  // over budget the socket is — the machine must keep making progress.
+  int min_primary = 1;
+};
+
+class NestBudgetPolicy : public NestPolicy {
+ public:
+  NestBudgetPolicy() = default;
+  explicit NestBudgetPolicy(NestParams params) : NestPolicy(params) {}
+  NestBudgetPolicy(NestParams params, NestBudgetParams budget)
+      : NestPolicy(params), budget_params_(budget) {}
+
+  const char* name() const override { return "nest_budget"; }
+
+  // Base compaction plus one demotion per throttled socket per tick.
+  void OnTick() override;
+
+  // While the anchor's socket is throttled, the §5.4 previous-core favouring
+  // honours the previous core only if it is still in the (shrunk) primary
+  // mask — a demoted core stays demoted instead of being resurrected into
+  // the primary, which would undo every demotion one wake later.
+  int SelectCpuWake(Task& task, const WakeContext& ctx) override;
+
+  const NestBudgetParams& budget_params() const { return budget_params_; }
+
+ protected:
+  int SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx) override;
+
+ private:
+  bool SocketThrottled(int cpu) const {
+    return kernel_->governor().ThrottledOnSocket(kernel_->topology().SocketOf(cpu));
+  }
+
+  NestBudgetParams budget_params_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_NEST_NEST_BUDGET_POLICY_H_

@@ -90,6 +90,16 @@ void NestPolicy::OnTaskExit(Task& task, int cpu) {
   }
 }
 
+void NestPolicy::OnCpuOffline(int cpu) {
+  if (cores_[cpu].in_primary) {
+    kernel_->NotifyNestEvent(NestEventKind::kDemote, cpu);
+    RemoveFromPrimary(cpu);
+  }
+  if (cores_[cpu].in_reserve) {
+    RemoveFromReserve(cpu);
+  }
+}
+
 int NestPolicy::IdleSpinTicks(int cpu) {
   if (!params_.enable_spin || !cores_[cpu].in_primary) {
     return 0;
@@ -234,14 +244,18 @@ int NestPolicy::SelectCommon(Task& task, int anchor_cpu, bool is_fork, const Wak
   }
   chosen = is_fork ? CfsFallbackFork(task, anchor_cpu) : CfsFallbackWake(task, ctx);
   task.placement_path = PlacementPath::kNestCfsFallback;
-  if (params_.enable_reserve) {
-    AddToReserve(chosen);
-  } else {
-    // Ablation without a reserve: CFS-chosen cores must join the primary
-    // directly, or the nest could never grow.
-    AddToPrimary(chosen);
+  // CFS can hand back a failed core (the kernel redirects the enqueue); such
+  // a core must not enter a nest.
+  if (kernel_->CpuOnline(chosen)) {
+    if (params_.enable_reserve) {
+      AddToReserve(chosen);
+    } else {
+      // Ablation without a reserve: CFS-chosen cores must join the primary
+      // directly, or the nest could never grow.
+      AddToPrimary(chosen);
+    }
+    MarkUsed(chosen);
   }
-  MarkUsed(chosen);
   return chosen;
 }
 
@@ -273,8 +287,10 @@ int NestPolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
     } else {
       chosen = CfsFallbackWake(task, ctx);
     }
-    AddToPrimary(chosen);
-    MarkUsed(chosen);
+    if (kernel_->CpuOnline(chosen)) {
+      AddToPrimary(chosen);
+      MarkUsed(chosen);
+    }
     return chosen;
   }
 

@@ -60,6 +60,9 @@ class NestPolicy : public SchedulerPolicy {
   void OnTaskExit(Task& task, int cpu) override;
   int IdleSpinTicks(int cpu) override;
   void OnTick() override;
+  // A failed core leaves both nests immediately; a repaired one re-earns its
+  // membership through the normal promotion paths (src/fault/).
+  void OnCpuOffline(int cpu) override;
   bool UsesPlacementReservation() const override {
     return params_.enable_placement_reservation;
   }

@@ -286,6 +286,32 @@ void PerfettoTraceWriter::OnCacheEvent(SimTime now, const Task& task, CacheEvent
   }
 }
 
+void PerfettoTraceWriter::OnFaultEvent(SimTime now, FaultEventKind kind, int cpu,
+                                       const Task* task) {
+  TraceEvent ev;
+  ev.ts = now;
+  ev.ph = 'i';
+  ev.pid = kPidCpu;
+  ev.tid = cpu >= 0 ? cpu : 0;  // machine-level events land on cpu0's track
+  ev.name = std::string("fault:") + FaultEventKindName(kind);
+  if (task != nullptr) {
+    std::string args = "{\"task\":\"";
+    args += Escape(task->name);
+    args += "\",\"tid\":";
+    args += std::to_string(task->tid);
+    args += '}';
+    ev.args = std::move(args);
+  }
+  Push(std::move(ev));
+}
+
+void PerfettoTraceWriter::OnBudgetState(SimTime now, int socket, double headroom_w,
+                                        bool throttled) {
+  (void)throttled;  // visible as the headroom dipping below zero
+  PushCounter(now, kPidSocket, "socket" + std::to_string(socket) + " budget headroom W", "W",
+              headroom_w);
+}
+
 void PerfettoTraceWriter::OnTick(SimTime now) {
   const Topology& topo = kernel_->topology();
   HardwareModel& hw = kernel_->hw();

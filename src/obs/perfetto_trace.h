@@ -45,7 +45,7 @@ class PerfettoTraceWriter : public KernelObserver {
   uint32_t InterestMask() const override {
     return kObsContextSwitch | kObsTaskPlaced | kObsTaskEnqueued | kObsReservationCollision |
            kObsTaskMigrated | kObsNestEvent | kObsIdleSpinStart | kObsIdleSpinEnd |
-           kObsCoreFreqChange | kObsTick | kObsCacheEvent;
+           kObsCoreFreqChange | kObsTick | kObsCacheEvent | kObsFaultEvent | kObsBudgetState;
   }
 
   void OnContextSwitch(SimTime now, int cpu, const Task* prev, const Task* next) override;
@@ -60,6 +60,8 @@ class PerfettoTraceWriter : public KernelObserver {
   void OnCoreFreqChange(SimTime now, int phys_core, double freq_ghz) override;
   void OnCacheEvent(SimTime now, const Task& task, CacheEventKind kind, int cpu,
                     double warmth) override;
+  void OnFaultEvent(SimTime now, FaultEventKind kind, int cpu, const Task* task) override;
+  void OnBudgetState(SimTime now, int socket, double headroom_w, bool throttled) override;
   void OnTick(SimTime now) override;
 
   // Closes open stints/spins at `end` and sorts events by timestamp. Call

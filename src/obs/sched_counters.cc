@@ -29,6 +29,10 @@ void SchedCounters::Add(const SchedCounters& other) {
   cache_warm_hits += other.cache_warm_hits;
   cache_cold_misses += other.cache_cold_misses;
   cache_cross_die_migrations += other.cache_cross_die_migrations;
+  faults_injected += other.faults_injected;
+  tasks_evacuated += other.tasks_evacuated;
+  replica_quorum_joins += other.replica_quorum_joins;
+  budget_throttle_ticks += other.budget_throttle_ticks;
 }
 
 uint64_t SchedCounters::NestHits() const {
@@ -79,9 +83,10 @@ std::string SchedCountersJson(const SchedCounters& c) {
   std::string out = "{\"placements\":{";
   bool first = true;
   for (int i = 0; i < kNumPlacementPaths; ++i) {
-    // The cache-aware path only joined in the cache-model PR; omitting it
-    // when unused keeps every pre-cache golden digest byte-identical.
-    if (static_cast<PlacementPath>(i) == PlacementPath::kNestCacheWarm &&
+    // The cache-aware and fault-evacuation paths only joined in later PRs;
+    // omitting them when unused keeps earlier golden digests byte-identical.
+    if ((static_cast<PlacementPath>(i) == PlacementPath::kNestCacheWarm ||
+         static_cast<PlacementPath>(i) == PlacementPath::kFaultEvacuate) &&
         c.placements[i] == 0) {
       continue;
     }
@@ -114,6 +119,15 @@ std::string SchedCountersJson(const SchedCounters& c) {
     AppendU64(out, "cache_warm_hits", c.cache_warm_hits, &first);
     AppendU64(out, "cache_cold_misses", c.cache_cold_misses, &first);
     AppendU64(out, "cache_cross_die_migrations", c.cache_cross_die_migrations, &first);
+  }
+  // Same convention for the fault/budget block (src/fault/): present only on
+  // runs where faults, replicas, or a power budget actually fired.
+  if (c.faults_injected != 0 || c.tasks_evacuated != 0 || c.replica_quorum_joins != 0 ||
+      c.budget_throttle_ticks != 0) {
+    AppendU64(out, "faults_injected", c.faults_injected, &first);
+    AppendU64(out, "tasks_evacuated", c.tasks_evacuated, &first);
+    AppendU64(out, "replica_quorum_joins", c.replica_quorum_joins, &first);
+    AppendU64(out, "budget_throttle_ticks", c.budget_throttle_ticks, &first);
   }
   out += '}';
   return out;

@@ -68,6 +68,16 @@ struct SchedCounters {
   uint64_t cache_cold_misses = 0;
   uint64_t cache_cross_die_migrations = 0;
 
+  // Fault-injection and energy-budget events (src/fault/): core/machine
+  // failures executed, tasks displaced onto new cores by a failure, replica
+  // groups that reached their quorum, and socket-ticks spent throttled under
+  // a power budget. All zero unless faults/replicas/budget are enabled; the
+  // JSON encoder omits them when zero so pre-fault golden digests hold.
+  uint64_t faults_injected = 0;
+  uint64_t tasks_evacuated = 0;
+  uint64_t replica_quorum_joins = 0;
+  uint64_t budget_throttle_ticks = 0;
+
   void Add(const SchedCounters& other);
 
   // Placements that landed inside a nest (primary/reserve/attached/prev-core/
@@ -98,7 +108,7 @@ class SchedCounterRecorder : public KernelObserver {
   uint32_t InterestMask() const override {
     return kObsTaskPlaced | kObsReservationCollision | kObsTaskMigrated | kObsNestEvent |
            kObsIdleSpinStart | kObsIdleSpinEnd | kObsCoreFreqChange | kObsTaskEnqueued |
-           kObsContextSwitch | kObsTick | kObsCacheEvent;
+           kObsContextSwitch | kObsTick | kObsCacheEvent | kObsFaultEvent | kObsBudgetState;
   }
 
   void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override {
@@ -193,6 +203,37 @@ class SchedCounterRecorder : public KernelObserver {
       case CacheEventKind::kCrossDieMigration:
         ++counters_.cache_cross_die_migrations;
         break;
+    }
+  }
+
+  void OnFaultEvent(SimTime now, FaultEventKind kind, int cpu, const Task* task) override {
+    (void)now;
+    (void)cpu;
+    (void)task;
+    switch (kind) {
+      case FaultEventKind::kCoreOffline:
+      case FaultEventKind::kMachineCrash:
+        ++counters_.faults_injected;
+        break;
+      case FaultEventKind::kTaskEvacuated:
+        ++counters_.tasks_evacuated;
+        break;
+      case FaultEventKind::kReplicaQuorumJoin:
+        ++counters_.replica_quorum_joins;
+        break;
+      case FaultEventKind::kCoreOnline:
+      case FaultEventKind::kTaskKilled:
+      case FaultEventKind::kReplicaReaped:
+        break;  // richer accounting lives in ResilienceRecorder (src/fault/)
+    }
+  }
+
+  void OnBudgetState(SimTime now, int socket, double headroom_w, bool throttled) override {
+    (void)now;
+    (void)socket;
+    (void)headroom_w;
+    if (throttled) {
+      ++counters_.budget_throttle_ticks;
     }
   }
 

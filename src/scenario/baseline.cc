@@ -92,6 +92,26 @@ std::string BaselineJobRecord(const Job& job, const JobOutcome& outcome) {
         out += ',';
         AppendDouble(out, "latency_p999_ms", r.cluster.p999_ms);
       }
+      if (r.resilience.any()) {
+        // Resilience fields are appended only when a fault, replica, or
+        // evacuation actually fired, so pre-fault goldens stay byte-identical.
+        out += ',';
+        AppendU64(out, "tasks_killed", r.resilience.tasks_killed);
+        out += ',';
+        AppendU64(out, "replicas_reaped", r.resilience.replicas_reaped);
+        out += ',';
+        AppendU64(out, "evacuations", r.resilience.evacuations);
+        out += ',';
+        AppendDouble(out, "work_lost_ms", r.resilience.work_lost_ms);
+        out += ',';
+        AppendDouble(out, "wasted_replica_ms", r.resilience.wasted_replica_ms);
+        out += ',';
+        AppendDouble(out, "mean_evac_latency_us", r.resilience.mean_evac_latency_us);
+        out += ',';
+        AppendU64(out, "requests_failed", r.resilience.requests_failed);
+        out += ',';
+        AppendU64(out, "requests_degraded", r.resilience.requests_degraded);
+      }
       out += '}';
     }
     out += ']';
@@ -324,6 +344,16 @@ BaselineCheck CheckBaseline(const ScenarioRun& run, const std::string& dir,
         cmp.ExpectDouble(grun, "latency_p50_ms", fresh.cluster.p50_ms);
         cmp.ExpectDouble(grun, "latency_p99_ms", fresh.cluster.p99_ms);
         cmp.ExpectDouble(grun, "latency_p999_ms", fresh.cluster.p999_ms);
+      }
+      if (fresh.resilience.any()) {
+        cmp.ExpectU64(grun, "tasks_killed", fresh.resilience.tasks_killed);
+        cmp.ExpectU64(grun, "replicas_reaped", fresh.resilience.replicas_reaped);
+        cmp.ExpectU64(grun, "evacuations", fresh.resilience.evacuations);
+        cmp.ExpectDouble(grun, "work_lost_ms", fresh.resilience.work_lost_ms);
+        cmp.ExpectDouble(grun, "wasted_replica_ms", fresh.resilience.wasted_replica_ms);
+        cmp.ExpectDouble(grun, "mean_evac_latency_us", fresh.resilience.mean_evac_latency_us);
+        cmp.ExpectU64(grun, "requests_failed", fresh.resilience.requests_failed);
+        cmp.ExpectU64(grun, "requests_degraded", fresh.resilience.requests_degraded);
       }
     }
   }

@@ -297,6 +297,34 @@ void PrintLatencyTable(const ScenarioRun& run, size_t m, size_t s) {
   }
 }
 
+// Energy-budget layout (docs/FAULTS.md): one line per row x variant with the
+// mean package energy, runtime, energy-delay product, and the fraction of
+// scheduler ticks spent over the power target, averaged across reps.
+void PrintEnergyTable(const ScenarioRun& run, size_t m, size_t s) {
+  const Scenario& sc = run.scenario;
+  const std::string row_fmt = "%-" + std::to_string(sc.table.row_width) + "s";
+  std::printf(row_fmt.c_str(), sc.table.row_header.c_str());
+  std::printf(" %-14s %10s %9s %12s %9s\n", "variant", "energy J", "time s", "EDP J*s",
+              "thr ticks");
+  for (size_t r = 0; r < run.num_rows(); ++r) {
+    for (size_t v = 0; v < sc.variants.size(); ++v) {
+      const RepeatedResult& rr = run.result(m, r, v, s);
+      double joules = 0, secs = 0, edp = 0;
+      uint64_t throttle_ticks = 0;
+      for (const ExperimentResult& er : rr.runs) {
+        joules += er.energy_joules;
+        secs += er.seconds();
+        edp += er.edp();
+        throttle_ticks += er.counters.budget_throttle_ticks;
+      }
+      const double n = rr.runs.empty() ? 1.0 : static_cast<double>(rr.runs.size());
+      std::printf(row_fmt.c_str(), (sc.rows[r].label + sc.table.row_suffix).c_str());
+      std::printf(" %-14s %10.1f %9.3f %12.1f %9.0f\n", sc.variants[v].label.c_str(), joules / n,
+                  secs / n, edp / n, static_cast<double>(throttle_ticks) / n);
+    }
+  }
+}
+
 void PrintBandsTable(const ScenarioRun& run, size_t m, size_t s) {
   const Scenario& sc = run.scenario;
   for (size_t v = 1; v < sc.variants.size(); ++v) {
@@ -340,6 +368,9 @@ void PrintScenarioTables(const ScenarioRun& run) {
           break;
         case TableSpec::Style::kLatency:
           PrintLatencyTable(run, m, s);
+          break;
+        case TableSpec::Style::kEnergy:
+          PrintEnergyTable(run, m, s);
           break;
         case TableSpec::Style::kNone:
           break;

@@ -355,6 +355,55 @@ const std::vector<OverrideSpec>& Overrides() {
        [](ExperimentConfig* c, const JsonValue& v) {
          return OverrideBool(v, &c->nest_cache.enable_compaction_grace);
        }},
+      // Fault-injection plan (src/fault/, docs/FAULTS.md). All rates default
+      // to 0 (no plan drawn, goldens byte-identical); rates are expected
+      // events per simulated second per machine.
+      {"fault.core_fail_rate_per_s", "number in [0, 1000]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1000.0, &c->fault.core_fail_rate_per_s);
+       }},
+      {"fault.core_downtime_ms", "number in [0, 1e6]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1e6, &c->fault.core_downtime_ms);
+       }},
+      {"fault.machine_fail_rate_per_s", "number in [0, 1000]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1000.0, &c->fault.machine_fail_rate_per_s);
+       }},
+      {"fault.machine_downtime_ms", "number in [0, 1e6]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1e6, &c->fault.machine_downtime_ms);
+       }},
+      {"fault.horizon_s", "number in [0, 1e6]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1e6, &c->fault.horizon_s);
+       }},
+      // Task replication: N copies per injected task (cluster: per request
+      // part), JOIN on the first `quorum` completions; losers are reaped.
+      {"replicas", "integer in [1, 16]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideInt(v, 1, 16, &c->fault.replicas);
+       }},
+      {"fault.quorum", "integer in [0, 16] (0 = all replicas)",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideInt(v, 0, 16, &c->fault.quorum);
+       }},
+      // Energy budget (src/governors/, docs/FAULTS.md). budget_w 0 disables;
+      // only the "budget" governor acts on it.
+      {"power.budget_w", "number in [0, 1e6]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 0.0, 1e6, &c->power.budget_w);
+       }},
+      {"power.headroom_fraction", "number in (0, 1]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 1e-9, 1.0, &c->power.headroom_fraction);
+       }},
+      // NestBudgetPolicy extras (src/nest/nest_budget_policy.h); only the
+      // nest_budget variant reads them.
+      {"nest_budget.min_primary", "integer in [1, 4096]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideInt(v, 1, 4096, &c->nest_budget.min_primary);
+       }},
   };
   return *specs;
 }
@@ -625,7 +674,8 @@ void ParseTable(const JsonValue* v, const std::string& path, Scenario* out, Scen
   }
   SpecReader reader(*v, path + "/table", *err);
   std::string style;
-  if (reader.TakeEnum("style", &style, {"none", "speedup", "underload", "bands", "latency"})) {
+  if (reader.TakeEnum("style", &style,
+                      {"none", "speedup", "underload", "bands", "latency", "energy"})) {
     if (style == "none") {
       out->table.style = TableSpec::Style::kNone;
     } else if (style == "speedup") {
@@ -634,6 +684,8 @@ void ParseTable(const JsonValue* v, const std::string& path, Scenario* out, Scen
       out->table.style = TableSpec::Style::kUnderload;
     } else if (style == "latency") {
       out->table.style = TableSpec::Style::kLatency;
+    } else if (style == "energy") {
+      out->table.style = TableSpec::Style::kEnergy;
     } else {
       out->table.style = TableSpec::Style::kBands;
     }

@@ -104,6 +104,7 @@ struct TableSpec {
     kUnderload,  // Fig. 4 layout: underload/s per variant
     kBands,      // Table 4 layout: counts of rows per speedup band
     kLatency,    // cluster serving layout: p50/p99/p99.9 request latency
+    kEnergy,     // energy-budget layout: joules, seconds, EDP per variant
   };
 
   Style style = Style::kSpeedup;

@@ -57,6 +57,44 @@ TEST(JobRecordJsonTest, OkRecordCarriesConfigAndMetrics) {
   EXPECT_EQ(record.find('\n'), std::string::npos);  // one line per record
 }
 
+// Fault-free records must look exactly like they did before the fault
+// subsystem existed: no resilience fields, no fault/budget counters
+// (docs/FAULTS.md §5 omission convention).
+TEST(JobRecordJsonTest, FaultFreeRecordOmitsResilienceAndFaultCounters) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  Job job = SampleJob();
+  job.model = std::make_shared<ConfigureWorkload>(spec);
+  const JobOutcome outcome = ExecuteJob(job);
+  ASSERT_TRUE(outcome.ok());
+  const std::string record = JobRecordJson("unit", job, outcome);
+  for (const char* field :
+       {"tasks_killed", "replicas_reaped", "evacuations", "work_lost_ms", "wasted_replica_ms",
+        "requests_failed", "faults_injected", "tasks_evacuated", "replica_quorum_joins",
+        "budget_throttle_ticks", "fault_evacuate"}) {
+    EXPECT_EQ(record.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(JobRecordJsonTest, FaultRunCarriesTheResilienceBlock) {
+  ConfigureSpec spec = ConfigureWorkload::PackageSpec("gcc");
+  spec.num_tests = 10;
+  Job job = SampleJob();
+  job.model = std::make_shared<ConfigureWorkload>(spec);
+  // A small machine and a high kill rate so some kill certainly lands on the
+  // (often lone) busy core and an evacuation makes it into the record.
+  job.config.machine = "amd-4650g-1s";
+  job.config.fault.core_fail_rate_per_s = 1000.0;
+  job.config.fault.core_downtime_ms = 5.0;
+  job.config.fault.horizon_s = 2.0;  // keep the pre-drawn plan small
+  const JobOutcome outcome = ExecuteJob(job);
+  ASSERT_TRUE(outcome.ok());
+  const std::string record = JobRecordJson("unit", job, outcome);
+  EXPECT_NE(record.find("\"evacuations\":"), std::string::npos);
+  EXPECT_NE(record.find("\"faults_injected\":"), std::string::npos);
+  EXPECT_NE(record.find("\"tasks_evacuated\":"), std::string::npos);
+}
+
 TEST(JobRecordJsonTest, FailedRecordCarriesError) {
   const Job job = SampleJob();
   JobOutcome outcome;

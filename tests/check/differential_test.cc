@@ -58,6 +58,57 @@ TEST(DifferentialTest, FullLoadNasIsCfsNestNeutral) {
   EXPECT_TRUE(report.ok()) << report.Join();
 }
 
+// Fault injection (docs/FAULTS.md) pre-draws its plan from the run seed, so
+// the serial and pooled passes must stay digest-identical even while cores
+// die, tasks evacuate, and replica quorums race to JOIN.
+TEST(DifferentialTest, FaultInjectionStaysDeterministicAcrossWorkerCounts) {
+  const JsonValue spec = ParseSpec(R"({
+    "name": "diff-faults",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "cfs", "scheduler": "cfs", "governor": "schedutil"},
+      {"label": "nest", "scheduler": "nest", "governor": "schedutil"},
+      {"label": "nest_cache", "scheduler": "nest_cache", "governor": "schedutil"}
+    ],
+    "workload": {"family": "hackbench", "params": {"groups": 2, "fan": 2, "loops": 8}},
+    "repetitions": 2,
+    "base_seed": 17,
+    "config": {
+      "time_limit_s": 20,
+      "fault.core_fail_rate_per_s": 40.0,
+      "fault.core_downtime_ms": 10.0,
+      "replicas": 2,
+      "fault.quorum": 1
+    },
+    "table": {"style": "none"}
+  })");
+  const DifferentialReport report = RunDifferential(spec, /*full_load=*/false);
+  EXPECT_TRUE(report.ok()) << report.Join();
+  EXPECT_EQ(report.jobs, 3u);
+}
+
+// Same property under a per-socket power cap: the budget governor's windowed
+// power reading folds lazily per experiment, never across the worker pool.
+TEST(DifferentialTest, PowerCapStaysDeterministicAcrossWorkerCounts) {
+  const JsonValue spec = ParseSpec(R"({
+    "name": "diff-budget",
+    "machines": ["amd-4650g-1s"],
+    "variants": [
+      {"label": "cfs", "scheduler": "cfs", "governor": "budget"},
+      {"label": "nest", "scheduler": "nest", "governor": "budget"},
+      {"label": "nest_budget", "scheduler": "nest_budget", "governor": "budget"}
+    ],
+    "workload": {"family": "nas",
+                 "params": {"threads": 8, "iter_compute_ms": 1.0, "iterations": 10}},
+    "repetitions": 1,
+    "base_seed": 5,
+    "config": {"time_limit_s": 20, "power.budget_w": 25.0},
+    "table": {"style": "none"}
+  })");
+  const DifferentialReport report = RunDifferential(spec, /*full_load=*/false);
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
 // Mutation self-test, differential flavour: inject the lost-wakeup fault into
 // every job (balancers off so nothing rescues it) and the invariant checker
 // must fail the runs, which the differential report surfaces.

@@ -185,6 +185,60 @@ TEST(RequestPlanTest, PlanIsDeterministicAndOrdered) {
   }
 }
 
+// Machine crashes with requests in flight (docs/FAULTS.md): the dead machine
+// stops taking traffic, its in-flight work is killed and accounted as failed
+// requests, and the fleet result stays bit-deterministic.
+TEST(ClusterFaultTest, MachineCrashFailsOverInFlightRequests) {
+  // Heavy enough traffic that a crash instant always finds live tasks to
+  // kill; SmallTraffic leaves the machines idle almost all the time.
+  RequestSpec spec = SmallTraffic();
+  spec.rate_per_s = 4000.0;
+  spec.service_ms = 2.0;
+  spec.duration_s = 0.1;
+  const RequestWorkload workload(spec);
+  ExperimentConfig config = SmallConfig(SchedulerKind::kNest);
+  config.fault.machine_fail_rate_per_s = 30.0;
+  config.fault.machine_downtime_ms = 0.0;  // permanent: a crashed box stays dark
+  const ClusterSpec cluster{2, "least-loaded"};
+  const ExperimentResult a = RunClusterExperiment(cluster, config, workload);
+  const ExperimentResult b = RunClusterExperiment(cluster, config, workload);
+  ExpectSameResult(a, b);
+  EXPECT_GT(a.counters.faults_injected, 0u);  // kMachineCrash counts as a fault
+  EXPECT_GT(a.resilience.tasks_killed, 0u);
+  EXPECT_GT(a.resilience.requests_failed, 0u);
+  EXPECT_LT(a.cluster.requests_completed, a.cluster.requests_offered);
+}
+
+// Replication without faults: every part still completes (the quorum winner),
+// losers are reaped as wasted — not failed — work, and the counters see one
+// quorum join per reap opportunity.
+TEST(ClusterFaultTest, ReplicaQuorumJoinsAndReapsTheLosers) {
+  // Copies of a part share one pre-drawn program, so on idle machines both
+  // exit at the same instant and the reap finds the loser already dead.
+  // Saturate a single machine instead: queueing skews the copies' start
+  // times, the earlier copy wins the quorum, and the straggler is reaped
+  // mid-flight with runtime on the books.
+  RequestSpec spec = SmallTraffic();
+  spec.rate_per_s = 4000.0;
+  spec.service_ms = 1.0;
+  spec.arrivals = ArrivalKind::kBursty;
+  spec.duration_s = 0.1;
+  const RequestWorkload workload(spec);
+  ExperimentConfig config = SmallConfig(SchedulerKind::kCfs);
+  config.fault.replicas = 2;
+  config.fault.quorum = 1;
+  const ExperimentResult r =
+      RunClusterExperiment(ClusterSpec{1, "passthrough"}, config, workload);
+  EXPECT_GT(r.counters.replica_quorum_joins, 0u);
+  EXPECT_GT(r.resilience.replicas_reaped, 0u);
+  // A loser can exit on its own in the same instant the quorum lands, so
+  // reaps can trail joins but never exceed them.
+  EXPECT_GE(r.counters.replica_quorum_joins, r.resilience.replicas_reaped);
+  EXPECT_EQ(r.cluster.requests_completed, r.cluster.requests_offered);
+  EXPECT_EQ(r.resilience.requests_failed, 0u);
+  EXPECT_GT(r.resilience.wasted_replica_ms, 0.0);
+}
+
 TEST(RequestPlanTest, BurstyOffersMoreThanPoissonAtSameBaseRate) {
   RequestSpec poisson = SmallTraffic();
   poisson.duration_s = 1.0;

@@ -45,9 +45,89 @@ TEST(SchedutilGovernorTest, RequestIsMonotoneInUtil) {
   }
 }
 
+// ---- budget governor (docs/FAULTS.md) ------------------------------------
+
+TEST(BudgetGovernorTest, UncappedBehavesExactlyLikeSchedutil) {
+  BudgetGovernor gov(PowerParams{});  // budget_w == 0: the cap is off
+  SchedutilGovernor base;
+  const MachineSpec& spec = MachineByName("intel-5218-2s");
+  for (const double util : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_DOUBLE_EQ(gov.RequestGhz(spec, util), base.RequestGhz(spec, util));
+    EXPECT_DOUBLE_EQ(gov.RequestGhzOn(spec, util, 0), base.RequestGhz(spec, util));
+  }
+  EXPECT_DOUBLE_EQ(gov.BudgetWatts(), 0.0);
+  EXPECT_FALSE(gov.ThrottledOnSocket(0));
+  EXPECT_DOUBLE_EQ(gov.CapGhzOn(spec, 0), 0.0);
+}
+
+TEST(BudgetGovernorTest, OverBudgetSocketIsThrottledCappedAndScaledDown) {
+  Engine engine;
+  const MachineSpec& spec = MachineByName("amd-4650g-1s");
+  HardwareModel hw(&engine, spec);
+  PowerParams params;
+  params.budget_w = 1.0;  // far below even the idle package draw
+  BudgetGovernor gov(params);
+  gov.AttachHardware(&hw);
+  for (int cpu = 0; cpu < hw.topology().num_cpus(); ++cpu) {
+    hw.SetThreadBusy(cpu, true);
+  }
+  EXPECT_TRUE(gov.ThrottledOnSocket(0));
+  // The ceiling engages (nonzero) but never dips below the hardware minimum.
+  const double cap = gov.CapGhzOn(spec, 0);
+  EXPECT_GT(cap, 0.0);
+  EXPECT_DOUBLE_EQ(cap, spec.min_freq_ghz);
+  // The proportional request backs off all the way to the floor too.
+  EXPECT_DOUBLE_EQ(gov.RequestGhzOn(spec, 1.0, 0), spec.min_freq_ghz);
+}
+
+// RAPL-style enforcement window: after a sustained burst, a momentary idle
+// dip (a gang barrier) must not lift the cap; only a drained window does.
+TEST(BudgetGovernorTest, WindowKeepsTheCapEngagedAcrossAnIdleDip) {
+  Engine engine;
+  const MachineSpec& spec = MachineByName("amd-4650g-1s");
+  HardwareModel hw(&engine, spec);
+  PowerParams params;
+  // With no governor driving requests the cores sit at the wake floor, so the
+  // all-busy draw is ~16 W against ~7 W idle; 12 W puts the target between.
+  params.budget_w = 12.0;
+  BudgetGovernor gov(params);
+  gov.AttachHardware(&hw);
+  auto advance_to = [&engine](SimTime t) {
+    engine.ScheduleAt(t, [] {});
+    while (engine.Step()) {
+    }
+  };
+  EXPECT_FALSE(gov.ThrottledOnSocket(0));  // idle sits under the cap
+  for (int cpu = 0; cpu < hw.topology().num_cpus(); ++cpu) {
+    hw.SetThreadBusy(cpu, true);
+  }
+  advance_to(10 * kMillisecond);
+  EXPECT_TRUE(gov.ThrottledOnSocket(0));  // sustained burst: over budget
+  for (int cpu = 0; cpu < hw.topology().num_cpus(); ++cpu) {
+    hw.SetThreadBusy(cpu, false);
+  }
+  advance_to(10 * kMillisecond + 100 * kMicrosecond);
+  EXPECT_TRUE(gov.ThrottledOnSocket(0));  // the dip: window still loaded
+  advance_to(60 * kMillisecond);
+  EXPECT_FALSE(gov.ThrottledOnSocket(0));  // window drained: cap lifts
+}
+
 TEST(MakeGovernorTest, ByName) {
   EXPECT_STREQ(MakeGovernor("schedutil")->name(), "schedutil");
   EXPECT_STREQ(MakeGovernor("performance")->name(), "performance");
+  PowerParams power;
+  power.budget_w = 30.0;
+  EXPECT_STREQ(MakeGovernor("budget", power)->name(), "budget");
+}
+
+TEST(GovernorNamesTest, ListsEveryFactoryNameOnce) {
+  const std::vector<std::string> names = GovernorNames();
+  ASSERT_EQ(names.size(), 3u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(IsKnownGovernor(name)) << name;
+    EXPECT_STREQ(MakeGovernor(name)->name(), name.c_str());
+  }
+  EXPECT_FALSE(IsKnownGovernor("ondemand"));
 }
 
 TEST(MakeGovernorDeathTest, UnknownNameAborts) {

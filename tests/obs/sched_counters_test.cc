@@ -100,9 +100,14 @@ TEST(SchedCountersTest, JsonIsValidAndSchemaStable) {
   }
   for (int i = 0; i < kNumPlacementPaths; ++i) {
     // The cache-aware placement path is omitted when unused (a plain Nest run
-    // never takes it) so pre-cache golden digests stay byte-identical.
+    // never takes it) so pre-cache golden digests stay byte-identical. The
+    // fault-evacuation path follows the same convention for pre-fault digests.
     if (static_cast<PlacementPath>(i) == PlacementPath::kNestCacheWarm) {
       EXPECT_EQ(json.find("\"nest_cache_warm\":"), std::string::npos);
+      continue;
+    }
+    if (static_cast<PlacementPath>(i) == PlacementPath::kFaultEvacuate) {
+      EXPECT_EQ(json.find("\"fault_evacuate\":"), std::string::npos);
       continue;
     }
     const std::string key =

@@ -199,6 +199,49 @@ TEST(ScenarioParseTest, ConfigOverridesAreValidated) {
   EXPECT_TRUE(Mentions(bad, "nest.p_remove_ticks")) << bad.Join();  // known-keys list
 }
 
+TEST(ScenarioParseTest, FaultAndPowerOverridesAreValidated) {
+  // The fault/replica/budget family (docs/FAULTS.md §8) rides the same
+  // override table as every other key: accepted in config and sweep, range-
+  // checked per value, unknown spellings rejected with the known-keys list.
+  const Scenario ok = MustParse(R"({
+    "name":"t","workload":{"family":"nas"},
+    "config":{"fault.core_fail_rate_per_s":20.0,"fault.core_downtime_ms":30.0,
+              "fault.machine_fail_rate_per_s":1.0,"fault.machine_downtime_ms":50.0,
+              "fault.horizon_s":10.0,"replicas":2,"fault.quorum":1,
+              "power.headroom_fraction":0.9,"nest_budget.min_primary":2},
+    "sweep":{"power.budget_w":[0.0,35.0,20.0]}
+  })");
+  EXPECT_TRUE(ok.has_config);
+  ASSERT_EQ(ok.sweep.size(), 1u);
+  EXPECT_EQ(ok.sweep[0].key, "power.budget_w");
+
+  const ScenarioError rate = MustFail(R"({
+    "name":"t","workload":{"family":"nas"},
+    "config":{"fault.core_fail_rate_per_s":5000.0}
+  })");
+  EXPECT_TRUE(Mentions(rate, "fault.core_fail_rate_per_s")) << rate.Join();
+  EXPECT_TRUE(Mentions(rate, "expects number in [0, 1000]")) << rate.Join();
+
+  const ScenarioError replicas = MustFail(R"({
+    "name":"t","workload":{"family":"nas"},
+    "config":{"replicas":0}
+  })");
+  EXPECT_TRUE(Mentions(replicas, "expects integer in [1, 16]")) << replicas.Join();
+
+  const ScenarioError headroom = MustFail(R"({
+    "name":"t","workload":{"family":"nas"},
+    "config":{"power.headroom_fraction":0.0}
+  })");
+  EXPECT_TRUE(Mentions(headroom, "power.headroom_fraction")) << headroom.Join();
+
+  const ScenarioError unknown = MustFail(R"({
+    "name":"t","workload":{"family":"nas"},
+    "config":{"fault.core_fail_rate":1.0}
+  })");
+  EXPECT_TRUE(Mentions(unknown, "unknown config key \"fault.core_fail_rate\"")) << unknown.Join();
+  EXPECT_TRUE(Mentions(unknown, "fault.core_fail_rate_per_s")) << unknown.Join();  // known-keys list
+}
+
 TEST(ScenarioParseTest, SweepAxesAreValidatedPerValue) {
   const Scenario s = MustParse(R"({
     "name":"t","workload":{"family":"nas"},

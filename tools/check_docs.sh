@@ -25,7 +25,11 @@
 #  12. docs/MODEL.md is linked from README.md and DESIGN.md, and every
 #      cache.*/nest_cache.* config key and cache counter name appears in both
 #      docs/MODEL.md and docs/SCENARIOS.md (the counters additionally in
-#      docs/OBSERVABILITY.md via rule 5b).
+#      docs/OBSERVABILITY.md via rule 5b);
+#  13. docs/FAULTS.md is linked from README.md and DESIGN.md, every
+#      fault.*/power.*/nest_budget.* config key (plus `replicas`) the
+#      scenario engine accepts is documented there, and so is every
+#      resilience field the campaign JSONL sink can emit.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -205,6 +209,30 @@ for key in $(grep -ohE 'AppendU64\(out, "cache_[a-z_]+"' src/obs/sched_counters.
       fail=1
     fi
   done
+done
+
+# 13. The fault/energy reference is reachable, documents every fault-family
+#     config key the scenario parser accepts, and glosses every resilience
+#     field the JSONL sink can emit.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'docs/FAULTS.md' "$doc"; then
+    echo "FAIL: $doc does not link docs/FAULTS.md"
+    fail=1
+  fi
+done
+for key in $(grep -ohE '\{"((fault|power|nest_budget)\.[a-z_]+|replicas)", "(bool|string|number|integer)' \
+               src/scenario/scenario.cc | sed 's/{"//; s/".*//' | sort -u); do
+  if ! grep -q "\`$key\`" docs/FAULTS.md; then
+    echo "FAIL: fault config key '$key' is accepted by src/scenario/ but not documented in docs/FAULTS.md"
+    fail=1
+  fi
+done
+for field in $(sed -n '/r.resilience.any()/,/^      }/p' src/campaign/jsonl_sink.cc \
+                 | grep -ohE 'AppendField\(out, "[a-z_]+"' | sed 's/.*"\([a-z_]*\)"/\1/' | sort -u); do
+  if ! grep -q "\`$field\`" docs/FAULTS.md; then
+    echo "FAIL: resilience field '$field' is emitted by the JSONL sink but not documented in docs/FAULTS.md"
+    fail=1
+  fi
 done
 
 if [ "$fail" -ne 0 ]; then
