@@ -9,10 +9,13 @@ namespace nestsim {
 
 namespace {
 
-// Expands and executes one pass of the grid with `jobs` workers, the
-// invariant checker forced on, and the caller's mutation applied.
-bool RunPass(const Scenario& scenario, int jobs, const DifferentialOptions& options,
-             ScenarioRun* run, ScenarioError* err) {
+// Expands and executes one pass of the grid with `jobs` campaign workers,
+// the invariant checker forced on, and the caller's mutation applied.
+// `engine_workers` >= 0 forces config.parallel.workers on every job (after
+// the mutation, so the engine passes stay comparable even when a mutation
+// touches the config); -1 keeps whatever the scenario drew.
+bool RunPass(const Scenario& scenario, int jobs, int engine_workers,
+             const DifferentialOptions& options, ScenarioRun* run, ScenarioError* err) {
   ScenarioRunOptions run_options;
   run_options.campaign.jobs = jobs;
   run_options.campaign.progress = false;
@@ -24,6 +27,9 @@ bool RunPass(const Scenario& scenario, int jobs, const DifferentialOptions& opti
     job.config.check_invariants = true;
     if (options.mutate_config) {
       options.mutate_config(&job.config);
+    }
+    if (engine_workers >= 0) {
+      job.config.parallel.workers = engine_workers;
     }
   }
   ExecuteScenario(run);
@@ -40,7 +46,9 @@ std::string JobLabel(const ScenarioRun& run, size_t machine, size_t row, size_t 
   return label;
 }
 
-void CheckDeterminism(const ScenarioRun& a, const ScenarioRun& b, DifferentialReport* report) {
+// `b_desc` names pass b in problem messages ("a pool", "4 PDES workers").
+void CheckDeterminism(const ScenarioRun& a, const ScenarioRun& b, const std::string& b_desc,
+                      DifferentialReport* report) {
   for (size_t m = 0; m < a.num_machines(); ++m) {
     for (size_t r = 0; r < a.num_rows(); ++r) {
       for (size_t v = 0; v < a.num_variants(); ++v) {
@@ -51,7 +59,7 @@ void CheckDeterminism(const ScenarioRun& a, const ScenarioRun& b, DifferentialRe
           if (oa.status != ob.status) {
             report->problems.push_back("nondeterminism: " + label + " is " +
                                        JobStatusName(oa.status) + " on 1 worker but " +
-                                       JobStatusName(ob.status) + " on a pool");
+                                       JobStatusName(ob.status) + " on " + b_desc);
             continue;
           }
           if (!oa.ok()) {
@@ -211,17 +219,31 @@ DifferentialReport RunDifferential(const JsonValue& spec, bool full_load,
     return report;
   }
 
+  // The serial pass pins the serial PDES reference loop so both cross-checks
+  // below compare against the same ground truth; the campaign pass keeps the
+  // scenario's own parallel.* draw.
   ScenarioRun serial;
   ScenarioRun parallel;
-  if (!RunPass(scenario, options.serial_jobs, options, &serial, &err) ||
-      !RunPass(scenario, options.parallel_jobs, options, &parallel, &err)) {
+  if (!RunPass(scenario, options.serial_jobs, /*engine_workers=*/0, options, &serial, &err) ||
+      !RunPass(scenario, options.parallel_jobs, /*engine_workers=*/-1, options, &parallel,
+               &err)) {
     report.problems.push_back("scenario does not expand:\n" + err.Join());
     return report;
   }
   report.jobs = serial.jobs.size();
 
   CheckHealth(serial, &report);
-  CheckDeterminism(serial, parallel, &report);
+  CheckDeterminism(serial, parallel, "a pool", &report);
+  if (options.engine_workers > 0) {
+    ScenarioRun engine;
+    if (!RunPass(scenario, options.serial_jobs, options.engine_workers, options, &engine,
+                 &err)) {
+      report.problems.push_back("scenario does not expand:\n" + err.Join());
+      return report;
+    }
+    CheckDeterminism(serial, engine,
+                     std::to_string(options.engine_workers) + " PDES workers", &report);
+  }
   CheckAccounting(serial, &report);
   if (full_load) {
     CheckNeutrality(serial, options.neutrality_band, &report);

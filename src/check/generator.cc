@@ -293,14 +293,18 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   Add(spec, "description", Str("generated by nestsim_fuzz (seed " + std::to_string(seed) + ")"));
 
   // One machine, biased toward the small presets so a fuzz campaign is cheap;
-  // the big multi-socket boxes keep cross-die placement covered.
+  // the big multi-socket boxes keep cross-die placement covered, and the
+  // huge 8153 presets (docs/PARALLEL.md) keep 128/256-CPU topologies in the
+  // fuzzed population at a weight a fuzz campaign can afford.
   JsonValue machines = Arr();
-  Push(machines, Str(Pick(rng, {{"amd-4650g-1s", 28},
-                                {"intel-5220-1s", 28},
-                                {"intel-5218-2s", 18},
-                                {"intel-6130-2s", 12},
-                                {"intel-6130-4s", 7},
-                                {"intel-e78870v4-4s", 7}})));
+  Push(machines, Str(Pick(rng, {{"amd-4650g-1s", 26},
+                                {"intel-5220-1s", 26},
+                                {"intel-5218-2s", 17},
+                                {"intel-6130-2s", 11},
+                                {"intel-6130-4s", 6},
+                                {"intel-e78870v4-4s", 6},
+                                {"intel-8153-4s", 4},
+                                {"intel-8153-8s", 4}})));
   Add(spec, "machines", machines);
 
   // Resilience/energy knobs ride along a fifth of the time (docs/FAULTS.md):
@@ -382,7 +386,9 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   if (cluster) {
     static const char* kRouters[] = {"passthrough", "round-robin", "least-loaded", "power-aware"};
     JsonValue block = Obj();
-    Add(block, "machines", Num(IntIn(rng, 1, 4)));
+    // Mostly small fleets; a fifth of cluster draws go up to 8 machines so
+    // the conservative synchronizer sees wider domain fan-outs.
+    Add(block, "machines", Num(rng.NextBool(0.2) ? IntIn(rng, 5, 8) : IntIn(rng, 1, 4)));
     Add(block, "router", Str(kRouters[IntIn(rng, 0, 3)]));
     Add(spec, "cluster", block);
   }
@@ -394,6 +400,21 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   // time exercise the policy-parameter surface.
   JsonValue config = Obj();
   Add(config, "time_limit_s", Num(20));
+  // A quarter of the draws run the parallel PDES engine (src/sim/parallel.h)
+  // with a random worker count, sync algorithm, and lookahead cap. The
+  // differential's engine pass then forces its own worker count, so a drawn
+  // parallel config is cross-checked against the serial reference loop both
+  // at the drawn count and at the forced one.
+  if (rng.NextBool(0.25)) {
+    Add(config, "parallel.workers", Num(IntIn(rng, 1, 8)));
+    if (rng.NextBool(0.4)) {
+      static const char* kSync[] = {"auto", "window", "lockstep"};
+      Add(config, "parallel.sync", Str(kSync[IntIn(rng, 0, 2)]));
+    }
+    if (rng.NextBool(0.3)) {
+      Add(config, "parallel.lookahead_us", Num(Uniform(rng, 10.0, 5000.0)));
+    }
+  }
   if (rng.NextBool(0.5)) {
     const auto& pool = OverrideKeyPool();
     const int extras = IntIn(rng, 1, 2);

@@ -19,11 +19,11 @@
 
 namespace nestsim {
 
-ClusterModel::ClusterModel(Engine* engine, const ExperimentConfig& config, int machines) {
+ClusterModel::ClusterModel(DomainGroup* group, const ExperimentConfig& config, int machines) {
   const MachineSpec& spec = MachineByName(config.machine);
   machines_.reserve(static_cast<size_t>(machines));
   for (int m = 0; m < machines; ++m) {
-    machines_.push_back(std::make_unique<MachineModel>(engine, spec, config));
+    machines_.push_back(std::make_unique<MachineModel>(&group->domain(m), spec, config));
   }
   for (const auto& machine : machines_) {
     kernels_.push_back(&machine->kernel);
@@ -159,10 +159,15 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
     throw std::runtime_error("cluster needs at least one machine");
   }
 
-  Engine engine;
-  const MachineSpec& spec = MachineByName(config.machine);
+  // One PDES domain per machine plus the coordinator timeline for arrivals
+  // and reaps (src/sim/parallel.h). Serial runs (workers = 0) execute the
+  // merged reference loop; worker pools execute conservative windows between
+  // coordinator events. Both produce the canonical event order, so the
+  // digest is identical at any worker count.
   const int n = cluster.machines;
-  ClusterModel model(&engine, config, n);
+  DomainGroup group(n);
+  const MachineSpec& spec = MachineByName(config.machine);
+  ClusterModel model(&group, config, n);
 
   // Per-machine observers, mirroring RunExperiment's set so a 1-machine
   // cluster measures exactly what the single-machine path measures.
@@ -232,8 +237,12 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
     Rng fault_rng = rng.Fork();
     fault_plan = BuildFaultPlan(config.fault, fault_rng, n, cpus_per_machine, config.time_limit);
     for (int m = 0; m < n; ++m) {
-      injectors.push_back(
-          std::make_unique<FaultInjector>(&engine, &model.machine(m).kernel, &fault_plan, m));
+      // Each machine's slice of the plan replays on that machine's own
+      // domain engine: crashes, repairs, and core faults are domain-local
+      // events (only alive[], read by the coordinator's arrivals, leaks out,
+      // and windows are committed before every arrival).
+      injectors.push_back(std::make_unique<FaultInjector>(&group.domain(m),
+                                                          &model.machine(m).kernel, &fault_plan, m));
       injectors.back()->set_machine_event_fn([&model, &alive, m](SimTime now, bool fail) {
         (void)now;
         if (!fail) {
@@ -269,7 +278,11 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
     part_exits.assign(plan.parts.size(), 0);
     part_quorum_exit.assign(plan.parts.size(), -1);
   }
-  auto on_copy_exit = [&engine, &copy_refs, &part_exits, &part_quorum_exit, replicas,
+  // The reap is a cross-domain event (losing copies live on other machines),
+  // so it rides the coordinator. Scheduling it from inside a domain's exit
+  // event is a zero-lookahead feedback edge — which is why replicas > 1
+  // forces the lockstep executor below.
+  auto on_copy_exit = [&group, &copy_refs, &part_exits, &part_quorum_exit, replicas,
                        quorum](size_t copy, SimTime now) {
     const size_t part = copy / static_cast<size_t>(replicas);
     if (++part_exits[part] != quorum || part_quorum_exit[part] >= 0) {
@@ -281,7 +294,7 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
     if (copy_refs[copy].kernel != nullptr) {
       copy_refs[copy].kernel->NotifyFaultEvent(FaultEventKind::kReplicaQuorumJoin, -1, nullptr);
     }
-    engine.ScheduleAt(now, [&copy_refs, part, replicas] {
+    group.ScheduleCoordinator(now, [&copy_refs, part, replicas] {
       for (int r = 0; r < replicas; ++r) {
         const CopyRef& ref = copy_refs[part * static_cast<size_t>(replicas) + static_cast<size_t>(r)];
         if (ref.task != nullptr && ref.task->state != TaskState::kDead) {
@@ -296,20 +309,22 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
     }
   }
 
-  // One engine event per part, scheduled in plan (arrival) order — the same
-  // insertion order Kernel::ScheduleInjection would produce, so a 1-machine
-  // passthrough cluster replays the exact single-machine event sequence. The
-  // router runs inside the arrival event so load-aware policies see live
-  // state; the traffic itself was drawn above and cannot be perturbed. Dead
-  // machines are failed over to the next alive one in index order; a copy
-  // with no alive machine at all is dropped (and its request fails).
+  // One coordinator event per part, scheduled in plan (arrival) order — the
+  // same insertion order Kernel::ScheduleInjection would produce, so a
+  // 1-machine passthrough cluster replays the exact single-machine event
+  // sequence. The router runs inside the arrival event so load-aware
+  // policies see live state — every domain clock is committed to the arrival
+  // instant before it fires; the traffic itself was drawn above and cannot
+  // be perturbed. Dead machines are failed over to the next alive one in
+  // index order; a copy with no alive machine at all is dropped (and its
+  // request fails).
   int64_t pending = static_cast<int64_t>(plan.parts.size());
   std::vector<uint64_t> routed(static_cast<size_t>(n), 0);
   const int tag = requests->tag();
   for (size_t i = 0; i < plan.parts.size(); ++i) {
     const RequestPart& part = plan.parts[i];
-    engine.ScheduleAt(part.arrival, [&model, &plan, &routed, &trackers, &router, &pending,
-                                     &alive, &progress, &copy_refs, tag, i, replicas, n] {
+    group.ScheduleCoordinator(part.arrival, [&model, &plan, &routed, &trackers, &router, &pending,
+                                             &alive, &progress, &copy_refs, tag, i, replicas, n] {
       --pending;
       const RequestPart& p = plan.parts[i];
       for (int r = 0; r < replicas; ++r) {
@@ -360,23 +375,20 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
   };
 
   ExperimentResult result;
-  constexpr int kAbortCheckStride = 2048;
-  int until_abort_check = kAbortCheckStride;
-  while (fleet_live() && engine.Now() < config.time_limit) {
-    if (--until_abort_check <= 0) {
-      until_abort_check = kAbortCheckStride;
-      if (config.should_abort && config.should_abort()) {
-        result.aborted = true;
-        break;
-      }
-      if (!checkers.empty() && !checkers_ok()) {
-        break;  // fail fast; the throw below carries the report
-      }
-    }
-    if (!engine.Step()) {
-      break;
-    }
+  DomainGroup::RunOptions run_options;
+  run_options.time_limit = config.time_limit;
+  run_options.workers = config.parallel.workers;
+  // Replication's quorum reaps are same-instant cross-domain feedback (zero
+  // lookahead), so they force the lockstep executor regardless of sync mode.
+  run_options.lockstep = replicas > 1 || config.parallel.sync == "lockstep";
+  run_options.max_window = static_cast<SimDuration>(config.parallel.lookahead_us *
+                                                    static_cast<double>(kMicrosecond));
+  run_options.live = fleet_live;
+  run_options.should_abort = config.should_abort;
+  if (!checkers.empty()) {
+    run_options.healthy = checkers_ok;
   }
+  result.aborted = group.Run(run_options).aborted;
   for (size_t m = 0; m < checkers.size(); ++m) {
     if (!checkers[m]->ok()) {
       throw std::runtime_error("invariant violation (cluster machine " + std::to_string(m) +
@@ -388,13 +400,18 @@ ExperimentResult RunClusterExperiment(const ClusterSpec& cluster, const Experime
   }
   result.hit_time_limit = fleet_live() && !result.aborted;
 
+  // Every domain clock lines up on the global stop time before any metric is
+  // read: lazy integrators (hardware energy, PELT) integrate "up to Now()",
+  // and the shared-clock engine left them all at the last fired event's time.
+  group.AdvanceAllTo(group.Now());
+
   SimTime last_exit = 0;
   for (int m = 0; m < n; ++m) {
     last_exit = std::max(last_exit, completion[static_cast<size_t>(m)].last_exit());
   }
-  const SimTime end = last_exit > 0 ? last_exit : engine.Now();
+  const SimTime end = last_exit > 0 ? last_exit : group.Now();
   result.makespan = end;
-  result.events_fired = engine.events_fired();
+  result.events_fired = group.TotalEventsFired();
 
   std::vector<FreqHistogram> machine_hist;
   for (int m = 0; m < n; ++m) {

@@ -1,13 +1,18 @@
-// The cluster serving layer: N machines behind a load balancer on one clock.
+// The cluster serving layer: N machines behind a load balancer.
 //
 // A ClusterModel instantiates N independent machine stacks — each with its
-// own HardwareModel, scheduler-policy instance, governor and Kernel — sharing
-// a single Engine, so cross-machine event ordering is exact and the whole
-// fleet is bit-reproducible from one seed. RunClusterExperiment replays an
-// open-loop RequestWorkload traffic plan against the fleet: each arrival asks
-// the RequestRouter for a machine and is injected there through the
-// scheduler's fork path, and end-to-end request latency (arrival to
-// last-part exit) is measured fleet-wide.
+// own HardwareModel, scheduler-policy instance, governor and Kernel — one
+// per PDES domain of a DomainGroup (src/sim/parallel.h, docs/PARALLEL.md):
+// every machine owns its own event queue, clock, and PELT/turbo/power state,
+// and the only cross-machine traffic (request arrivals with their router
+// decision, replica-quorum reaps) rides the group's coordinator timeline.
+// Events execute in the group's canonical (timestamp, domain id, seq) order
+// whether the run is serial or spread over a worker pool, so the whole fleet
+// is bit-reproducible from one seed at any worker count.
+// RunClusterExperiment replays an open-loop RequestWorkload traffic plan
+// against the fleet: each arrival asks the RequestRouter for a machine and
+// is injected there through the scheduler's fork path, and end-to-end
+// request latency (arrival to last-part exit) is measured fleet-wide.
 //
 // A 1-machine cluster with the "passthrough" router is digest-identical to
 // running the same workload through RunExperiment: same stack construction
@@ -27,6 +32,7 @@
 #include "src/hw/machine_spec.h"
 #include "src/kernel/kernel.h"
 #include "src/sim/engine.h"
+#include "src/sim/parallel.h"
 
 namespace nestsim {
 
@@ -52,8 +58,9 @@ struct MachineModel {
 
 class ClusterModel {
  public:
-  // Builds `machines` identical stacks of config.machine on `engine`.
-  ClusterModel(Engine* engine, const ExperimentConfig& config, int machines);
+  // Builds `machines` identical stacks of config.machine, machine i on
+  // domain i of `group` (which must have at least `machines` domains).
+  ClusterModel(DomainGroup* group, const ExperimentConfig& config, int machines);
 
   int size() const { return static_cast<int>(machines_.size()); }
   MachineModel& machine(int i) { return *machines_[i]; }

@@ -25,6 +25,7 @@
 #include "src/nest/nest_cache_policy.h"
 #include "src/nest/nest_policy.h"
 #include "src/obs/sched_counters.h"
+#include "src/sim/parallel.h"
 #include "src/smove/smove_policy.h"
 
 namespace nestsim {
@@ -64,6 +65,11 @@ struct ExperimentConfig {
   // randomness and attaches no observer, so pre-fault goldens are unchanged.
   FaultSpec fault;
   PowerParams power;
+
+  // Parallel (PDES) execution knobs (src/sim/parallel.h, docs/PARALLEL.md).
+  // Pure execution policy: results are byte-identical at any worker count,
+  // so goldens never record it. workers = 0 runs the serial reference loop.
+  ParallelParams parallel;
 
   uint64_t seed = 1;
   // Hard wall for runaway workloads; the run normally ends when every task

@@ -148,6 +148,36 @@ MachineSpec Xeon5220() {
   return m;
 }
 
+// Huge-machine presets for the PDES scaling study (docs/PARALLEL.md): a
+// Platinum-class Skylake part at 4 and 8 sockets, giving 128- and 256-CPU
+// single machines. Not a paper machine; the ladder follows the published
+// 8153 bins (maximum turbo 2.8 GHz, all-core 2.3).
+MachineSpec Xeon8153(int sockets) {
+  MachineSpec m;
+  m.name = sockets == 4 ? "intel-8153-4s" : "intel-8153-8s";
+  m.cpu_model = "Intel Xeon Platinum 8153";
+  m.microarch = "Skylake";
+  m.num_sockets = sockets;
+  m.physical_cores_per_socket = 16;
+  m.threads_per_core = 2;
+  m.min_freq_ghz = 1.0;
+  m.nominal_freq_ghz = 2.0;
+  m.turbo = TurboLadder(Ladder({{2, 2.8}, {2, 2.7}, {4, 2.5}, {4, 2.4}, {4, 2.3}}));
+  m.power_management = PowerManagement::kSpeedShift;
+  m.ramp_up_ghz_per_ms = 2.5;
+  m.ramp_down_ghz_per_ms = 1.5;
+  m.arrival_activity_floor = 0.45;
+  m.freq_update_period = 1 * kMillisecond;
+  m.idle_decay_delay = 2 * kMillisecond;
+  m.turbo_license_window = 6 * kMillisecond;
+  m.autonomy_weight = 1.0;
+  m.activity_halflife = 1200 * kMicrosecond;
+  m.uncore_watts = 32.0;
+  m.package_idle_watts = 30.0;
+  m.core_dyn_coeff = 1.35;
+  return m;
+}
+
 MachineSpec Ryzen4650G() {
   MachineSpec m;
   m.name = "amd-4650g-1s";
@@ -183,7 +213,8 @@ MachineSpec Ryzen4650G() {
 
 const std::vector<MachineSpec>& AllMachines() {
   static const std::vector<MachineSpec>* machines = new std::vector<MachineSpec>{
-      Xeon6130(2), Xeon6130(4), Xeon5218(), XeonE78870v4(), Xeon5220(), Ryzen4650G()};
+      Xeon6130(2), Xeon6130(4), Xeon5218(),   XeonE78870v4(),
+      Xeon5220(),  Ryzen4650G(), Xeon8153(4), Xeon8153(8)};
   return *machines;
 }
 

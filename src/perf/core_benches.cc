@@ -238,6 +238,66 @@ bool RunGridBench(const std::string& scenario_file, const CoreBenchOptions& opti
   return true;
 }
 
+bool RunScalingBench(const std::string& scenario_file, const std::vector<int>& workers,
+                     const CoreBenchOptions& options, BenchReport* report) {
+  const std::string path = ResolveScenarioPath(scenario_file);
+  Scenario scenario;
+  ScenarioError err;
+  if (!LoadScenario(path, &scenario, &err)) {
+    std::fprintf(stderr, "%s\n", err.Join().c_str());
+    return false;
+  }
+
+  for (const int count : workers) {
+    ScenarioRunOptions ropts;
+    ropts.repetitions_override = 1;
+    ropts.campaign.jobs = 1;  // one job at a time: the PDES pool is the
+                              // only parallelism being measured
+    ropts.campaign.progress = false;
+    ropts.campaign.jsonl_path.clear();
+    ropts.parallel_workers = count;
+    ScenarioRun run;
+    if (!ExpandScenario(scenario, ropts, &run, &err)) {
+      std::fprintf(stderr, "%s\n", err.Join().c_str());
+      return false;
+    }
+
+    bool jobs_ok = true;
+    auto body = [&run, &jobs_ok]() -> uint64_t {
+      ExecuteScenario(&run);
+      uint64_t events = 0;
+      for (const JobOutcome& outcome : run.outcomes) {
+        if (!outcome.ok()) {
+          jobs_ok = false;
+        }
+        for (const ExperimentResult& r : outcome.result.runs) {
+          events += r.events_fired;
+        }
+      }
+      return events > 0 ? events : 1;
+    };
+
+    BenchOptions bench;
+    // 5 samples even in quick mode: the w4/w0 ratio floor needs a stable
+    // median on noisy shared CI boxes, and each sample is well under a second.
+    bench.samples = options.grid_samples > 0 ? options.grid_samples : 5;
+    bench.warmup = 1;
+    std::string name = "pdes/scaling";
+    if (options.quick) {
+      name += ":quick";
+    }
+    name += "@w" + std::to_string(count);
+    BenchRecord record = MeasureMedian(name, bench, body);
+    if (!jobs_ok) {
+      std::fprintf(stderr, "nestsim_bench: a job in %s failed at %d workers\n", path.c_str(),
+                   count);
+      return false;
+    }
+    report->Add(std::move(record));
+  }
+  return true;
+}
+
 bool CheckPerfFloor(const BenchReport& report, const std::string& floor_json,
                     std::string* problems) {
   JsonValue floor;
@@ -277,6 +337,50 @@ bool CheckPerfFloor(const BenchReport& report, const std::string& floor_json,
                     name.c_str(), record->ops_per_sec, max_regression_pct, value.number);
       *problems += buf;
       ok = false;
+    }
+  }
+  // "ratio_floors": {"A / B": floor} gates ops_per_sec(A) / ops_per_sec(B),
+  // with the same max_regression_pct band. Machine-independent, so it can
+  // assert "parallel beats serial" without pinning absolute throughput.
+  if (const JsonValue* ratios = floor.Find("ratio_floors");
+      ratios != nullptr && ratios->is_object()) {
+    for (const auto& [expr, value] : ratios->members) {
+      if (!value.is_number() || value.number <= 0.0) {
+        *problems += "ratio floor for " + expr + " is not a positive number\n";
+        ok = false;
+        continue;
+      }
+      const size_t sep = expr.find(" / ");
+      if (sep == std::string::npos) {
+        *problems += "ratio floor key \"" + expr + "\" is not of the form \"A / B\"\n";
+        ok = false;
+        continue;
+      }
+      const std::string num_name = expr.substr(0, sep);
+      const std::string den_name = expr.substr(sep + 3);
+      const BenchRecord* num = report.Find(num_name);
+      const BenchRecord* den = report.Find(den_name);
+      if (num == nullptr || den == nullptr) {
+        *problems += "ratio-floored benchmark " + (num == nullptr ? num_name : den_name) +
+                     " was not run\n";
+        ok = false;
+        continue;
+      }
+      if (den->ops_per_sec <= 0.0) {
+        *problems += "ratio floor " + expr + ": denominator measured 0 ops/sec\n";
+        ok = false;
+        continue;
+      }
+      const double ratio = num->ops_per_sec / den->ops_per_sec;
+      const double minimum = value.number * (1.0 - max_regression_pct / 100.0);
+      if (ratio < minimum) {
+        char buf[200];
+        std::snprintf(buf, sizeof(buf),
+                      "%s regressed: ratio %.3f is more than %.0f%% below the floor %.2f\n",
+                      expr.c_str(), ratio, max_regression_pct, value.number);
+        *problems += buf;
+        ok = false;
+      }
     }
   }
   return ok;

@@ -11,6 +11,7 @@
 #define NESTSIM_SRC_PERF_CORE_BENCHES_H_
 
 #include <string>
+#include <vector>
 
 #include "src/perf/bench_harness.h"
 
@@ -33,10 +34,22 @@ void RunMicroBenches(const CoreBenchOptions& options, BenchReport* report);
 bool RunGridBench(const std::string& scenario_file, const CoreBenchOptions& options,
                   BenchReport* report);
 
+// The threads-vs-events/sec scaling curve (docs/PARALLEL.md): runs the
+// pdes_scaling scenario once per worker count in `workers` and records fired
+// events per second as "pdes/scaling@wN" (":quick" before the @ in quick
+// mode; w0 is the serial reference loop). One curve point per record keeps
+// the floor file able to express ratios between worker counts.
+bool RunScalingBench(const std::string& scenario_file, const std::vector<int>& workers,
+                     const CoreBenchOptions& options, BenchReport* report);
+
 // The regression gate for CI: `floor_json` is baselines/perf_floor.json.
 // Every floored benchmark must be present in `report` with ops_per_sec no
-// more than max_regression_pct below its floor. Returns true when everything
-// holds; otherwise appends one line per problem to `problems`.
+// more than max_regression_pct below its floor, and every "A / B" entry of
+// the optional "ratio_floors" object must have ops_per_sec(A)/ops_per_sec(B)
+// no more than max_regression_pct below its floor (this is how CI asserts
+// parallel >= serial events/sec without hard-coding one machine's absolute
+// throughput). Returns true when everything holds; otherwise appends one
+// line per problem to `problems`.
 bool CheckPerfFloor(const BenchReport& report, const std::string& floor_json,
                     std::string* problems);
 

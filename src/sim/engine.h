@@ -58,6 +58,26 @@ class Engine {
   uint64_t events_fired() const { return events_fired_; }
   size_t pending_events() const { return queue_.Size(); }
 
+  // Returned by NextEventTime when the queue is empty; sorts after any real
+  // timestamp, so "min over engines" loops need no empty-queue special case.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+  // Timestamp of the earliest pending event, or kNoEvent on an empty queue.
+  // Non-const because reading the heap top lazily reclaims cancelled entries.
+  SimTime NextEventTime() { return queue_.Empty() ? kNoEvent : queue_.NextTime(); }
+
+  // Jumps the clock forward to `t` without firing anything. The conservative
+  // PDES synchronizer (src/sim/parallel.h) uses this to commit a domain to a
+  // window boundary it has already drained, and to line every domain clock up
+  // before a cross-domain event or the final metric harvest (lazy integrators
+  // such as HardwareModel::EnergyJoules integrate "up to Now()", so clocks
+  // must agree on where the run ended). `t` must be >= Now(); events still
+  // pending before `t` are not fired and keep their timestamps.
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_ && "cannot advance the clock backwards");
+    now_ = t;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;

@@ -76,9 +76,11 @@ TEST(GeneratorTest, ClusterDrawsForceRequestsTrafficAndStaySmall) {
       continue;
     }
     ++clusters;
+    // Mostly 1-4 machines; an occasional rack-sized draw (up to 8) keeps the
+    // cross-machine PDES paths fuzzed without blowing the runtime budget.
     const double machines = cluster->Find("machines")->number;
     EXPECT_GE(machines, 1) << "seed " << seed;
-    EXPECT_LE(machines, 4) << "seed " << seed;
+    EXPECT_LE(machines, 8) << "seed " << seed;
     const std::string router = cluster->Find("router")->string;
     EXPECT_TRUE(router == "passthrough" || router == "round-robin" ||
                 router == "least-loaded" || router == "power-aware")

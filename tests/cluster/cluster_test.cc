@@ -151,9 +151,9 @@ TEST(RouterTest, RegistryCoversEveryName) {
 }
 
 TEST(RouterTest, LeastLoadedPrefersTheIdlerMachine) {
-  Engine engine;
+  DomainGroup group(2);
   const ExperimentConfig config = SmallConfig(SchedulerKind::kCfs);
-  ClusterModel model(&engine, config, 2);
+  ClusterModel model(&group, config, 2);
   model.machine(0).kernel.Start();
   model.machine(1).kernel.Start();
 

@@ -1,0 +1,142 @@
+// The PDES scaling curve (docs/PARALLEL.md): record shape produced by
+// RunScalingBench and the ratio-floor arm of CheckPerfFloor that gates it.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/perf/bench_harness.h"
+#include "src/perf/core_benches.h"
+
+namespace nestsim {
+namespace {
+
+// Tests run from the build tree, so name committed scenarios by full path.
+std::string CommittedScenario(const std::string& stem) {
+  return std::string(NESTSIM_REPO_DIR) + "/scenarios/" + stem + ".json";
+}
+
+BenchRecord MakeRecord(const std::string& name, uint64_t ops, double median_s) {
+  BenchRecord r;
+  r.name = name;
+  r.ops = ops;
+  r.samples = 5;
+  r.median_s = median_s;
+  r.ns_per_op = median_s * 1e9 / static_cast<double>(ops);
+  r.ops_per_sec = static_cast<double>(ops) / median_s;
+  return r;
+}
+
+// One curve point per worker count, named "pdes/scaling[:quick]@wN", all
+// counting the identical event population (results are worker-invariant, so
+// ops must match across the curve).
+TEST(ScalingBenchTest, RecordsOneCurvePointPerWorkerCount) {
+  CoreBenchOptions options;
+  options.quick = true;
+  options.grid_samples = 1;
+  BenchReport report;
+  ASSERT_TRUE(RunScalingBench(CommittedScenario("cluster_smoke"), {0, 2}, options, &report));
+
+  const BenchRecord* serial = report.Find("pdes/scaling:quick@w0");
+  const BenchRecord* parallel = report.Find("pdes/scaling:quick@w2");
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(parallel, nullptr);
+  EXPECT_GT(serial->ops, 0u);
+  EXPECT_EQ(serial->ops, parallel->ops);
+  EXPECT_GT(serial->ops_per_sec, 0.0);
+  EXPECT_GT(parallel->ops_per_sec, 0.0);
+}
+
+TEST(ScalingBenchTest, FullModeDropsTheQuickSuffix) {
+  CoreBenchOptions options;
+  options.quick = false;
+  options.grid_samples = 1;
+  BenchReport report;
+  ASSERT_TRUE(RunScalingBench(CommittedScenario("cluster_smoke"), {0}, options, &report));
+  EXPECT_NE(report.Find("pdes/scaling@w0"), nullptr);
+  EXPECT_EQ(report.Find("pdes/scaling:quick@w0"), nullptr);
+}
+
+TEST(ScalingBenchTest, UnknownScenarioFails) {
+  CoreBenchOptions options;
+  BenchReport report;
+  EXPECT_FALSE(RunScalingBench("no_such_scenario.json", {0}, options, &report));
+}
+
+TEST(RatioFloorTest, PassesWhenTheRatioClearsTheFloor) {
+  BenchReport report;
+  report.Add(MakeRecord("pdes/scaling:quick@w0", 1000, 1.0));  // 1000 ops/sec
+  report.Add(MakeRecord("pdes/scaling:quick@w4", 1000, 0.5));  // 2000 ops/sec
+  std::string problems;
+  const std::string floor =
+      R"({"max_regression_pct":25,"floors":{},
+          "ratio_floors":{"pdes/scaling:quick@w4 / pdes/scaling:quick@w0":1.0}})";
+  EXPECT_TRUE(CheckPerfFloor(report, floor, &problems)) << problems;
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(RatioFloorTest, AllowsTheRegressionBandBelowTheFloor) {
+  BenchReport report;
+  report.Add(MakeRecord("pdes/scaling:quick@w0", 1000, 1.0));  // 1000 ops/sec
+  report.Add(MakeRecord("pdes/scaling:quick@w4", 800, 1.0));   // ratio 0.8
+  std::string problems;
+  // Floor 1.0 with the 25% band -> minimum 0.75; 0.8 passes.
+  const std::string floor =
+      R"({"max_regression_pct":25,"floors":{},
+          "ratio_floors":{"pdes/scaling:quick@w4 / pdes/scaling:quick@w0":1.0}})";
+  EXPECT_TRUE(CheckPerfFloor(report, floor, &problems)) << problems;
+}
+
+TEST(RatioFloorTest, FailsBelowTheBandAndNamesTheRatio) {
+  BenchReport report;
+  report.Add(MakeRecord("pdes/scaling:quick@w0", 1000, 1.0));  // 1000 ops/sec
+  report.Add(MakeRecord("pdes/scaling:quick@w4", 700, 1.0));   // ratio 0.7 < 0.75
+  std::string problems;
+  const std::string floor =
+      R"({"max_regression_pct":25,"floors":{},
+          "ratio_floors":{"pdes/scaling:quick@w4 / pdes/scaling:quick@w0":1.0}})";
+  EXPECT_FALSE(CheckPerfFloor(report, floor, &problems));
+  EXPECT_NE(problems.find("pdes/scaling:quick@w4 / pdes/scaling:quick@w0"), std::string::npos);
+  EXPECT_NE(problems.find("regressed"), std::string::npos);
+}
+
+TEST(RatioFloorTest, FailsWhenACurvePointIsMissing) {
+  BenchReport report;
+  report.Add(MakeRecord("pdes/scaling:quick@w0", 1000, 1.0));
+  std::string problems;
+  const std::string floor =
+      R"({"floors":{},"ratio_floors":{"pdes/scaling:quick@w4 / pdes/scaling:quick@w0":1.0}})";
+  EXPECT_FALSE(CheckPerfFloor(report, floor, &problems));
+  EXPECT_NE(problems.find("was not run"), std::string::npos);
+}
+
+TEST(RatioFloorTest, RejectsMalformedKeysAndValues) {
+  BenchReport report;
+  report.Add(MakeRecord("a", 10, 1.0));
+  std::string problems;
+  EXPECT_FALSE(CheckPerfFloor(report, R"({"floors":{},"ratio_floors":{"a":1.0}})", &problems));
+  EXPECT_NE(problems.find("A / B"), std::string::npos);
+  problems.clear();
+  EXPECT_FALSE(CheckPerfFloor(report, R"({"floors":{},"ratio_floors":{"a / a":-1}})", &problems));
+  EXPECT_NE(problems.find("positive"), std::string::npos);
+}
+
+// The committed floor file must gate the curve CI actually produces.
+TEST(RatioFloorTest, CommittedFloorFileNamesTheQuickCurvePoints) {
+  const std::string path = std::string(NESTSIM_REPO_DIR) + "/baselines/perf_floor.json";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path;
+  std::string floor;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    floor.append(buf, n);
+  }
+  std::fclose(f);
+  EXPECT_NE(floor.find("pdes/scaling:quick@w4 / pdes/scaling:quick@w0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nestsim

@@ -348,8 +348,9 @@ TEST(ScenarioParseTest, ConfigOverrideKeysAreStable) {
     JsonValue text;
     text.type = JsonValue::Type::kString;
     // A governor name, so the domain-checked "governor" key applies too;
-    // the free-form string keys accept it like any other text.
-    text.string = "schedutil";
+    // the free-form string keys accept it like any other text. The PDES sync
+    // key only admits its own enum, so it gets a member of that set.
+    text.string = key == "parallel.sync" ? "lockstep" : "schedutil";
     const bool applied = ApplyConfigOverride(&config, key, num, "p", &err) ||
                          ApplyConfigOverride(&config, key, flag, "p", &err) ||
                          ApplyConfigOverride(&config, key, text, "p", &err);

@@ -33,6 +33,9 @@ int Usage(const char* argv0) {
                "  --grid FILE        grid scenario to benchmark (repeatable;\n"
                "                     default: table4.json fig12.json)\n"
                "  --no-grid          skip the grid benchmarks entirely\n"
+               "  --no-scaling       skip the PDES threads-vs-events/sec curve\n"
+               "  --scaling FILE     scaling scenario (default: pdes_scaling.json)\n"
+               "  --workers LIST     comma-separated curve points (default: 0,1,2,4,8)\n"
                "  --samples N        timed samples per microbenchmark (default 5)\n"
                "  --grid-samples N   timed samples per grid (default: 3 quick, 1 full)\n"
                "  --json PATH        write the BENCH_core.json report to PATH\n"
@@ -59,6 +62,9 @@ int main(int argc, char** argv) {
   CoreBenchOptions options;
   bool run_micro = true;
   bool run_grids = true;
+  bool run_scaling = true;
+  std::string scaling_scenario = "pdes_scaling.json";
+  std::vector<int> scaling_workers = {0, 1, 2, 4, 8};
   std::vector<std::string> grids;
   std::string json_path;
   std::string reference_path;
@@ -83,6 +89,27 @@ int main(int argc, char** argv) {
       run_grids = false;
     } else if (arg == "--grid") {
       grids.push_back(value("--grid"));
+    } else if (arg == "--no-scaling") {
+      run_scaling = false;
+    } else if (arg == "--scaling") {
+      scaling_scenario = value("--scaling");
+    } else if (arg == "--workers") {
+      scaling_workers.clear();
+      std::stringstream list(value("--workers"));
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        int n = 0;
+        if (!ParseCliPositiveInt(item.c_str(), &n) && item != "0") {
+          std::fprintf(stderr, "--workers needs comma-separated integers, got '%s'\n",
+                       item.c_str());
+          return 2;
+        }
+        scaling_workers.push_back(item == "0" ? 0 : n);
+      }
+      if (scaling_workers.empty()) {
+        std::fprintf(stderr, "--workers needs at least one worker count\n");
+        return 2;
+      }
     } else if (arg == "--samples") {
       const char* v = value("--samples");
       if (!ParseCliPositiveInt(v, &options.micro_samples)) {
@@ -122,6 +149,13 @@ int main(int argc, char** argv) {
       if (!RunGridBench(grid, options, &report)) {
         return 1;
       }
+    }
+  }
+  if (run_scaling) {
+    std::fprintf(stderr, "[bench] scaling curve %s%s...\n", scaling_scenario.c_str(),
+                 options.quick ? " (quick)" : "");
+    if (!RunScalingBench(scaling_scenario, scaling_workers, options, &report)) {
+      return 1;
     }
   }
 

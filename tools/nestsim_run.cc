@@ -43,6 +43,8 @@ int Usage(const char* argv0) {
       "  --reps N             repetitions per cell (beats NESTSIM_REPS)\n"
       "  --base-seed N        first seed (scenario default otherwise)\n"
       "  --timeout S          per-job wall-clock budget in seconds\n"
+      "  --parallel N         PDES worker threads per job (0 = serial reference\n"
+      "                       loop; results are byte-identical at any N)\n"
       "  --record-baseline    write golden baselines/<name>.jsonl\n"
       "  --check-baseline     compare against the golden; write the verdict\n"
       "  --baseline-dir DIR   golden directory (default: baselines)\n"
@@ -73,7 +75,7 @@ void PrintList() {
   }
   std::printf("config override keys: %s\n", JoinNames(ConfigOverrideKeys()).c_str());
   std::printf("cluster routers: %s\n", JoinNames(RouterNames()).c_str());
-  std::printf("cluster spec keys: cluster.machines, cluster.router\n");
+  std::printf("cluster spec keys: cluster.preset, cluster.machines, cluster.router\n");
 }
 
 void PrintJobs(const ScenarioRun& run) {
@@ -147,6 +149,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--base-seed") {
       options.has_base_seed = true;
       options.base_seed = std::strtoull(value("--base-seed"), nullptr, 10);
+    } else if (arg == "--parallel") {
+      const char* v = value("--parallel");
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 64) {
+        std::fprintf(stderr, "--parallel needs an integer in [0, 64], got '%s'\n", v);
+        return 2;
+      }
+      options.parallel_workers = static_cast<int>(n);
     } else if (arg == "--timeout") {
       const char* v = value("--timeout");
       if (!ParseCliPositiveDouble(v, &options.timeout_override_s)) {
