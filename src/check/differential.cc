@@ -244,6 +244,33 @@ DifferentialReport RunDifferential(const JsonValue& spec, bool full_load,
     CheckDeterminism(serial, engine,
                      std::to_string(options.engine_workers) + " PDES workers", &report);
   }
+  // The nest_predict fallback contract (docs/PREDICTION.md §3): with no
+  // model loaded the policy must be bit-identical to plain Nest. Re-run the
+  // serial pass with every kNest job flipped to kNestPredict — model nulled,
+  // in case the scenario drew predict.model_file — and hold it to the same
+  // determinism bar as a worker-count change.
+  bool any_nest = false;
+  for (const auto& variant : scenario.variants) {
+    any_nest = any_nest || variant.scheduler == SchedulerKind::kNest;
+  }
+  if (any_nest) {
+    DifferentialOptions flip = options;
+    flip.mutate_config = [&options](ExperimentConfig* config) {
+      if (options.mutate_config) {
+        options.mutate_config(config);
+      }
+      if (config->scheduler == SchedulerKind::kNest) {
+        config->scheduler = SchedulerKind::kNestPredict;
+        config->predict.model = nullptr;
+      }
+    };
+    ScenarioRun predict;
+    if (!RunPass(scenario, options.serial_jobs, /*engine_workers=*/0, flip, &predict, &err)) {
+      report.problems.push_back("scenario does not expand:\n" + err.Join());
+      return report;
+    }
+    CheckDeterminism(serial, predict, "nest_predict with an empty model", &report);
+  }
   CheckAccounting(serial, &report);
   if (full_load) {
     CheckNeutrality(serial, options.neutrality_band, &report);

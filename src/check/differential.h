@@ -2,16 +2,21 @@
 //
 // RunDifferential parses a scenario spec (normally one from
 // src/check/generator.h), forces the invariant checker on for every job, and
-// executes the whole grid three times — once on a single campaign worker
-// with the serial PDES reference loop, once on a parallel campaign pool, and
+// executes the whole grid several times — once on a single campaign worker
+// with the serial PDES reference loop, once on a parallel campaign pool,
 // once with the windowed PDES engine at engine_workers threads per job
-// (src/sim/parallel.h). It then cross-checks:
+// (src/sim/parallel.h), and — when the grid has a plain-Nest variant — once
+// with those jobs flipped to the model-less nest_predict policy. It then
+// cross-checks:
 //
 //   * determinism — the same seed must give bit-identical makespans and
 //     SchedCounters digests regardless of campaign worker count AND of PDES
 //     engine worker count;
 //   * job health — invariant violations, unexpected failures, and timeouts
 //     all surface as problems;
+//   * predictor fallback — every kNest job re-runs flipped to kNestPredict
+//     with no model loaded, which must be bit-identical to plain Nest
+//     (docs/PREDICTION.md §3);
 //   * task accounting — the same workload row creates the same number of
 //     tasks under every scheduler variant (when no run hit its time limit);
 //   * full-load neutrality — for saturating workloads, CFS and Nest

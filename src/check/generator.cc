@@ -319,6 +319,13 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   const bool with_replicas = resilience == 1 || resilience == 2;
   const bool with_budget = resilience == 3;
 
+  // A quarter of the scenarios run as a cluster (src/cluster/): the fleet
+  // requires the open-loop "requests" family, so the cluster draw happens
+  // before the workload draw and pins the family when it fires. It also
+  // happens before the variant draws: nest_oracle is single-machine only
+  // (the parser rejects it under `cluster`), so the oracle draw needs it.
+  const bool cluster = rng.NextBool(0.25);
+
   // cfs + nest always (the differential pair); smove rides along half the
   // time. One governor for the whole scenario keeps variants comparable; the
   // power-cap draw forces `budget` since the cap is inert under the others.
@@ -332,8 +339,16 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
   // Under a power cap, the budget-aware Nest joins half the time so the
   // shrink-the-mask ladder gets fuzzed against the same scenarios.
   const bool with_nest_budget = with_budget && rng.NextBool(0.5);
+  // The prediction-layer variants (docs/PREDICTION.md) each ride along ~15%
+  // of the time: nest_predict loads the committed tiny table model so the
+  // biased first step actually fires, and nest_oracle runs the two-pass
+  // record/replay protocol — never on cluster draws, which the parser
+  // rejects for it.
+  const bool with_nest_predict = rng.NextBool(0.15);
+  const bool with_nest_oracle = !cluster && rng.NextBool(0.15);
   JsonValue variants = Arr();
-  for (const char* policy : {"cfs", "nest", "smove", "nest_cache", "nest_budget"}) {
+  for (const char* policy :
+       {"cfs", "nest", "smove", "nest_cache", "nest_budget", "nest_predict", "nest_oracle"}) {
     if (std::string(policy) == "smove" && !with_smove) {
       continue;
     }
@@ -343,6 +358,12 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
     if (std::string(policy) == "nest_budget" && !with_nest_budget) {
       continue;
     }
+    if (std::string(policy) == "nest_predict" && !with_nest_predict) {
+      continue;
+    }
+    if (std::string(policy) == "nest_oracle" && !with_nest_oracle) {
+      continue;
+    }
     JsonValue variant = Obj();
     Add(variant, "label", Str(policy));
     Add(variant, "scheduler", Str(policy));
@@ -350,11 +371,6 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
     Push(variants, variant);
   }
   Add(spec, "variants", variants);
-
-  // A quarter of the scenarios run as a cluster (src/cluster/): the fleet
-  // requires the open-loop "requests" family, so the cluster draw happens
-  // before the workload draw and pins the family when it fires.
-  const bool cluster = rng.NextBool(0.25);
 
   // Workload: one custom row; occasionally a multi composition.
   JsonValue workload = Obj();
@@ -454,6 +470,15 @@ GeneratedScenario GenerateScenario(uint64_t seed) {
     if (rng.NextBool(0.3)) {
       Add(config, "power.headroom_fraction", Num(Uniform(rng, 0.7, 1.0)));
     }
+  }
+  if (with_nest_predict) {
+    // The committed tiny model, resolved like a scenario path so the fuzzer
+    // finds it from the repo root and from build/.
+    Add(config, "predict.model_file", Str("models/tiny-predict.json"));
+  }
+  if (with_nest_oracle && rng.NextBool(0.5)) {
+    Add(config, "predict.oracle_window_ms", Num(Uniform(rng, 1.0, 50.0)));
+    Add(config, "predict.oracle_margin", Num(IntIn(rng, 0, 3)));
   }
   Add(spec, "config", config);
 

@@ -31,6 +31,10 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "NestCache";
     case SchedulerKind::kNestBudget:
       return "NestBudget";
+    case SchedulerKind::kNestPredict:
+      return "NestPredict";
+    case SchedulerKind::kNestOracle:
+      return "NestOracle";
   }
   return "?";
 }
@@ -47,6 +51,10 @@ const char* SchedulerKindKey(SchedulerKind kind) {
       return "nest_cache";
     case SchedulerKind::kNestBudget:
       return "nest_budget";
+    case SchedulerKind::kNestPredict:
+      return "nest_predict";
+    case SchedulerKind::kNestOracle:
+      return "nest_oracle";
   }
   return "?";
 }
@@ -54,7 +62,8 @@ const char* SchedulerKindKey(SchedulerKind kind) {
 bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
   for (const SchedulerKind kind :
        {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove,
-        SchedulerKind::kNestCache, SchedulerKind::kNestBudget}) {
+        SchedulerKind::kNestCache, SchedulerKind::kNestBudget, SchedulerKind::kNestPredict,
+        SchedulerKind::kNestOracle}) {
     if (key == SchedulerKindKey(kind)) {
       *out = kind;
       return true;
@@ -64,7 +73,7 @@ bool SchedulerKindFromKey(const std::string& key, SchedulerKind* out) {
 }
 
 std::vector<std::string> SchedulerKindKeys() {
-  return {"cfs", "nest", "smove", "nest_cache", "nest_budget"};
+  return {"cfs", "nest", "smove", "nest_cache", "nest_budget", "nest_predict", "nest_oracle"};
 }
 
 std::string ExperimentConfig::Label() const {
@@ -140,11 +149,37 @@ std::unique_ptr<SchedulerPolicy> MakeSchedulerPolicy(const ExperimentConfig& con
       return std::make_unique<NestCachePolicy>(config.nest, config.nest_cache);
     case SchedulerKind::kNestBudget:
       return std::make_unique<NestBudgetPolicy>(config.nest, config.nest_budget);
+    case SchedulerKind::kNestPredict:
+      return std::make_unique<NestPredictPolicy>(config.nest, config.predict.model);
+    case SchedulerKind::kNestOracle:
+      // With a null plan (e.g. a cluster machine constructed outside the
+      // two-pass protocol) the pool is empty and every placement is a CFS
+      // fallback; the scenario parser rejects that combination up front.
+      return std::make_unique<NestOraclePolicy>(config.nest, config.predict.oracle_plan,
+                                                config.predict.oracle_margin);
   }
   return nullptr;
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& workload) {
+  if (config.scheduler == SchedulerKind::kNestOracle && config.predict.oracle_plan == nullptr) {
+    // Two-pass oracle protocol (docs/PREDICTION.md): pass 1 runs the
+    // identical experiment under plain Nest and records per-window peak
+    // demand; pass 2 replays with the recorded plan. Both passes are
+    // deterministic, so record → replay → re-replay is byte-identical.
+    ExperimentConfig recording = config;
+    recording.scheduler = SchedulerKind::kNest;
+    auto plan = std::make_shared<OraclePlan>();
+    recording.predict.oracle_record_plan = plan;
+    // The recording pass is plain Nest; its decisions must not leak into a
+    // decision-trace export of the oracle variant.
+    recording.predict.decision_trace = nullptr;
+    RunExperiment(recording, workload);  // result discarded; only the plan matters
+    ExperimentConfig replay = config;
+    replay.predict.oracle_plan = plan;
+    return RunExperiment(replay, workload);
+  }
+
   Engine engine;
   const MachineSpec& spec = MachineByName(config.machine);
   HardwareModel hw(&engine, spec);
@@ -190,6 +225,20 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const Workload& w
   if (config.fault.any()) {
     resilience = std::make_unique<ResilienceRecorder>();
     kernel.AddObserver(resilience.get());
+  }
+  std::unique_ptr<OracleRecorder> oracle_recorder;
+  if (config.predict.oracle_record_plan != nullptr) {
+    const SimDuration window =
+        static_cast<SimDuration>(config.predict.oracle_window_ms * static_cast<double>(kMillisecond));
+    oracle_recorder = std::make_unique<OracleRecorder>(
+        &kernel, config.predict.oracle_record_plan.get(), window);
+    kernel.AddObserver(oracle_recorder.get());
+  }
+  std::unique_ptr<DecisionTraceRecorder> decisions;
+  if (config.predict.decision_trace != nullptr) {
+    decisions = std::make_unique<DecisionTraceRecorder>(&kernel, config.seed,
+                                                        config.predict.decision_trace.get());
+    kernel.AddObserver(decisions.get());
   }
 
   kernel.Start();

@@ -23,14 +23,19 @@
 #include "src/metrics/trace.h"
 #include "src/nest/nest_budget_policy.h"
 #include "src/nest/nest_cache_policy.h"
+#include "src/nest/nest_oracle_policy.h"
 #include "src/nest/nest_policy.h"
+#include "src/nest/nest_predict_policy.h"
 #include "src/obs/sched_counters.h"
+#include "src/predict/decision_trace.h"
+#include "src/predict/model.h"
+#include "src/predict/oracle.h"
 #include "src/sim/parallel.h"
 #include "src/smove/smove_policy.h"
 
 namespace nestsim {
 
-enum class SchedulerKind { kCfs, kNest, kSmove, kNestCache, kNestBudget };
+enum class SchedulerKind { kCfs, kNest, kSmove, kNestCache, kNestBudget, kNestPredict, kNestOracle };
 
 const char* SchedulerKindName(SchedulerKind kind);
 
@@ -65,6 +70,33 @@ struct ExperimentConfig {
   // randomness and attaches no observer, so pre-fault goldens are unchanged.
   FaultSpec fault;
   PowerParams power;
+
+  // Prediction subsystem (src/predict/, docs/PREDICTION.md). Everything
+  // defaults off/null: a config that never touches this block runs exactly
+  // as before, keeping every pre-predict golden byte-identical.
+  struct PredictParams {
+    // Table model for scheduler == kNestPredict; null (or empty) falls back
+    // bit-identically to plain Nest.
+    std::shared_ptr<const TableModel> model;
+
+    // nest_oracle recording window and extra warm cores per window.
+    double oracle_window_ms = 5.0;
+    int oracle_margin = 0;
+
+    // Replay plan for scheduler == kNestOracle. Normally left null — the
+    // RunExperiment two-pass protocol records one per seed automatically.
+    // Set it (e.g. from a test) to skip the recording pass.
+    std::shared_ptr<const OraclePlan> oracle_plan;
+
+    // Recording sink: when set, RunExperiment attaches an OracleRecorder
+    // filling this plan. Internal to the two-pass protocol.
+    std::shared_ptr<OraclePlan> oracle_record_plan;
+
+    // When set, RunExperiment attaches a DecisionTraceRecorder appending one
+    // feature row per placement decision (tools/nestsim_export).
+    std::shared_ptr<DecisionTrace> decision_trace;
+  };
+  PredictParams predict;
 
   // Parallel (PDES) execution knobs (src/sim/parallel.h, docs/PARALLEL.md).
   // Pure execution policy: results are byte-identical at any worker count,

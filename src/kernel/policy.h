@@ -79,6 +79,14 @@ class SchedulerPolicy {
   // keeps warmth bookkeeping entirely off the hot paths.
   virtual bool WantsCacheWarmth() const { return false; }
 
+  // Read-only introspection of per-core policy membership, for the decision
+  // exporter (src/predict/): 2 = primary nest (or oracle warm pool), 1 =
+  // reserve nest, 0 = neither. Policies without a mask keep the default.
+  virtual int NestMembership(int cpu) const {
+    (void)cpu;
+    return 0;
+  }
+
  protected:
   Kernel* kernel_ = nullptr;
 };

@@ -41,9 +41,11 @@ enum class PlacementPath {
   kSmoveCfs,         // Smove kept the CFS choice
   kNestCacheWarm,    // NestCache re-anchored the search to the warm LLC
   kFaultEvacuate,    // re-placement of a task displaced by a core failure
+  kNestPredicted,    // NestPredict took the model's predicted CPU (src/predict/)
+  kNestOracleWarm,   // NestOracle placed inside the replayed warm pool
 };
 
-inline constexpr int kNumPlacementPaths = 14;
+inline constexpr int kNumPlacementPaths = 16;
 
 inline const char* PlacementPathName(PlacementPath path) {
   switch (path) {
@@ -75,6 +77,10 @@ inline const char* PlacementPathName(PlacementPath path) {
       return "nest_cache_warm";
     case PlacementPath::kFaultEvacuate:
       return "fault_evacuate";
+    case PlacementPath::kNestPredicted:
+      return "nest_predicted";
+    case PlacementPath::kNestOracleWarm:
+      return "nest_oracle_warm";
   }
   return "?";
 }

@@ -1,0 +1,83 @@
+#include "src/nest/nest_oracle_policy.h"
+
+namespace nestsim {
+
+int NestOraclePolicy::PoolSize() const {
+  if (plan_ == nullptr) {
+    return 0;
+  }
+  const int size = plan_->PoolSizeAt(kernel_->engine().Now());
+  if (size <= 0) {
+    return 0;
+  }
+  const int num_cpus = kernel_->topology().num_cpus();
+  const int widened = size + margin_;
+  return widened < num_cpus ? widened : num_cpus;
+}
+
+bool NestOraclePolicy::InPool(int cpu) const {
+  if (!kernel_->CpuOnline(cpu)) {
+    return false;
+  }
+  const int pool = PoolSize();
+  if (pool <= 0) {
+    return false;
+  }
+  // The pool is the first `pool` *online* CPUs in index order.
+  int rank = 0;
+  for (int c = 0; c < cpu; ++c) {
+    if (kernel_->CpuOnline(c)) {
+      ++rank;
+    }
+  }
+  return rank < pool;
+}
+
+int NestOraclePolicy::SearchPool() const {
+  const int pool = PoolSize();
+  if (pool <= 0) {
+    return -1;
+  }
+  const int num_cpus = kernel_->topology().num_cpus();
+  int seen = 0;
+  for (int cpu = 0; cpu < num_cpus && seen < pool; ++cpu) {
+    if (!kernel_->CpuOnline(cpu)) {
+      continue;
+    }
+    ++seen;
+    if (kernel_->CpuIdleUnclaimed(cpu)) {
+      return cpu;
+    }
+  }
+  return -1;
+}
+
+int NestOraclePolicy::SelectCpuFork(Task& child, int parent_cpu) {
+  const int chosen = SearchPool();
+  if (chosen >= 0) {
+    child.placement_path = PlacementPath::kNestOracleWarm;
+    return chosen;
+  }
+  const int fallback = cfs_.ForkPath(child, parent_cpu);
+  child.placement_path = PlacementPath::kNestCfsFallback;
+  return fallback;
+}
+
+int NestOraclePolicy::SelectCpuWake(Task& task, const WakeContext& ctx) {
+  // Previous-core affinity inside the pool keeps the same locality benefit
+  // Nest's attachment paths provide (§3.3).
+  if (task.prev_cpu >= 0 && InPool(task.prev_cpu) && kernel_->CpuIdleUnclaimed(task.prev_cpu)) {
+    task.placement_path = PlacementPath::kNestOracleWarm;
+    return task.prev_cpu;
+  }
+  const int chosen = SearchPool();
+  if (chosen >= 0) {
+    task.placement_path = PlacementPath::kNestOracleWarm;
+    return chosen;
+  }
+  const int fallback = cfs_.WakePath(task, ctx, params_.enable_wake_work_conservation);
+  task.placement_path = PlacementPath::kNestCfsFallback;
+  return fallback;
+}
+
+}  // namespace nestsim

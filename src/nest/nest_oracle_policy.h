@@ -1,0 +1,73 @@
+// The oracle warm-pool policy (headroom bound, src/predict/).
+//
+// NestOracle replaces Nest's reactive nest management with hindsight: a
+// recorded first run of the identical experiment (src/predict/oracle.h)
+// tells it the peak concurrent demand in every time window, and the policy
+// keeps exactly that many cores — the lowest-numbered online CPUs — warm.
+// Placement prefers the task's previous core when it is in the pool, then
+// the lowest-numbered idle pool core; anything else falls back to the fully
+// work-conserving CFS scan, so the oracle never sacrifices work conservation
+// for warmth. Pool cores warm-spin like Nest primaries (§3.2) and placements
+// use the §3.4 reservation. RunExperiment supplies the plan via the two-pass
+// protocol in src/core/experiment.cc; without a plan the pool is empty and
+// every placement is a CFS fallback.
+
+#ifndef NESTSIM_SRC_NEST_NEST_ORACLE_POLICY_H_
+#define NESTSIM_SRC_NEST_NEST_ORACLE_POLICY_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/cfs/cfs_policy.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/policy.h"
+#include "src/nest/nest_policy.h"
+#include "src/predict/oracle.h"
+
+namespace nestsim {
+
+class NestOraclePolicy : public SchedulerPolicy {
+ public:
+  NestOraclePolicy(NestParams params, std::shared_ptr<const OraclePlan> plan, int margin)
+      : params_(params), plan_(std::move(plan)), margin_(margin) {}
+
+  void Attach(Kernel* kernel) override {
+    SchedulerPolicy::Attach(kernel);
+    cfs_.Attach(kernel);
+  }
+
+  const char* name() const override { return "nest_oracle"; }
+
+  int SelectCpuFork(Task& child, int parent_cpu) override;
+  int SelectCpuWake(Task& task, const WakeContext& ctx) override;
+
+  int IdleSpinTicks(int cpu) override {
+    return params_.enable_spin && InPool(cpu) ? params_.s_max_ticks : 0;
+  }
+
+  bool UsesPlacementReservation() const override {
+    return params_.enable_placement_reservation;
+  }
+
+  int NestMembership(int cpu) const override { return InPool(cpu) ? 2 : 0; }
+
+  // The current warm-pool width (replayed demand + margin); introspection
+  // for tests.
+  int PoolSize() const;
+
+  // Whether `cpu` is one of the first PoolSize() online CPUs.
+  bool InPool(int cpu) const;
+
+ private:
+  // Lowest-numbered idle unclaimed pool CPU, or -1.
+  int SearchPool() const;
+
+  NestParams params_;
+  CfsPolicy cfs_;
+  std::shared_ptr<const OraclePlan> plan_;
+  int margin_ = 0;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_NEST_NEST_ORACLE_POLICY_H_

@@ -66,6 +66,9 @@ class NestPolicy : public SchedulerPolicy {
   bool UsesPlacementReservation() const override {
     return params_.enable_placement_reservation;
   }
+  int NestMembership(int cpu) const override {
+    return cores_[cpu].in_primary ? 2 : (cores_[cpu].in_reserve ? 1 : 0);
+  }
 
   const NestParams& params() const { return params_; }
 

@@ -1,0 +1,22 @@
+#include "src/nest/nest_predict_policy.h"
+
+namespace nestsim {
+
+int NestPredictPolicy::SelectCommon(Task& task, int anchor_cpu, bool is_fork,
+                                    const WakeContext& ctx) {
+  if (model_ != nullptr && !model_->empty()) {
+    const int predicted = model_->Predict(is_fork, task.prev_cpu, kernel_->runnable_tasks());
+    // Models are machine-agnostic files; a prediction outside this machine's
+    // CPU range (or for a busy/claimed/offline core) simply does not apply.
+    if (predicted >= 0 && predicted < static_cast<int>(cores_.size()) &&
+        kernel_->CpuIdleUnclaimed(predicted)) {
+      task.placement_path = PlacementPath::kNestPredicted;
+      AddToPrimary(predicted);
+      MarkUsed(predicted);
+      return predicted;
+    }
+  }
+  return NestPolicy::SelectCommon(task, anchor_cpu, is_fork, ctx);
+}
+
+}  // namespace nestsim

@@ -1,0 +1,41 @@
+// Nest with a learned placement bias (src/predict/).
+//
+// NestPredictPolicy consults an offline-trained table model before the
+// standard primary → reserve → CFS ladder: when the model names a CPU for
+// the current (fork/wake, prev_cpu, runnable) key and that CPU is idle and
+// unclaimed, the task goes there directly and the core is pulled into the
+// primary nest — the prediction *biases* the nest search, it never overrides
+// the work-conservation fallbacks. With a null or empty model every decision
+// falls through to the base class, so the policy is bit-identical to plain
+// Nest (pinned by tests and the fuzz differential).
+
+#ifndef NESTSIM_SRC_NEST_NEST_PREDICT_POLICY_H_
+#define NESTSIM_SRC_NEST_NEST_PREDICT_POLICY_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/nest/nest_policy.h"
+#include "src/predict/model.h"
+
+namespace nestsim {
+
+class NestPredictPolicy : public NestPolicy {
+ public:
+  NestPredictPolicy(NestParams params, std::shared_ptr<const TableModel> model)
+      : NestPolicy(params), model_(std::move(model)) {}
+
+  const char* name() const override { return "nest_predict"; }
+
+  const TableModel* model() const { return model_.get(); }
+
+ protected:
+  int SelectCommon(Task& task, int anchor_cpu, bool is_fork, const WakeContext& ctx) override;
+
+ private:
+  std::shared_ptr<const TableModel> model_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_NEST_NEST_PREDICT_POLICY_H_

@@ -41,7 +41,9 @@ uint64_t SchedCounters::NestHits() const {
          placements[static_cast<int>(PlacementPath::kNestAttached)] +
          placements[static_cast<int>(PlacementPath::kNestPrevCore)] +
          placements[static_cast<int>(PlacementPath::kNestImpatient)] +
-         placements[static_cast<int>(PlacementPath::kNestCacheWarm)];
+         placements[static_cast<int>(PlacementPath::kNestCacheWarm)] +
+         placements[static_cast<int>(PlacementPath::kNestPredicted)] +
+         placements[static_cast<int>(PlacementPath::kNestOracleWarm)];
 }
 
 uint64_t SchedCounters::NestMisses() const {
@@ -83,10 +85,13 @@ std::string SchedCountersJson(const SchedCounters& c) {
   std::string out = "{\"placements\":{";
   bool first = true;
   for (int i = 0; i < kNumPlacementPaths; ++i) {
-    // The cache-aware and fault-evacuation paths only joined in later PRs;
-    // omitting them when unused keeps earlier golden digests byte-identical.
+    // The cache-aware, fault-evacuation, predictor, and oracle paths only
+    // joined in later PRs; omitting them when unused keeps earlier golden
+    // digests byte-identical.
     if ((static_cast<PlacementPath>(i) == PlacementPath::kNestCacheWarm ||
-         static_cast<PlacementPath>(i) == PlacementPath::kFaultEvacuate) &&
+         static_cast<PlacementPath>(i) == PlacementPath::kFaultEvacuate ||
+         static_cast<PlacementPath>(i) == PlacementPath::kNestPredicted ||
+         static_cast<PlacementPath>(i) == PlacementPath::kNestOracleWarm) &&
         c.placements[i] == 0) {
       continue;
     }

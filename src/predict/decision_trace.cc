@@ -1,0 +1,35 @@
+#include "src/predict/decision_trace.h"
+
+namespace nestsim {
+
+void DecisionTraceRecorder::OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) {
+  DecisionRow row;
+  row.seed = seed_;
+  row.time_ns = now;
+  row.is_fork = is_fork;
+  row.tid = task.tid;
+  row.prev_cpu = task.prev_cpu;
+  row.runnable = kernel_->runnable_tasks();
+  row.chosen_cpu = cpu;
+  row.path = task.placement_path;
+
+  // Per-core snapshot. Everything here must be read-only: Kernel::CpuUtil
+  // mutates the PELT signal, so the load column goes through the const
+  // run-queue accessor and ValueAt (lazy decay, no state change) instead.
+  const Kernel& kernel = *kernel_;
+  const int num_cpus = kernel.topology().num_cpus();
+  const SchedulerPolicy& policy = kernel_->policy();
+  row.cores.reserve(num_cpus);
+  for (int c = 0; c < num_cpus; ++c) {
+    DecisionRow::CoreSample sample;
+    sample.ghz = kernel_->hw().FreqGhz(c);
+    sample.load = kernel.rq(c).util().ValueAt(now);
+    sample.idle = kernel.CpuIdle(c) ? 1 : 0;
+    sample.nest = policy.NestMembership(c);
+    sample.warmth = kernel.LlcWarmth(task, c);
+    row.cores.push_back(sample);
+  }
+  sink_->rows.push_back(std::move(row));
+}
+
+}  // namespace nestsim

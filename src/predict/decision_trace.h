@@ -1,0 +1,46 @@
+// Decision-trace capture (src/predict/).
+//
+// DecisionTraceRecorder is a purely observational KernelObserver: on every
+// placement decision it snapshots the feature row of src/predict/features.h
+// into a DecisionTrace sink. All sampling is read-only (const run-queue
+// accessors, lazily decayed PELT/warmth reads), so attaching the recorder
+// leaves the simulation byte-identical — the same bar every other observer
+// holds. RunExperiment attaches one when
+// ExperimentConfig::predict.decision_trace is set (tools/nestsim_export).
+
+#ifndef NESTSIM_SRC_PREDICT_DECISION_TRACE_H_
+#define NESTSIM_SRC_PREDICT_DECISION_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+#include "src/predict/features.h"
+
+namespace nestsim {
+
+// Rows accumulate across a job's repetitions in (seed, time) order; each
+// repetition's recorder stamps its own seed.
+struct DecisionTrace {
+  std::vector<DecisionRow> rows;
+};
+
+class DecisionTraceRecorder : public KernelObserver {
+ public:
+  DecisionTraceRecorder(Kernel* kernel, uint64_t seed, DecisionTrace* sink)
+      : kernel_(kernel), seed_(seed), sink_(sink) {}
+
+  uint32_t InterestMask() const override { return kObsTaskPlaced; }
+
+  void OnTaskPlaced(SimTime now, const Task& task, int cpu, bool is_fork) override;
+
+ private:
+  Kernel* kernel_;
+  uint64_t seed_;
+  DecisionTrace* sink_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_PREDICT_DECISION_TRACE_H_

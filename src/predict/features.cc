@@ -1,0 +1,184 @@
+#include "src/predict/features.h"
+
+#include <cstdio>
+
+namespace nestsim {
+
+std::string FormatG17(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+namespace {
+
+// Minimal JSON string escaping for the label columns; decision labels are
+// plain identifiers in practice, but a scenario author can put anything in a
+// row label and the JSONL form must stay parseable.
+void AppendJsonString(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// CSV cells never need quoting except the free-form labels; quote those only
+// when they contain a delimiter so the common case stays byte-stable.
+void AppendCsvCell(std::string& out, const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) {
+    out += text;
+    return;
+  }
+  out += '"';
+  for (char c : text) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+DecisionRow::CoreSample SampleOrZero(const DecisionRow& row, int cpu) {
+  if (cpu < static_cast<int>(row.cores.size())) {
+    return row.cores[cpu];
+  }
+  return DecisionRow::CoreSample{};
+}
+
+}  // namespace
+
+std::string DecisionCsvHeader(int num_cpus) {
+  std::string out;
+  for (int i = 0; i < kNumFeatureColumns; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += kFeatureColumns[i];
+  }
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    for (int s = 0; s < kNumPerCoreColumns; ++s) {
+      out += ",cpu";
+      out += std::to_string(cpu);
+      out += '_';
+      out += kPerCoreColumnSuffixes[s];
+    }
+  }
+  return out;
+}
+
+std::string DecisionCsvRow(const DecisionRow& row, uint64_t decision,
+                           const DecisionLabels& labels, int num_cpus) {
+  std::string out = std::to_string(decision);
+  out += ',';
+  AppendCsvCell(out, labels.machine);
+  out += ',';
+  AppendCsvCell(out, labels.row);
+  out += ',';
+  AppendCsvCell(out, labels.variant);
+  out += ',';
+  out += std::to_string(row.seed);
+  out += ',';
+  out += std::to_string(row.time_ns);
+  out += ',';
+  out += row.is_fork ? "fork" : "wake";
+  out += ',';
+  out += std::to_string(row.tid);
+  out += ',';
+  out += std::to_string(row.prev_cpu);
+  out += ',';
+  out += std::to_string(row.runnable);
+  out += ',';
+  out += std::to_string(row.chosen_cpu);
+  out += ',';
+  out += PlacementPathName(row.path);
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    const DecisionRow::CoreSample s = SampleOrZero(row, cpu);
+    out += ',';
+    out += FormatG17(s.ghz);
+    out += ',';
+    out += FormatG17(s.load);
+    out += ',';
+    out += std::to_string(s.idle);
+    out += ',';
+    out += std::to_string(s.nest);
+    out += ',';
+    out += FormatG17(s.warmth);
+  }
+  return out;
+}
+
+std::string DecisionJsonlRow(const DecisionRow& row, uint64_t decision,
+                             const DecisionLabels& labels, int num_cpus) {
+  std::string out = "{\"decision\":";
+  out += std::to_string(decision);
+  out += ",\"machine\":";
+  AppendJsonString(out, labels.machine);
+  out += ",\"row\":";
+  AppendJsonString(out, labels.row);
+  out += ",\"variant\":";
+  AppendJsonString(out, labels.variant);
+  out += ",\"seed\":";
+  out += std::to_string(row.seed);
+  out += ",\"time_ns\":";
+  out += std::to_string(row.time_ns);
+  out += ",\"kind\":\"";
+  out += row.is_fork ? "fork" : "wake";
+  out += "\",\"tid\":";
+  out += std::to_string(row.tid);
+  out += ",\"prev_cpu\":";
+  out += std::to_string(row.prev_cpu);
+  out += ",\"runnable\":";
+  out += std::to_string(row.runnable);
+  out += ",\"chosen_cpu\":";
+  out += std::to_string(row.chosen_cpu);
+  out += ",\"path\":\"";
+  out += PlacementPathName(row.path);
+  out += "\",\"cores\":[";
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    const DecisionRow::CoreSample s = SampleOrZero(row, cpu);
+    if (cpu > 0) {
+      out += ',';
+    }
+    out += "{\"ghz\":";
+    out += FormatG17(s.ghz);
+    out += ",\"load\":";
+    out += FormatG17(s.load);
+    out += ",\"idle\":";
+    out += std::to_string(s.idle);
+    out += ",\"nest\":";
+    out += std::to_string(s.nest);
+    out += ",\"warmth\":";
+    out += FormatG17(s.warmth);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace nestsim

@@ -1,0 +1,89 @@
+#include "src/predict/model.h"
+
+#include <map>
+#include <tuple>
+
+namespace nestsim {
+
+int TableModel::Predict(bool is_fork, int prev_cpu, int runnable) const {
+  const int kind = is_fork ? 0 : 1;
+  const int bucketed = RunnableBucket(runnable);
+  for (const TableModelBucket& bucket : buckets_) {
+    if (bucket.kind != kind || bucket.prev_cpu != prev_cpu || bucket.runnable != bucketed) {
+      continue;
+    }
+    int best_cpu = -1;
+    uint64_t best_count = 0;
+    // counts are sorted by cpu, so the first strict maximum wins ties by
+    // lowest CPU index.
+    for (const auto& [cpu, count] : bucket.counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_cpu = cpu;
+      }
+    }
+    return best_cpu;
+  }
+  return -1;
+}
+
+std::string TableModel::ToJson() const {
+  std::string out = "{\n  \"model\": \"nest-predict-table\",\n  \"version\": 1,\n";
+  out += "  \"buckets\": [";
+  bool first = true;
+  for (const TableModelBucket& bucket : buckets_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"kind\": \"";
+    out += bucket.kind == 0 ? "fork" : "wake";
+    out += "\", \"prev_cpu\": ";
+    out += std::to_string(bucket.prev_cpu);
+    out += ", \"runnable\": ";
+    out += std::to_string(bucket.runnable);
+    out += ", \"counts\": [";
+    bool first_count = true;
+    for (const auto& [cpu, count] : bucket.counts) {
+      if (!first_count) {
+        out += ", ";
+      }
+      first_count = false;
+      out += '[';
+      out += std::to_string(cpu);
+      out += ", ";
+      out += std::to_string(count);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+TableModel TrainTableModel(const std::vector<DecisionRow>& rows) {
+  // (kind, prev_cpu, runnable bucket) -> cpu -> count. std::map keeps both
+  // levels sorted, which is exactly the model's canonical form.
+  std::map<std::tuple<int, int, int>, std::map<int, uint64_t>> table;
+  for (const DecisionRow& row : rows) {
+    if (row.chosen_cpu < 0) {
+      continue;
+    }
+    const std::tuple<int, int, int> key(row.is_fork ? 0 : 1, row.prev_cpu,
+                                        RunnableBucket(row.runnable));
+    ++table[key][row.chosen_cpu];
+  }
+  std::vector<TableModelBucket> buckets;
+  buckets.reserve(table.size());
+  for (const auto& [key, counts] : table) {
+    TableModelBucket bucket;
+    bucket.kind = std::get<0>(key);
+    bucket.prev_cpu = std::get<1>(key);
+    bucket.runnable = std::get<2>(key);
+    bucket.counts.assign(counts.begin(), counts.end());
+    buckets.push_back(std::move(bucket));
+  }
+  TableModel model;
+  model.set_buckets(std::move(buckets));
+  return model;
+}
+
+}  // namespace nestsim

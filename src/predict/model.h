@@ -1,0 +1,61 @@
+// A dependency-free bucketed-table placement model (src/predict/).
+//
+// The model counts, per bucketed feature key, how often each CPU was chosen
+// in a recorded decision trace; prediction is the argmax CPU for the key.
+// Keys are deliberately coarse — (fork/wake, previous CPU, saturating
+// runnable count) — so the fit is a closed-form counting pass that a unit
+// test can verify by hand, and the serialized file stays tiny. The on-disk
+// JSON form (strictly validated with the scenario SpecReader, see
+// src/scenario/predict_io.h) is documented in docs/PREDICTION.md.
+
+#ifndef NESTSIM_SRC_PREDICT_MODEL_H_
+#define NESTSIM_SRC_PREDICT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/predict/features.h"
+
+namespace nestsim {
+
+struct TableModelBucket {
+  int kind = 0;      // 0 = fork, 1 = wake
+  int prev_cpu = -1;  // -1 = task never ran
+  int runnable = 0;  // already bucketed (RunnableBucket)
+  std::vector<std::pair<int, uint64_t>> counts;  // (cpu, count), sorted by cpu
+};
+
+class TableModel {
+ public:
+  // An empty model predicts nothing; the nest_predict policy is then
+  // bit-identical to plain Nest (pinned by tests and the differential run).
+  bool empty() const { return buckets_.empty(); }
+
+  const std::vector<TableModelBucket>& buckets() const { return buckets_; }
+
+  // The argmax CPU for the bucketed key, ties broken by lowest CPU index;
+  // -1 when the key was never observed (or the model is empty).
+  int Predict(bool is_fork, int prev_cpu, int runnable) const;
+
+  // Replaces the bucket list. Callers keep buckets sorted by
+  // (kind, prev_cpu, runnable) and counts sorted by cpu — both
+  // TrainTableModel and the file parser produce this canonical form.
+  void set_buckets(std::vector<TableModelBucket> buckets) { buckets_ = std::move(buckets); }
+
+  // Canonical serialized form (the on-disk model file): deterministic since
+  // buckets and counts are sorted. Ends with a newline.
+  std::string ToJson() const;
+
+ private:
+  std::vector<TableModelBucket> buckets_;
+};
+
+// Offline fit: one counting pass over the rows. Rows with no chosen CPU
+// (chosen_cpu < 0) are skipped.
+TableModel TrainTableModel(const std::vector<DecisionRow>& rows);
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_PREDICT_MODEL_H_

@@ -1,0 +1,82 @@
+// Oracle warm-pool recording (src/predict/).
+//
+// The nest_oracle policy answers "how much headroom is left?" by sizing the
+// warm pool with hindsight: a first, plain-Nest pass of the identical
+// experiment records the peak concurrent demand per time window; the second
+// pass replays that plan, keeping exactly that many cores warm in each
+// window. RunExperiment drives the two passes (src/core/experiment.cc);
+// OracleRecorder is the purely observational recorder of the first pass.
+
+#ifndef NESTSIM_SRC_PREDICT_ORACLE_H_
+#define NESTSIM_SRC_PREDICT_ORACLE_H_
+
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/observer.h"
+#include "src/sim/time.h"
+
+namespace nestsim {
+
+// Per-window warm-pool sizes from a recorded run. Windows past the end of
+// the recording hold the last observed size (the replay run can drift a
+// little past the recording's makespan).
+struct OraclePlan {
+  SimDuration window_ns = 0;
+  std::vector<int> pool_sizes;  // peak runnable count per window
+
+  int PoolSizeAt(SimTime now) const {
+    if (window_ns <= 0 || pool_sizes.empty()) {
+      return 0;
+    }
+    size_t window = static_cast<size_t>(now / window_ns);
+    if (window >= pool_sizes.size()) {
+      window = pool_sizes.size() - 1;
+    }
+    return pool_sizes[window];
+  }
+};
+
+// Samples the machine-wide runnable count into per-window maxima. Enqueues
+// are where the count rises, so sampling them catches every peak; ticks keep
+// quiet windows represented (as zeros).
+class OracleRecorder : public KernelObserver {
+ public:
+  OracleRecorder(Kernel* kernel, OraclePlan* plan, SimDuration window_ns)
+      : kernel_(kernel), plan_(plan) {
+    plan_->window_ns = window_ns;
+    plan_->pool_sizes.clear();
+  }
+
+  uint32_t InterestMask() const override { return kObsTaskEnqueued | kObsTick; }
+
+  void OnTaskEnqueued(SimTime now, const Task& task, int cpu) override {
+    (void)task;
+    (void)cpu;
+    Sample(now);
+  }
+
+  void OnTick(SimTime now) override { Sample(now); }
+
+ private:
+  void Sample(SimTime now) {
+    if (plan_->window_ns <= 0) {
+      return;
+    }
+    const size_t window = static_cast<size_t>(now / plan_->window_ns);
+    if (window >= plan_->pool_sizes.size()) {
+      plan_->pool_sizes.resize(window + 1, 0);
+    }
+    const int runnable = kernel_->runnable_tasks();
+    if (runnable > plan_->pool_sizes[window]) {
+      plan_->pool_sizes[window] = runnable;
+    }
+  }
+
+  Kernel* kernel_;
+  OraclePlan* plan_;
+};
+
+}  // namespace nestsim
+
+#endif  // NESTSIM_SRC_PREDICT_ORACLE_H_

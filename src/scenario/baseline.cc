@@ -78,6 +78,14 @@ std::string BaselineJobRecord(const Job& job, const JobOutcome& outcome) {
       AppendU64(out, "tasks_created", static_cast<uint64_t>(r.tasks_created));
       out += ',';
       AppendString(out, "counters", SchedCountersDigest(r.counters));
+      if (job.config.record_latency) {
+        // Wakeup-latency tails are appended only when the scenario opted into
+        // recording them, so pre-predict goldens stay byte-identical.
+        out += ',';
+        AppendDouble(out, "wakeup_p50_us", r.p50_wakeup_latency_us);
+        out += ',';
+        AppendDouble(out, "wakeup_p99_us", r.p99_wakeup_latency_us);
+      }
       if (r.cluster.num_machines > 0) {
         // Cluster fields are appended only for cluster runs so single-machine
         // goldens stay byte-identical to pre-cluster recordings.
@@ -338,6 +346,10 @@ BaselineCheck CheckBaseline(const ScenarioRun& run, const std::string& dir,
       cmp.ExpectU64(grun, "migrations", fresh.migrations);
       cmp.ExpectU64(grun, "tasks_created", static_cast<uint64_t>(fresh.tasks_created));
       cmp.ExpectString(grun, "counters", SchedCountersDigest(fresh.counters));
+      if (job.config.record_latency) {
+        cmp.ExpectDouble(grun, "wakeup_p50_us", fresh.p50_wakeup_latency_us);
+        cmp.ExpectDouble(grun, "wakeup_p99_us", fresh.p99_wakeup_latency_us);
+      }
       if (fresh.cluster.num_machines > 0) {
         cmp.ExpectU64(grun, "requests_offered", fresh.cluster.requests_offered);
         cmp.ExpectU64(grun, "requests_completed", fresh.cluster.requests_completed);

@@ -328,6 +328,30 @@ void PrintEnergyTable(const ScenarioRun& run, size_t m, size_t s) {
   }
 }
 
+// Wakeup-latency layout (docs/PREDICTION.md): one line per row x variant with
+// the p50/p99 wakeup latency and makespan, averaged across reps. Needs
+// config.record_latency; without it every percentile prints as 0.
+void PrintWakeupTable(const ScenarioRun& run, size_t m, size_t s) {
+  const Scenario& sc = run.scenario;
+  const std::string row_fmt = "%-" + std::to_string(sc.table.row_width) + "s";
+  std::printf(row_fmt.c_str(), sc.table.row_header.c_str());
+  std::printf(" %-16s %10s %10s %9s\n", "variant", "p50 us", "p99 us", "time s");
+  for (size_t r = 0; r < run.num_rows(); ++r) {
+    for (size_t v = 0; v < sc.variants.size(); ++v) {
+      const RepeatedResult& rr = run.result(m, r, v, s);
+      double p50 = 0, p99 = 0;
+      for (const ExperimentResult& er : rr.runs) {
+        p50 += er.p50_wakeup_latency_us;
+        p99 += er.p99_wakeup_latency_us;
+      }
+      const double n = rr.runs.empty() ? 1.0 : static_cast<double>(rr.runs.size());
+      std::printf(row_fmt.c_str(), (sc.rows[r].label + sc.table.row_suffix).c_str());
+      std::printf(" %-16s %10.2f %10.2f %9.3f\n", sc.variants[v].label.c_str(), p50 / n, p99 / n,
+                  rr.mean_seconds);
+    }
+  }
+}
+
 void PrintBandsTable(const ScenarioRun& run, size_t m, size_t s) {
   const Scenario& sc = run.scenario;
   for (size_t v = 1; v < sc.variants.size(); ++v) {
@@ -375,6 +399,9 @@ void PrintScenarioTables(const ScenarioRun& run) {
         case TableSpec::Style::kEnergy:
           PrintEnergyTable(run, m, s);
           break;
+        case TableSpec::Style::kWakeup:
+          PrintWakeupTable(run, m, s);
+          break;
         case TableSpec::Style::kNone:
           break;
       }
@@ -392,6 +419,7 @@ std::string ResolveScenarioPath(const std::string& name) {
   }
   candidates.push_back("scenarios/" + name);
   candidates.push_back("../scenarios/" + name);
+  candidates.push_back("../../scenarios/" + name);
   for (const std::string& candidate : candidates) {
     if (FileExists(candidate)) {
       return candidate;

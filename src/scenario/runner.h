@@ -93,8 +93,9 @@ void PrintScenarioHeader(const Scenario& scenario);
 void PrintScenarioTables(const ScenarioRun& run);
 
 // Locates a scenario file for the thin bench wrappers: `name` as given, then
-// $NESTSIM_SCENARIO_DIR/<name>, then scenarios/<name> and ../scenarios/<name>
-// relative to the working directory. Returns `name` unchanged when nothing
+// $NESTSIM_SCENARIO_DIR/<name>, then scenarios/<name>, ../scenarios/<name>
+// and ../../scenarios/<name> relative to the working directory (the last for
+// tests running from build/tests). Returns `name` unchanged when nothing
 // exists (the open error then names the literal path).
 std::string ResolveScenarioPath(const std::string& name);
 

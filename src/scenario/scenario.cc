@@ -8,7 +8,9 @@
 #include "src/cluster/router.h"
 #include "src/governors/governors.h"
 #include "src/hw/machine_spec.h"
+#include "src/scenario/predict_io.h"
 #include "src/scenario/registry.h"
+#include "src/scenario/runner.h"
 #include "src/sim/time.h"
 
 namespace nestsim {
@@ -404,6 +406,32 @@ const std::vector<OverrideSpec>& Overrides() {
        [](ExperimentConfig* c, const JsonValue& v) {
          return OverrideInt(v, 1, 4096, &c->nest_budget.min_primary);
        }},
+      // Prediction subsystem (src/predict/, docs/PREDICTION.md). model_file
+      // loads eagerly so a missing or malformed model is a parse error, not a
+      // mid-campaign failure; the path resolves like scenario files do.
+      {"predict.model_file",
+       "string (path to a valid nest-predict-table model JSON; see docs/PREDICTION.md)",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         std::string path;
+         if (!OverrideString(v, &path)) {
+           return false;
+         }
+         ScenarioError load_err;
+         auto model = std::make_shared<TableModel>();
+         if (!LoadTableModelFile(ResolveScenarioPath(path), model.get(), &load_err)) {
+           return false;
+         }
+         c->predict.model = std::move(model);
+         return true;
+       }},
+      {"predict.oracle_window_ms", "number in (0, 1e6]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideDouble(v, 1e-9, 1e6, &c->predict.oracle_window_ms);
+       }},
+      {"predict.oracle_margin", "integer in [0, 4096]",
+       [](ExperimentConfig* c, const JsonValue& v) {
+         return OverrideInt(v, 0, 4096, &c->predict.oracle_margin);
+       }},
       // Parallel (PDES) execution knobs (src/sim/parallel.h,
       // docs/PARALLEL.md). Pure execution policy: results are byte-identical
       // at any setting, so goldens never record them.
@@ -695,7 +723,7 @@ void ParseTable(const JsonValue* v, const std::string& path, Scenario* out, Scen
   SpecReader reader(*v, path + "/table", *err);
   std::string style;
   if (reader.TakeEnum("style", &style,
-                      {"none", "speedup", "underload", "bands", "latency", "energy"})) {
+                      {"none", "speedup", "underload", "bands", "latency", "energy", "wakeup"})) {
     if (style == "none") {
       out->table.style = TableSpec::Style::kNone;
     } else if (style == "speedup") {
@@ -706,6 +734,8 @@ void ParseTable(const JsonValue* v, const std::string& path, Scenario* out, Scen
       out->table.style = TableSpec::Style::kLatency;
     } else if (style == "energy") {
       out->table.style = TableSpec::Style::kEnergy;
+    } else if (style == "wakeup") {
+      out->table.style = TableSpec::Style::kWakeup;
     } else {
       out->table.style = TableSpec::Style::kBands;
     }
@@ -818,6 +848,18 @@ bool ParseScenario(const JsonValue& root, const std::string& file_label, Scenari
 
   if (out->variants.empty() && err->ok()) {
     err->Add(file_label, "no variants");
+  }
+  // The oracle's record/replay protocol lives inside single-machine
+  // RunExperiment (src/core/experiment.cc); the cluster runner builds its own
+  // per-machine stacks and would silently skip the recording pass.
+  if (out->has_cluster) {
+    for (const ScenarioVariant& variant : out->variants) {
+      if (variant.scheduler == SchedulerKind::kNestOracle) {
+        err->Add(file_label, "variant \"" + variant.label +
+                                 "\": nest_oracle cannot run under \"cluster\" (the oracle " +
+                                 "record/replay protocol is single-machine only)");
+      }
+    }
   }
   return err->ok();
 }

@@ -105,6 +105,7 @@ struct TableSpec {
     kBands,      // Table 4 layout: counts of rows per speedup band
     kLatency,    // cluster serving layout: p50/p99/p99.9 request latency
     kEnergy,     // energy-budget layout: joules, seconds, EDP per variant
+    kWakeup,     // wakeup-latency layout: p50/p99 per variant (record_latency)
   };
 
   Style style = Style::kSpeedup;

@@ -97,5 +97,40 @@ TEST(GeneratorTest, ClusterDrawsForceRequestsTrafficAndStaySmall) {
   EXPECT_LT(clusters, 100);
 }
 
+TEST(GeneratorTest, PredictionVariantsAreDrawnWithTheirConstraints) {
+  int predicts = 0;
+  int oracles = 0;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    const GeneratedScenario gen = GenerateScenario(seed);
+    bool has_predict = false;
+    bool has_oracle = false;
+    for (const JsonValue& v : gen.spec.Find("variants")->items) {
+      const std::string& scheduler = v.Find("scheduler")->string;
+      has_predict = has_predict || scheduler == "nest_predict";
+      has_oracle = has_oracle || scheduler == "nest_oracle";
+    }
+    if (has_predict) {
+      ++predicts;
+      // The predictor always loads the committed tiny model, so the biased
+      // first step actually fires under fuzzing.
+      const JsonValue* model = gen.spec.Find("config")->Find("predict.model_file");
+      ASSERT_NE(model, nullptr) << "seed " << seed;
+      EXPECT_EQ(model->string, "models/tiny-predict.json") << "seed " << seed;
+    }
+    if (has_oracle) {
+      ++oracles;
+      // The parser rejects nest_oracle under cluster; the generator must
+      // never pair them.
+      EXPECT_EQ(gen.spec.Find("cluster"), nullptr) << "seed " << seed;
+    }
+  }
+  // ~15% each over 300 seeds (the oracle thinned by the cluster gate); wide
+  // bands so the test pins the feature, not the exact Rng stream.
+  EXPECT_GT(predicts, 15);
+  EXPECT_LT(predicts, 120);
+  EXPECT_GT(oracles, 10);
+  EXPECT_LT(oracles, 100);
+}
+
 }  // namespace
 }  // namespace nestsim

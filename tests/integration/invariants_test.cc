@@ -12,6 +12,7 @@
 #include "src/governors/governors.h"
 #include "src/metrics/stats.h"
 #include "src/nest/nest_policy.h"
+#include "src/nest/nest_predict_policy.h"
 #include "src/smove/smove_policy.h"
 #include "src/core/experiment.h"
 #include "src/workloads/dacapo.h"
@@ -116,6 +117,16 @@ TEST_P(InvariantSweep, HoldsThroughoutABusyRun) {
       policy = std::move(owned);
       break;
     }
+    case SchedulerKind::kNestPredict: {
+      // Model-less: the fallback path is plain Nest, so the nest invariants
+      // apply unchanged.
+      auto owned = std::make_unique<NestPredictPolicy>(NestParams{}, nullptr);
+      nest = owned.get();
+      policy = std::move(owned);
+      break;
+    }
+    default:
+      FAIL() << "scheduler kind not wired into the sweep";
   }
   SchedutilGovernor governor;
   Kernel kernel(&engine, &hw, policy.get(), &governor);
@@ -145,7 +156,7 @@ std::vector<Case> Cases() {
   std::vector<Case> cases;
   for (const MachineSpec& m : AllMachines()) {
     for (SchedulerKind kind : {SchedulerKind::kCfs, SchedulerKind::kNest, SchedulerKind::kSmove,
-                               SchedulerKind::kNestCache}) {
+                               SchedulerKind::kNestCache, SchedulerKind::kNestPredict}) {
       cases.push_back({m.name, kind});
     }
   }

@@ -110,6 +110,16 @@ TEST(SchedCountersTest, JsonIsValidAndSchemaStable) {
       EXPECT_EQ(json.find("\"fault_evacuate\":"), std::string::npos);
       continue;
     }
+    // The prediction-layer paths (docs/PREDICTION.md) are zero-omitted the
+    // same way: a plain Nest run never takes them.
+    if (static_cast<PlacementPath>(i) == PlacementPath::kNestPredicted) {
+      EXPECT_EQ(json.find("\"nest_predicted\":"), std::string::npos);
+      continue;
+    }
+    if (static_cast<PlacementPath>(i) == PlacementPath::kNestOracleWarm) {
+      EXPECT_EQ(json.find("\"nest_oracle_warm\":"), std::string::npos);
+      continue;
+    }
     const std::string key =
         std::string("\"") + PlacementPathName(static_cast<PlacementPath>(i)) + "\":";
     EXPECT_NE(json.find(key), std::string::npos) << key;

@@ -349,8 +349,12 @@ TEST(ScenarioParseTest, ConfigOverrideKeysAreStable) {
     text.type = JsonValue::Type::kString;
     // A governor name, so the domain-checked "governor" key applies too;
     // the free-form string keys accept it like any other text. The PDES sync
-    // key only admits its own enum, so it gets a member of that set.
-    text.string = key == "parallel.sync" ? "lockstep" : "schedutil";
+    // key only admits its own enum, so it gets a member of that set, and the
+    // eagerly-loaded model path gets the committed model (resolved like a
+    // scenario path, so it is found from the repo root and from build/).
+    text.string = key == "parallel.sync"        ? "lockstep"
+                  : key == "predict.model_file" ? "models/tiny-predict.json"
+                                                : "schedutil";
     const bool applied = ApplyConfigOverride(&config, key, num, "p", &err) ||
                          ApplyConfigOverride(&config, key, flag, "p", &err) ||
                          ApplyConfigOverride(&config, key, text, "p", &err);

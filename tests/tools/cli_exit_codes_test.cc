@@ -15,6 +15,9 @@
 #ifndef NESTSIM_FUZZ_BIN
 #error "NESTSIM_FUZZ_BIN must be defined by the build"
 #endif
+#ifndef NESTSIM_EXPORT_BIN
+#error "NESTSIM_EXPORT_BIN must be defined by the build"
+#endif
 
 namespace nestsim {
 namespace {
@@ -56,6 +59,7 @@ void ExpectRejected(const std::string& command, const std::string& flag,
 
 const std::string kRun = NESTSIM_RUN_BIN;
 const std::string kFuzz = NESTSIM_FUZZ_BIN;
+const std::string kExport = NESTSIM_EXPORT_BIN;
 
 TEST(NestsimRunCliTest, TimeoutRejectsNonNumeric) {
   ExpectRejected(kRun + " --timeout abc smoke.json", "--timeout", "abc");
@@ -101,6 +105,47 @@ TEST(NestsimFuzzCliTest, JobsRejectsMissingValue) {
   const CliResult result = RunCommand(kFuzz + " --jobs");
   EXPECT_EQ(result.exit_code, 2) << result.output;
   EXPECT_NE(result.output.find("--jobs"), std::string::npos) << result.output;
+}
+
+TEST(NestsimExportCliTest, FormatRejectsUnknownValue) {
+  ExpectRejected(kExport + " --format xml smoke.json", "--format", "xml");
+}
+
+TEST(NestsimExportCliTest, RepsRejectsNonNumeric) {
+  ExpectRejected(kExport + " --reps many smoke.json", "--reps", "many");
+}
+
+TEST(NestsimExportCliTest, RepsRejectsZero) {
+  ExpectRejected(kExport + " --reps 0 smoke.json", "--reps", "0");
+}
+
+TEST(NestsimExportCliTest, ParallelRejectsOutOfRange) {
+  ExpectRejected(kExport + " --parallel 65 smoke.json", "--parallel", "65");
+}
+
+TEST(NestsimExportCliTest, ParallelRejectsNonNumeric) {
+  ExpectRejected(kExport + " --parallel abc smoke.json", "--parallel", "abc");
+}
+
+TEST(NestsimExportCliTest, TimeoutRejectsNegative) {
+  ExpectRejected(kExport + " --timeout -2 smoke.json", "--timeout", "-2");
+}
+
+TEST(NestsimExportCliTest, UnknownFlagExitsTwo) {
+  const CliResult result = RunCommand(kExport + " --bogus smoke.json");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(NestsimExportCliTest, MissingScenarioArgumentExitsTwo) {
+  const CliResult result = RunCommand(kExport);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(NestsimExportCliTest, ListColumnsPrintsTheSchemaAndExitsZero) {
+  const CliResult result = RunCommand(kExport + " --list-columns");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("decision"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("warmth"), std::string::npos) << result.output;
 }
 
 TEST(NestsimRunCliTest, GoodFlagsStillParse) {

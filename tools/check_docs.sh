@@ -33,7 +33,12 @@
 #  14. docs/PARALLEL.md is linked from README.md and DESIGN.md, every
 #      parallel.* config key the scenario engine accepts is documented
 #      there, and so are the huge-machine and rack preset names the PDES
-#      layer ships (intel-8153-4s/8s, rack8/16/32).
+#      layer ships (intel-8153-4s/8s, rack8/16/32);
+#  15. docs/PREDICTION.md is linked from README.md and DESIGN.md, every
+#      exported feature column and per-core suffix (the kFeatureColumns /
+#      kPerCoreColumnSuffixes initializers in src/predict/features.h) is
+#      documented there, and so is every predict.* config key the scenario
+#      engine accepts.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -259,6 +264,30 @@ done
 for preset in "intel-8153-4s" "intel-8153-8s" "rack8" "rack16" "rack32"; do
   if ! grep -q "\`$preset\`" docs/PARALLEL.md; then
     echo "FAIL: PDES preset '$preset' is not documented in docs/PARALLEL.md"
+    fail=1
+  fi
+done
+
+# 15. The prediction reference is reachable and documents the full exported
+#     feature schema (fixed columns + per-core suffixes, read from the
+#     initializers in features.h) and every predict.* override key.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'docs/PREDICTION.md' "$doc"; then
+    echo "FAIL: $doc does not link docs/PREDICTION.md"
+    fail=1
+  fi
+done
+for name in $(sed -n '/kFeatureColumns\[\] = {/,/};/p; /kPerCoreColumnSuffixes\[\] = {/,/};/p' \
+                src/predict/features.h | grep -ohE '"[a-z_]+"' | sed 's/"//g' | sort -u); do
+  if ! grep -q "\`$name\`" docs/PREDICTION.md; then
+    echo "FAIL: feature column '$name' is exported but not documented in docs/PREDICTION.md"
+    fail=1
+  fi
+done
+for key in $(grep -ohE '\{"predict\.[a-z_]+", "(bool|string|number|integer)' \
+               src/scenario/scenario.cc | sed 's/{"//; s/".*//' | sort -u); do
+  if ! grep -q "\`$key\`" docs/PREDICTION.md; then
+    echo "FAIL: predict config key '$key' is accepted by src/scenario/ but not documented in docs/PREDICTION.md"
     fail=1
   fi
 done
